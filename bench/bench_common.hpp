@@ -1,0 +1,90 @@
+#pragma once
+// Shared helpers for the reproduction benches: dataset preparation matching
+// Sec. 4.1 (UCR Beef / Symbols / OSULeaf — or surrogates — z-normalised and
+// resampled to lengths 10..40) and same-class / different-class pair
+// selection ("we randomly choose a pair of data from the same class and a
+// pair from different classes in one dataset").
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "data/ucr_loader.hpp"
+#include "util/rng.hpp"
+
+namespace mda::bench {
+
+inline const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = {"Beef", "Symbols", "OSULeaf"};
+  return names;
+}
+
+/// Load (or synthesise) one evaluation dataset at the given length.
+inline data::Dataset load_dataset(const std::string& name, std::size_t length,
+                                  std::uint64_t seed = 7) {
+  // UCR files are looked for under $MDA_UCR_DIR or ./data/ucr.
+  const char* dir = std::getenv("MDA_UCR_DIR");
+  data::Dataset raw =
+      data::load_ucr_or_surrogate(dir ? dir : "data/ucr", name, seed);
+  return data::prepare(raw, length);
+}
+
+struct Pair {
+  data::Series p;
+  data::Series q;
+  bool same_class = false;
+};
+
+/// Draw `count` same-class and `count` different-class pairs.
+inline std::vector<Pair> draw_pairs(const data::Dataset& ds, std::size_t count,
+                                    util::Rng& rng) {
+  std::vector<Pair> pairs;
+  const auto labels = ds.labels();
+  for (std::size_t k = 0; k < count; ++k) {
+    // Same class.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const int label = labels[rng.index(labels.size())];
+      const auto idx = ds.indices_of(label);
+      if (idx.size() < 2) continue;
+      const std::size_t a = idx[rng.index(idx.size())];
+      std::size_t b = a;
+      while (b == a) b = idx[rng.index(idx.size())];
+      pairs.push_back({ds.items[a].values, ds.items[b].values, true});
+      break;
+    }
+    // Different class.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const std::size_t a = rng.index(ds.size());
+      const std::size_t b = rng.index(ds.size());
+      if (ds.items[a].label == ds.items[b].label) continue;
+      pairs.push_back({ds.items[a].values, ds.items[b].values, false});
+      break;
+    }
+  }
+  return pairs;
+}
+
+/// Simple --flag=value parser for bench binaries.
+inline double flag_value(int argc, char** argv, const std::string& name,
+                         double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stod(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+inline bool flag_present(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace mda::bench

@@ -1,0 +1,99 @@
+// Reproduces Fig. 5: convergence time and relative error of the six distance
+// functions versus sequence length (10..40), on the three Sec. 4.1 datasets.
+//
+// Convergence time comes from the timing model (full-SPICE-calibrated fits;
+// pass --calibrate to re-derive live).  Relative error is measured by
+// running every pair through the wavefront circuit backend (per-PE SPICE DC
+// solves) against the digital reference.
+//
+// Expected shapes (Sec. 4.2): time almost linear in length for all functions
+// except HauD (flat); DTW and EdD have the largest errors ("zero drift");
+// HamD / MD errors stay small.
+//
+//   bench_fig5 [--pairs=N] [--calibrate] [--write-csv]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mda;
+
+int main(int argc, char** argv) {
+  const auto pairs_per_dataset =
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "pairs", 1));
+  const bool calibrate = bench::flag_present(argc, argv, "calibrate");
+  const std::vector<std::size_t> lengths = {10, 20, 30, 40};
+
+  std::printf("=== Fig. 5: convergence time & relative error vs length ===\n");
+  std::printf("Table 1 setup: A0=1e4, GBW=50 GHz, Vcc=1 V, 20 mV/unit, "
+              "diode Vth=0, 20 fF/net, 8-bit converters\n");
+  std::printf("Table 2 memristors: Ron=1k, Roff=100k, VT0=3 V (sub-threshold "
+              "in compute mode)\n\n");
+
+  core::AcceleratorConfig config;
+  core::TimingModel timing = core::TimingModel::defaults();
+  if (calibrate) {
+    std::printf("[calibrating timing model from full-SPICE transients...]\n");
+    timing = core::TimingModel::calibrate(config);
+  }
+
+  util::Rng rng(2017);
+  std::vector<std::vector<std::string>> csv_rows;
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    util::Table table({"length", "conv time (ns)", "rel error (%)",
+                       "same-class err (%)", "diff-class err (%)"});
+    for (std::size_t n : lengths) {
+      std::vector<double> errs, errs_same, errs_diff;
+      for (const std::string& name : bench::dataset_names()) {
+        const data::Dataset ds = bench::load_dataset(name, n);
+        for (const bench::Pair& pair :
+             bench::draw_pairs(ds, pairs_per_dataset, rng)) {
+          core::Accelerator acc(config);
+          acc.replace_timing_model(timing);
+          core::DistanceSpec spec;
+          spec.kind = kind;
+          spec.threshold = 0.3;  // application threshold for LCS/EdD/HamD
+          acc.configure(spec);
+          const core::ComputeResult r =
+              acc.compute(pair.p, pair.q, core::Backend::Wavefront);
+          errs.push_back(r.relative_error);
+          (pair.same_class ? errs_same : errs_diff)
+              .push_back(r.relative_error);
+        }
+      }
+      const double conv_ns = timing.convergence_time_s(kind, n) * 1e9;
+      table.add_row({std::to_string(n), util::Table::fmt(conv_ns, 2),
+                     util::Table::fmt(100.0 * util::mean(errs), 3),
+                     util::Table::fmt(100.0 * util::mean(errs_same), 3),
+                     util::Table::fmt(100.0 * util::mean(errs_diff), 3)});
+      csv_rows.push_back({dist::kind_name(kind), std::to_string(n),
+                          util::Table::fmt(conv_ns, 4),
+                          util::Table::fmt(util::mean(errs), 6)});
+    }
+    std::printf("--- Fig. 5(%c): %s ---\n",
+                static_cast<char>('a' + static_cast<int>(kind)),
+                dist::kind_name(kind).c_str());
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  // Shape checks mirrored from the paper's discussion.
+  const double dtw_slope = timing.entry(dist::DistanceKind::Dtw).b_s * 1e9;
+  const double haud_slope =
+      timing.entry(dist::DistanceKind::Hausdorff).b_s * 1e9;
+  std::printf("shape check: DTW slope %.2f ns/elem (linear), HauD slope "
+              "%.3f ns/elem (flat)\n",
+              dtw_slope, haud_slope);
+
+  if (bench::flag_present(argc, argv, "write-csv")) {
+    util::write_csv("fig5.csv", {"function", "length", "conv_ns", "rel_err"},
+                    csv_rows);
+    std::printf("wrote fig5.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 6(a): per-element processing time of the accelerator
+// against the published per-function accelerators ([25] FPGA DTW, [22] GPU
+// LCS, [9] GPU EdD, [14] GPU HauD, [29] GPU HamD, [8] GPU MD).
+//
+// Per the paper: "the processing time of each element in sequences is
+// analyzed for speedup discussion", and "for HamD and MD, the optimization
+// method early determination is adopted, and the point with one-tenth
+// convergence time is set as Early Point".  The paper reports speedups of
+// 3.5x - 376x; the baseline per-element figures are calibrated estimates
+// from the cited publications (see src/power/baselines.cpp and DESIGN.md).
+//
+//   bench_fig6a [--length=40] [--calibrate]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "power/baselines.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mda;
+
+int main(int argc, char** argv) {
+  const auto n =
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "length", 40));
+  core::AcceleratorConfig config;
+  core::TimingModel timing = core::TimingModel::defaults();
+  if (bench::flag_present(argc, argv, "calibrate")) {
+    timing = core::TimingModel::calibrate(config);
+  }
+
+  std::printf("=== Fig. 6(a): per-element time vs existing accelerators "
+              "(length %zu) ===\n\n", n);
+  util::Table table({"func", "ours (ns/elem)", "existing (ns/elem)",
+                     "platform", "cite", "speedup"});
+  std::vector<double> speedups;
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    double runtime = timing.convergence_time_s(kind, n);
+    const bool early = kind == dist::DistanceKind::Hamming ||
+                       kind == dist::DistanceKind::Manhattan;
+    if (early) runtime /= 10.0;  // early determination (Sec. 3.3(1))
+    const double per_element_ns = runtime * 1e9 / static_cast<double>(n);
+    const power::BaselineAccelerator& base = power::baseline_for(kind);
+    const double speedup = base.per_element_ns / per_element_ns;
+    speedups.push_back(speedup);
+    table.add_row({dist::kind_name(kind) + (early ? "*" : ""),
+                   util::Table::fmt(per_element_ns, 3),
+                   util::Table::fmt(base.per_element_ns, 1), base.platform,
+                   base.citation, util::Table::fmt(speedup, 1) + "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("* early-determination point (conv/10)\n\n");
+
+  const auto [mn, mx] =
+      std::minmax_element(speedups.begin(), speedups.end());
+  std::printf("speedup range: %.1fx - %.1fx   (paper: 3.5x - 376x)\n", *mn,
+              *mx);
+  return 0;
+}

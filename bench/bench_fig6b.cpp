@@ -1,0 +1,92 @@
+// Reproduces Fig. 6(b): speedup of the accelerator over a CPU implementation
+// of the same distance functions on the same datasets, versus sequence
+// length.
+//
+// The CPU side is measured LIVE: our reference implementations (-O2, the
+// same ones the tests validate) timed over many repetitions — the modern
+// equivalent of the paper's VS2015 /O2 build on an i5-3470.  The paper
+// reports 20x - 1000x, growing with length, with smaller speedups for HamD
+// and MD because they are O(n) rather than O(n^2).
+//
+//   bench_fig6b [--reps=2000] [--calibrate]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "distance/registry.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mda;
+
+namespace {
+
+/// Median per-call CPU time of the digital reference [s].
+double cpu_time_s(dist::DistanceKind kind, const std::vector<bench::Pair>& pairs,
+                  const dist::DistanceParams& params, int reps) {
+  volatile double sink = 0.0;
+  std::vector<double> per_call;
+  for (const bench::Pair& pair : pairs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      sink = sink + dist::compute(kind, pair.p, pair.q, params);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    per_call.push_back(std::chrono::duration<double>(t1 - t0).count() / reps);
+  }
+  (void)sink;
+  return util::percentile(per_call, 50.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = static_cast<int>(bench::flag_value(argc, argv, "reps", 2000));
+  core::AcceleratorConfig config;
+  core::TimingModel timing = core::TimingModel::defaults();
+  if (bench::flag_present(argc, argv, "calibrate")) {
+    timing = core::TimingModel::calibrate(config);
+  }
+
+  std::printf("=== Fig. 6(b): speedup over CPU vs sequence length ===\n");
+  std::printf("(CPU reference measured live on this machine, -O2)\n\n");
+
+  util::Rng rng(42);
+  util::Table table({"func", "n", "CPU (ns)", "accel (ns)", "speedup"});
+  std::vector<double> all_speedups;
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    double prev_speedup = 0.0;
+    for (std::size_t n : {10u, 20u, 30u, 40u}) {
+      std::vector<bench::Pair> pairs;
+      for (const std::string& name : bench::dataset_names()) {
+        const data::Dataset ds = bench::load_dataset(name, n);
+        const auto drawn = bench::draw_pairs(ds, 1, rng);
+        pairs.insert(pairs.end(), drawn.begin(), drawn.end());
+      }
+      dist::DistanceParams params;
+      params.threshold = 0.3;
+      const double cpu = cpu_time_s(kind, pairs, params, reps);
+      const double accel = timing.convergence_time_s(kind, n);
+      const double speedup = cpu / accel;
+      all_speedups.push_back(speedup);
+      table.add_row({dist::kind_name(kind), std::to_string(n),
+                     util::Table::fmt(cpu * 1e9, 1),
+                     util::Table::fmt(accel * 1e9, 2),
+                     util::Table::fmt(speedup, 1) + "x"});
+      prev_speedup = speedup;
+    }
+    (void)prev_speedup;
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  const auto [mn, mx] =
+      std::minmax_element(all_speedups.begin(), all_speedups.end());
+  std::printf("\nspeedup range: %.1fx - %.1fx   (paper: 20x - 1000x, growing "
+              "with length; HamD/MD smaller: O(n) vs O(n^2))\n",
+              *mn, *mx);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Signal-integrity analysis the paper does not include: output-referred
+// noise of the analog blocks, from thermal (4kT/R) generators in every
+// memristor and the op-amps' input-referred noise.
+//
+// The finding (see EXPERIMENTS.md): with Table 1's 100 kOhm HRS networks
+// and a 50 GHz GBW amplifier, integrated output noise is on the order of one
+// 20 mV value unit.  The sweep below shows the two design levers — GBW and
+// the unit resistance — recover the margin while preserving the paper's
+// ns-scale settling (settling scales with 1/GBW; noise with sqrt(GBW) and
+// sqrt(R)).
+//
+//   bench_noise
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "blocks/absblock.hpp"
+#include "blocks/factory.hpp"
+#include "core/pe.hpp"
+#include "spice/noise.hpp"
+#include "spice/primitives.hpp"
+#include "util/table.hpp"
+
+using namespace mda;
+using namespace mda::spice;
+
+namespace {
+
+double abs_block_noise(double gbw_hz, double r_unit) {
+  Netlist net;
+  blocks::AnalogEnv env;
+  env.opamp.gbw_hz = gbw_hz;
+  env.r_unit = r_unit;
+  blocks::BlockFactory f(net, env);
+  const NodeId p = net.node("p");
+  const NodeId q = net.node("q");
+  net.add<VSource>(p, kGround, Waveform::dc(0.030));
+  net.add<VSource>(q, kGround, Waveform::dc(0.010));
+  const auto h = blocks::make_abs_block(f, p, q, 1.0, "abs");
+  f.finalize_parasitics();
+  NoiseAnalysis noise(net);
+  const NoiseResult r = noise.run(h.out, 1e4, 1e12, 120);
+  return r.ok ? r.total_rms_v : -1.0;
+}
+
+double dtw_pe_noise(double gbw_hz) {
+  Netlist net;
+  blocks::AnalogEnv env;
+  env.opamp.gbw_hz = gbw_hz;
+  blocks::BlockFactory f(net, env);
+  auto src = [&](const char* name, double v) {
+    const NodeId node = net.node(name);
+    net.add<VSource>(node, kGround, Waveform::dc(v));
+    return node;
+  };
+  core::MatrixPeInputs in;
+  in.p = src("p", 0.030);
+  in.q = src("q", 0.010);
+  in.left = src("l", 0.060);
+  in.up = src("u", 0.080);
+  in.diag = src("d", 0.100);
+  const core::PeBuild pe = core::build_dtw_pe(f, in, 1.0, "pe");
+  f.finalize_parasitics();
+  NoiseAnalysis noise(net);
+  const NoiseResult r = noise.run(pe.out, 1e4, 1e12, 120);
+  return r.ok ? r.total_rms_v : -1.0;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  std::printf("=== Output-referred noise of the analog blocks ===\n");
+  std::printf("(signal unit = 20 mV; thermal 4kT/R in every memristor + "
+              "5 nV/rtHz op-amp input noise)\n\n");
+
+  util::Table table({"block", "GBW", "R_unit", "noise rms (mV)",
+                     "units (20 mV)"});
+  struct Case {
+    const char* label;
+    double gbw;
+    double r;
+  };
+  for (const Case& c :
+       {Case{"abs (Table 1 stock)", 50e9, 100e3},
+        Case{"abs (GBW 10 GHz)", 10e9, 100e3},
+        Case{"abs (GBW 2 GHz)", 2e9, 100e3},
+        Case{"abs (GBW 2 GHz, R 10k)", 2e9, 10e3}}) {
+    const double rms = abs_block_noise(c.gbw, c.r);
+    char gbw_buf[16], r_buf[16];
+    std::snprintf(gbw_buf, sizeof gbw_buf, "%.0f GHz", c.gbw / 1e9);
+    std::snprintf(r_buf, sizeof r_buf, "%.0fk", c.r / 1e3);
+    table.add_row({c.label, gbw_buf, r_buf, util::Table::fmt(rms * 1e3, 2),
+                   util::Table::fmt(rms / 0.02, 2)});
+  }
+  const double pe50 = dtw_pe_noise(50e9);
+  const double pe2 = dtw_pe_noise(2e9);
+  table.add_row({"DTW PE (stock)", "50 GHz", "100k",
+                 util::Table::fmt(pe50 * 1e3, 2),
+                 util::Table::fmt(pe50 / 0.02, 2)});
+  table.add_row({"DTW PE (GBW 2 GHz)", "2 GHz", "100k",
+                 util::Table::fmt(pe2 * 1e3, 2),
+                 util::Table::fmt(pe2 / 0.02, 2)});
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nfinding: the Table 1 GBW (50 GHz) is over-provisioned — a "
+              "2 GHz amplifier still settles each stage in ~2 ns (the paper's "
+              "ns-scale regime) while cutting integrated noise ~5x "
+              "(sqrt-bandwidth scaling)\n");
+  return 0;
+}

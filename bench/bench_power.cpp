@@ -1,0 +1,82 @@
+// Reproduces the Sec. 4.3 power and energy-efficiency analysis.
+//
+// For each distance function on the 128x128 fabric (matching [25]):
+//  * our accelerator power, decomposed into op-amps / DACs / ADCs /
+//    memristor paths, using the PE inventories measured from the actual
+//    generated netlists (configuration library) and the paper's device
+//    figures (18 uW op-amp, 32 mW DAC @1.6 GS/s, 35 mW ADC @8.8 GS/s,
+//    10 uW HRS path);
+//  * the paper's stated totals for comparison;
+//  * the published-baseline power and the resulting energy-efficiency
+//    improvement (paper: one to three orders of magnitude, 26.7x - 8767x).
+//
+//   bench_power [--length=128]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "core/array_builder.hpp"
+#include "power/baselines.hpp"
+#include "power/energy_report.hpp"
+#include "util/table.hpp"
+
+using namespace mda;
+
+int main(int argc, char** argv) {
+  const auto n =
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "length", 128));
+  std::printf("=== Sec. 4.3: power & energy efficiency (n = %zu) ===\n\n", n);
+
+  // Paper's stated per-function totals [W] for the comparison column.
+  const double paper_totals[] = {0.58, 2.97, 6.36, 2.64, 2.95, 2.16};
+
+  util::Table power_table({"func", "PEs", "opamps/PE", "opamps (W)",
+                           "DAC (W)", "ADC (W)", "mem (W)", "total (W)",
+                           "paper (W)"});
+  power::PowerModel model;
+  std::vector<double> our_power(6, 0.0);
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    const power::PeInventory inv = core::measure_pe_inventory(kind);
+    // DTW uses the Sakoe-Chiba band R = 5% n (Sec. 4.3).
+    const int band = kind == dist::DistanceKind::Dtw
+                         ? static_cast<int>(0.05 * static_cast<double>(n))
+                         : -1;
+    const power::PowerBreakdown b =
+        model.accelerator_power(kind, n, inv, 6.4e9, 1e9, band);
+    const std::size_t idx = static_cast<std::size_t>(kind);
+    our_power[idx] = b.total_w();
+    power_table.add_row(
+        {dist::kind_name(kind),
+         std::to_string(model.active_pes(kind, n, band)),
+         std::to_string(inv.opamps), util::Table::fmt(b.opamps_w, 3),
+         util::Table::fmt(b.dacs_w, 3), util::Table::fmt(b.adcs_w, 3),
+         util::Table::fmt(b.memristors_w, 3), util::Table::fmt(b.total_w(), 2),
+         util::Table::fmt(paper_totals[idx], 2)});
+  }
+  std::fputs(power_table.str().c_str(), stdout);
+
+  std::printf("\n--- energy efficiency vs published accelerators ---\n");
+  core::TimingModel timing = core::TimingModel::defaults();
+  std::vector<power::EnergyComparison> rows;
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    double runtime = timing.convergence_time_s(kind, 40);
+    if (kind == dist::DistanceKind::Hamming ||
+        kind == dist::DistanceKind::Manhattan) {
+      runtime /= 10.0;  // early determination
+    }
+    const double per_elem_ns = runtime * 1e9 / 40.0;
+    rows.push_back(power::compare(
+        kind, our_power[static_cast<std::size_t>(kind)], per_elem_ns));
+  }
+  std::fputs(power::render(rows).c_str(), stdout);
+  double mn = 1e300, mx = 0.0;
+  for (const auto& r : rows) {
+    mn = std::min(mn, r.energy_ratio);
+    mx = std::max(mx, r.energy_ratio);
+  }
+  std::printf("\nenergy-efficiency range: %.1fx - %.1fx   (paper: 26.7x - "
+              "8767x)\n", mn, mx);
+  return 0;
+}

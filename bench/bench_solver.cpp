@@ -1,0 +1,106 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): sparse LU
+// factorisation, nonlinear DC solves of single PEs, wavefront cell
+// throughput, and the digital reference distances used as the CPU baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/accelerator.hpp"
+#include "core/backend.hpp"
+#include "distance/registry.hpp"
+#include "spice/sparse.hpp"
+#include "util/rng.hpp"
+
+using namespace mda;
+
+namespace {
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  std::vector<int> rows, cols;
+  std::vector<double> vals;
+  for (int i = 0; i < n; ++i) {
+    double diag = 1.0;
+    for (int k = 0; k < 5; ++k) {
+      const int j = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      rows.push_back(i);
+      cols.push_back(j);
+      vals.push_back(v);
+      diag += std::abs(v);
+    }
+    rows.push_back(i);
+    cols.push_back(i);
+    vals.push_back(diag);
+  }
+  const spice::CscMatrix a = spice::CscMatrix::from_triplets(n, rows, cols, vals);
+  for (auto _ : state) {
+    spice::SparseLu lu;
+    benchmark::DoNotOptimize(lu.factor(a));
+  }
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_WavefrontDistance(benchmark::State& state) {
+  const auto kind = static_cast<dist::DistanceKind>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(2);
+  std::vector<double> p(n), q(n);
+  for (double& v : p) v = rng.uniform(-1.5, 1.5);
+  for (double& v : q) v = rng.uniform(-1.5, 1.5);
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = kind;
+  spec.threshold = 0.3;
+  const core::EncodedInputs enc = core::encode_inputs(config, spec, p, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::eval_wavefront(config, spec, enc));
+  }
+}
+BENCHMARK(BM_WavefrontDistance)
+    ->Args({static_cast<long>(dist::DistanceKind::Dtw), 10})
+    ->Args({static_cast<long>(dist::DistanceKind::Lcs), 10})
+    ->Args({static_cast<long>(dist::DistanceKind::Manhattan), 32})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BehavioralDistance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> p(n), q(n);
+  for (double& v : p) v = rng.uniform(-1.5, 1.5);
+  for (double& v : q) v = rng.uniform(-1.5, 1.5);
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Dtw;
+  const core::EncodedInputs enc = core::encode_inputs(config, spec, p, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::eval_behavioral(config, spec, enc));
+  }
+}
+BENCHMARK(BM_BehavioralDistance)->Arg(40)->Arg(128);
+
+void BM_ReferenceDistance(benchmark::State& state) {
+  const auto kind = static_cast<dist::DistanceKind>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(4);
+  std::vector<double> p(n), q(n);
+  for (double& v : p) v = rng.uniform(-1.5, 1.5);
+  for (double& v : q) v = rng.uniform(-1.5, 1.5);
+  dist::DistanceParams params;
+  params.threshold = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::compute(kind, p, q, params));
+  }
+}
+BENCHMARK(BM_ReferenceDistance)
+    ->Args({static_cast<long>(dist::DistanceKind::Dtw), 40})
+    ->Args({static_cast<long>(dist::DistanceKind::Lcs), 40})
+    ->Args({static_cast<long>(dist::DistanceKind::Edit), 40})
+    ->Args({static_cast<long>(dist::DistanceKind::Hausdorff), 40})
+    ->Args({static_cast<long>(dist::DistanceKind::Hamming), 40})
+    ->Args({static_cast<long>(dist::DistanceKind::Manhattan), 40});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Ablation for Sec. 3.3(3): impact of process variation on solution quality
+// and the two mitigations (layout tolerance control, post-fabrication
+// tuning).  Monte-Carlo over variation draws; reports the accelerator's
+// relative error computing MD distances through the full row-structure
+// circuit under each condition.
+//
+//   bench_variation [--mc=6] [--length=12]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/array_builder.hpp"
+#include "core/montecarlo.hpp"
+#include "core/backend.hpp"
+#include "core/tuning.hpp"
+#include "core/variation.hpp"
+#include "spice/transient.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mda;
+
+namespace {
+
+enum class Mitigation { None, ToleranceControl, Tuning };
+
+double run_once(double tol, Mitigation mitigation, std::uint64_t seed,
+                std::size_t n) {
+  util::Rng data_rng(seed * 7 + 1);
+  std::vector<double> p(n), q(n);
+  for (double& v : p) v = data_rng.uniform(-2.0, 2.0);
+  for (double& v : q) v = data_rng.uniform(-2.0, 2.0);
+
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  const core::EncodedInputs enc = core::encode_inputs(config, spec, p, q);
+
+  core::ArrayCircuit arr = core::build_array(config, spec, n, n);
+  std::vector<double> targets;
+  for (auto* m : arr.factory->memristors()) targets.push_back(m->resistance());
+
+  util::Rng rng(seed);
+  core::VariationConfig vc;
+  vc.tolerance = tol;
+  vc.tolerance_control = mitigation == Mitigation::ToleranceControl;
+  core::apply_process_variation(arr.factory->memristors(), vc, rng);
+  if (mitigation == Mitigation::Tuning) {
+    util::Rng trng(seed ^ 0xBEEF);
+    core::tune_all(arr.factory->memristors(), targets, core::TuningConfig{},
+                   trng);
+  }
+
+  arr.set_dc_inputs(enc.p_volts, enc.q_volts);
+  spice::TransientSimulator sim(*arr.net);
+  const auto x = sim.dc_operating_point();
+  if (x.empty()) return 1.0;
+  const double got = core::decode_output(
+      config, spec, x[static_cast<std::size_t>(arr.out)], enc);
+  const double ref = dist::compute(spec.kind, p, q, spec.reference_params());
+  return util::relative_error(got, ref);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int mc = static_cast<int>(bench::flag_value(argc, argv, "mc", 6));
+  const auto n =
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "length", 12));
+
+  std::printf("=== Sec. 3.3(3) ablation: process variation (MD circuit, "
+              "n=%zu, %d Monte-Carlo draws) ===\n\n", n, mc);
+  util::Table table({"tolerance", "mitigation", "mean rel err (%)",
+                     "max rel err (%)"});
+  for (double tol : {0.20, 0.30}) {
+    for (Mitigation m :
+         {Mitigation::None, Mitigation::ToleranceControl, Mitigation::Tuning}) {
+      std::vector<double> errs;
+      for (int k = 0; k < mc; ++k) {
+        errs.push_back(run_once(tol, m, 1000 + static_cast<std::uint64_t>(k),
+                                n));
+      }
+      const char* label = m == Mitigation::None ? "none"
+                          : m == Mitigation::ToleranceControl
+                              ? "tolerance control"
+                              : "resistance tuning";
+      const util::Summary s = util::summarize(errs);
+      table.add_row({util::Table::fmt(tol * 100, 0) + "%", label,
+                     util::Table::fmt(s.mean * 100, 2),
+                     util::Table::fmt(s.max * 100, 2)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nexpected: raw +-20-30%% variation degrades solution quality; "
+              "tolerance control (ratios matched <1%%) and tuning recover "
+              "it (Sec. 3.3(3))\n");
+
+  // Matrix-structure sensitivity (Monte-Carlo over a small DTW array): the
+  // complement stages ride a Vcc/2 common mode, so ratio mismatch leaks
+  // 0.5 V * mismatch into every cell — sub-0.1% matching is required, a
+  // stronger requirement than the paper's "lower than 1%" framing.
+  std::printf("\n--- DTW matrix-structure matching sensitivity ---\n");
+  core::DistanceSpec dtw_spec;
+  dtw_spec.kind = dist::DistanceKind::Dtw;
+  std::vector<double> p = {1.0, 2.0, 0.5};
+  std::vector<double> q = {0.8, 1.7, 0.6};
+  core::AcceleratorConfig config;
+  util::Table dtw_table({"mitigation", "mean rel err (%)", "yield @5%"});
+  struct McCase {
+    const char* label;
+    bool tc;
+    double mtol;
+    bool tune;
+    double ttol;
+  };
+  for (const McCase& c :
+       {McCase{"none", false, 0.0, false, 0.01},
+        McCase{"tuning to 1%", false, 0.0, true, 0.01},
+        McCase{"tuning to 0.1%", false, 0.0, true, 0.001},
+        McCase{"matching 1%", true, 0.01, false, 0.01},
+        McCase{"matching 0.1%", true, 0.001, false, 0.01},
+        McCase{"matching 0.1% + tuning", true, 0.001, true, 0.001}}) {
+    core::MonteCarloConfig mcc;
+    mcc.trials = mc;
+    mcc.variation.tolerance = 0.25;
+    mcc.variation.tolerance_control = c.tc;
+    mcc.variation.matched_tolerance = c.mtol;
+    mcc.tune_after = c.tune;
+    mcc.tuning.target_tol = c.ttol;
+    const core::MonteCarloResult r =
+        core::monte_carlo_distance(config, dtw_spec, p, q, mcc);
+    dtw_table.add_row({c.label, util::Table::fmt(100.0 * r.summary.mean, 2),
+                       util::Table::fmt(100.0 * r.yield, 0) + "%"});
+  }
+  std::fputs(dtw_table.str().c_str(), stdout);
+  std::printf("\nfinding: 1%%-per-device tuning is NOT sufficient for the "
+              "matrix structure; the Vcc/2 complement trick demands ~0.1%% "
+              "ratio matching (see EXPERIMENTS.md)\n");
+  return 0;
+}

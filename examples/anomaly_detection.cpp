@@ -1,0 +1,88 @@
+// Frequency-pattern mining scenario (the third task family of Sec. 1):
+// motif discovery and discord (anomaly) detection on data-center telemetry,
+// with the window distances evaluated through the analog accelerator.
+//
+//   $ anomaly_detection
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/accelerator.hpp"
+#include "mining/motifs.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mda;
+
+  // Synthetic rack-temperature telemetry: a daily pattern, a repeated
+  // maintenance signature (the motif), and one cooling failure (the
+  // discord).
+  constexpr std::size_t kSamples = 600;
+  constexpr std::size_t kWindow = 24;
+  util::Rng rng(4242);
+  data::Series temps(kSamples);
+  double drift = 0.0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    drift = 0.97 * drift + rng.normal(0.0, 0.25);  // aperiodic load wander
+    temps[i] = 24.0 + drift + rng.normal(0.0, 0.1);
+  }
+  // Maintenance signature at two positions: the procedure drives the rack
+  // to a controlled profile, overriding the ambient drift.
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    const double sig = 21.0 + 1.5 * std::sin(0.5 * i);
+    temps[80 + i] = sig + rng.normal(0.0, 0.05);
+    temps[432 + i] = sig + rng.normal(0.0, 0.05);
+  }
+  // Cooling failure: a runaway ramp.
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    temps[250 + i] += 0.45 * static_cast<double>(i);
+  }
+
+  // Distance callable: Manhattan through the analog row structure.
+  auto acc = std::make_shared<core::Accelerator>();
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc->configure(spec);
+  long analog_calls = 0;
+  mining::DistanceFn fn = [acc, &analog_calls](std::span<const double> a,
+                                               std::span<const double> b) {
+    ++analog_calls;
+    return acc->compute(a, b, core::Backend::Behavioral).value;
+  };
+
+  mining::MotifConfig cfg;
+  cfg.window = kWindow;
+  cfg.stride = 4;       // coarse scan keeps the analog call count reasonable
+  cfg.znormalize = false;  // absolute temperature matters for telemetry
+
+  const mining::MotifResult motif = mining::find_motif(temps, fn, cfg);
+  const auto discords = mining::find_discords(temps, fn, 2, cfg);
+
+  std::printf("Telemetry mining through the MD configuration "
+              "(%ld analog distance evaluations)\n\n", analog_calls);
+  util::Table table({"finding", "position(s)", "score"});
+  table.add_row({"top motif (maintenance)",
+                 std::to_string(motif.first) + " & " +
+                     std::to_string(motif.second),
+                 util::Table::fmt(motif.distance, 3)});
+  for (std::size_t k = 0; k < discords.size(); ++k) {
+    table.add_row({"discord #" + std::to_string(k + 1),
+                   std::to_string(discords[k].position),
+                   util::Table::fmt(discords[k].nn_distance, 3)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  const bool motif_found =
+      (std::abs(static_cast<long>(motif.first) - 80) <= 8 &&
+       std::abs(static_cast<long>(motif.second) - 432) <= 8);
+  const bool discord_found =
+      !discords.empty() &&
+      std::abs(static_cast<long>(discords[0].position) - 250) <=
+          static_cast<long>(kWindow);
+  std::printf("\nplanted maintenance motif %s; cooling failure %s\n",
+              motif_found ? "recovered" : "MISSED",
+              discord_found ? "flagged as top discord" : "MISSED");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// The paper's core argument (Sec. 1): one data center serves MANY
+// applications using DIFFERENT distance functions — healthcare uses HamD
+// (iris) and LCS (ECG), smart city uses DTW (vehicles) — and fixed-function
+// accelerators cannot follow.  This example drives a workload mix through
+// ONE reconfigurable fabric, reconfiguring between jobs via the
+// configuration library, and reports per-function accuracy, latency and
+// power.
+//
+//   $ datacenter_mix
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Job {
+  mda::dist::DistanceKind kind;
+  std::vector<double> p;
+  std::vector<double> q;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mda;
+
+  constexpr std::size_t kLength = 24;
+  util::Rng rng(2024);
+
+  // Build a mixed job queue: ECG/LCS, vehicle/DTW, iris/HamD, plus ad-hoc
+  // analytics using MD, EdD and HauD.
+  std::vector<Job> queue;
+  for (int k = 0; k < 24; ++k) {
+    Job job;
+    switch (k % 6) {
+      case 0: {  // healthcare: ECG similarity via LCS
+        job.kind = dist::DistanceKind::Lcs;
+        job.p = data::resample(data::znormalize(data::make_ecg(
+                                   128, 1.2, false, 10 + k)),
+                               kLength);
+        job.q = data::resample(data::znormalize(data::make_ecg(
+                                   128, 1.2, k % 12 != 0, 50 + k)),
+                               kLength);
+        break;
+      }
+      case 1: {  // smart city: vehicle profile via DTW
+        job.kind = dist::DistanceKind::Dtw;
+        job.p = data::resample(data::znormalize(data::make_vehicle_profile(
+                                   0, 128, 20 + k)),
+                               kLength);
+        job.q = data::resample(data::znormalize(data::make_vehicle_profile(
+                                   k % 3, 128, 60 + k)),
+                               kLength);
+        break;
+      }
+      case 2: {  // authentication: iris codes via HamD
+        job.kind = dist::DistanceKind::Hamming;
+        const auto code = data::make_iris_code(kLength, 30 + k);
+        const auto probe = data::make_iris_probe(code, 0.1, 70 + k);
+        job.p.resize(kLength);
+        job.q.resize(kLength);
+        for (std::size_t i = 0; i < kLength; ++i) {
+          job.p[i] = code[i] ? 1.0 : -1.0;
+          job.q[i] = probe[i] ? 1.0 : -1.0;
+        }
+        break;
+      }
+      default: {  // analytics sweep: MD / EdD / HauD on sensor windows
+        job.kind = k % 6 == 3 ? dist::DistanceKind::Manhattan
+                   : k % 6 == 4 ? dist::DistanceKind::Edit
+                                : dist::DistanceKind::Hausdorff;
+        job.p.resize(kLength);
+        job.q.resize(kLength);
+        for (auto& v : job.p) v = rng.uniform(-2, 2);
+        for (auto& v : job.q) v = rng.uniform(-2, 2);
+        break;
+      }
+    }
+    queue.push_back(std::move(job));
+  }
+
+  core::Accelerator accelerator;
+  struct Stats {
+    int jobs = 0;
+    double err_sum = 0.0;
+    double time_sum = 0.0;
+  };
+  std::map<dist::DistanceKind, Stats> stats;
+  int reconfigurations = 0;
+  dist::DistanceKind current = dist::DistanceKind::Dtw;
+  bool first = true;
+
+  for (const Job& job : queue) {
+    if (first || job.kind != current) {
+      core::DistanceSpec spec;
+      spec.kind = job.kind;
+      spec.threshold = 0.5;
+      accelerator.configure(spec);  // pull config from the library
+      current = job.kind;
+      first = false;
+      ++reconfigurations;
+    }
+    const core::ComputeResult r = accelerator.compute(job.p, job.q);
+    Stats& s = stats[job.kind];
+    ++s.jobs;
+    s.err_sum += r.relative_error;
+    s.time_sum += r.convergence_time_s;
+  }
+
+  std::printf("Mixed data-center queue: %zu jobs, %d reconfigurations of one "
+              "fabric\n\n", queue.size(), reconfigurations);
+  util::Table table({"function", "jobs", "mean rel err", "total analog time",
+                     "power @128 (W)"});
+  for (const auto& [kind, s] : stats) {
+    core::DistanceSpec spec;
+    spec.kind = kind;
+    spec.threshold = 0.5;
+    if (kind == dist::DistanceKind::Dtw) spec.band = 6;
+    accelerator.configure(spec);
+    table.add_row({dist::kind_name(kind), std::to_string(s.jobs),
+                   util::Table::fmt(100.0 * s.err_sum / s.jobs, 2) + "%",
+                   util::Table::fmt(s.time_sum * 1e9, 1) + " ns",
+                   util::Table::fmt(accelerator.power(128).total_w(), 2)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nno fixed-function FPGA/GPU deployment covers this mix — the "
+              "reconfigurable fabric serves all six functions (Sec. 1)\n");
+  return 0;
+}

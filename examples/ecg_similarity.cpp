@@ -1,0 +1,69 @@
+// Healthcare scenario (Sec. 1: a data center "adopts ... LCS for
+// electrocardiogram similarity"): screen incoming ECG strips against a
+// normal template using the LCS configuration of the accelerator, flagging
+// records whose similarity falls below a threshold.
+//
+//   $ ecg_similarity
+
+#include <cstdio>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mda;
+
+  constexpr std::size_t kStrip = 40;   // samples per analysed strip
+  constexpr double kHeartRate = 1.25;  // Hz (75 bpm)
+
+  // Reference template: a clean normal beat.
+  const data::Series reference = data::resample(
+      data::znormalize(data::make_ecg(256, kHeartRate, false, 1)), kStrip);
+
+  core::Accelerator accelerator;
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Lcs;
+  spec.threshold = 0.35;  // amplitude tolerance for "matching" samples
+  accelerator.configure(spec);
+
+  std::printf("ECG similarity screening through the LCS configuration\n");
+  std::printf("(higher LCS score = more similar to the normal template)\n\n");
+
+  util::Table table({"record", "condition", "LCS (analog)", "LCS (digital)",
+                     "normalized", "flag"});
+  int flagged_abnormal = 0, missed = 0, false_alarms = 0;
+  const double flag_threshold = 0.75;  // fraction of the strip that matches
+
+  for (int record = 0; record < 10; ++record) {
+    const bool abnormal = record % 2 == 1;
+    const data::Series strip = data::resample(
+        data::znormalize(data::make_ecg(
+            256, kHeartRate * (1.0 + 0.02 * record), abnormal,
+            100 + static_cast<std::uint64_t>(record))),
+        kStrip);
+    const core::ComputeResult r = accelerator.compute(reference, strip);
+    const double normalized = r.value / static_cast<double>(kStrip);
+    const bool flag = normalized < flag_threshold;
+    if (flag && abnormal) ++flagged_abnormal;
+    if (!flag && abnormal) ++missed;
+    if (flag && !abnormal) ++false_alarms;
+    table.add_row({std::to_string(record), abnormal ? "abnormal" : "normal",
+                   util::Table::fmt(r.value, 2),
+                   util::Table::fmt(r.reference, 0),
+                   util::Table::fmt(normalized, 2),
+                   flag ? "REVIEW" : "ok"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nflagged %d/5 abnormal records (missed %d, false alarms %d) "
+              "at threshold %.2f\n",
+              flagged_abnormal, missed, false_alarms, flag_threshold);
+  std::printf("each comparison settles in ~%.0f ns of analog time vs ~us on "
+              "a CPU\n",
+              accelerator.timing().convergence_time_s(dist::DistanceKind::Lcs,
+                                                      kStrip) *
+                  1e9);
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "blocks/absblock.hpp"
+
+namespace mda::blocks {
+
+void AbsBlockHandles::set_weight(double w, double r_unit) const {
+  pq.set_gain(w, r_unit);
+  qp.set_gain(w, r_unit);
+}
+
+AbsBlockHandles make_abs_block(BlockFactory& f, spice::NodeId v_p,
+                               spice::NodeId v_q, double weight,
+                               const std::string& name, bool buffered) {
+  BlockFactory::Scope scope(f, name);
+  AbsBlockHandles h;
+  h.pq = make_diff_amp(f, v_p, v_q, weight, "a1");
+  h.qp = make_diff_amp(f, v_q, v_p, weight, "a2");
+  h.max_stage = make_diode_max(f, {h.pq.out, h.qp.out}, "max", buffered);
+  h.out = h.max_stage.out;
+  return h;
+}
+
+}  // namespace mda::blocks

@@ -1,0 +1,26 @@
+#pragma once
+// Absolute-value module (Sec. 3.2.1): two analog subtractors compute
+// w*(P-Q) and w*(Q-P); two zero-threshold diodes output the larger — i.e.
+// out = w * |P - Q|.  The condition P == Q yields 0, which is also correct.
+
+#include "blocks/diode_select.hpp"
+#include "blocks/subtractor.hpp"
+
+namespace mda::blocks {
+
+struct AbsBlockHandles {
+  spice::NodeId out = spice::kGround;  ///< w * |p - q| (buffered).
+  DiffAmpHandles pq;                   ///< w * (p - q).
+  DiffAmpHandles qp;                   ///< w * (q - p).
+  DiodeMaxHandles max_stage;
+
+  /// Reconfigure the weight (both subtractor gains).
+  void set_weight(double w, double r_unit) const;
+};
+
+/// out = weight * |v_p - v_q|.
+AbsBlockHandles make_abs_block(BlockFactory& f, spice::NodeId v_p,
+                               spice::NodeId v_q, double weight,
+                               const std::string& name, bool buffered = true);
+
+}  // namespace mda::blocks

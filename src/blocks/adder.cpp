@@ -1,0 +1,59 @@
+#include "blocks/adder.hpp"
+
+#include <stdexcept>
+
+namespace mda::blocks {
+
+void InvertingAdderHandles::set_weight(std::size_t i, double w,
+                                       double r_unit) const {
+  if (w <= 0.0) throw std::invalid_argument("adder weight must be > 0");
+  input_mems.at(i)->set_resistance(r_unit / w);
+}
+
+InvertingAdderHandles make_inverting_adder(
+    BlockFactory& f, const std::vector<spice::NodeId>& inputs,
+    const std::vector<double>& weights, const std::string& name) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("InvertingAdder needs at least one input");
+  }
+  if (!weights.empty() && weights.size() != inputs.size()) {
+    throw std::invalid_argument("InvertingAdder weights/inputs mismatch");
+  }
+  BlockFactory::Scope scope(f, name);
+  const double r = f.env().r_unit;
+  InvertingAdderHandles h;
+  const spice::NodeId inn = f.node("inn");
+  h.out = f.node("out");
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) throw std::invalid_argument("adder weight must be > 0");
+    weight_sum += w;
+    h.input_mems.push_back(
+        &f.mem(inputs[i], inn, r / w, "m" + std::to_string(i + 1)));
+  }
+  // Finite-gain trim: the inverting stage realises -w_i/(1 + N/A0) with
+  // noise gain N = 1 + sum(w_i); scaling the feedback memristor compensates.
+  const double trim =
+      f.env().finite_gain_trim
+          ? 1.0 + (1.0 + weight_sum) / f.env().opamp.open_loop_gain
+          : 1.0;
+  h.feedback = &f.mem(h.out, inn, trim * r, "m0");
+  // Non-inverting input referenced to ground.
+  h.amp = &f.opamp(spice::kGround, inn, h.out, "amp");
+  return h;
+}
+
+RowAdderHandles make_row_adder(BlockFactory& f,
+                               const std::vector<spice::NodeId>& inputs,
+                               const std::vector<double>& weights,
+                               const std::string& name) {
+  BlockFactory::Scope scope(f, name);
+  RowAdderHandles h;
+  h.summer = make_inverting_adder(f, inputs, weights, "sum");
+  h.inverter = make_inverting_adder(f, {h.summer.out}, {}, "inv");
+  h.out = h.inverter.out;
+  return h;
+}
+
+}  // namespace mda::blocks

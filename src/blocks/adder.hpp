@@ -1,0 +1,46 @@
+#pragma once
+// Analog adders (Fig. 4(b) and the row structure in Fig. 1).
+//
+// InvertingAdder:  out = -sum(w_i * v_i), weights w_i = Mf / Mi set by the
+// memristor ratios — exactly the paper's weighted-sum mechanism where Vout
+// is "the weighted sum of the output of each PE, and the weight is
+// determined by the ratio of Mi and M0".
+//
+// WeightedRowAdder composes InvertingAdder with a unity inverter so the row
+// structure of HamD/MD produces a positive distance voltage.
+
+#include <vector>
+
+#include "blocks/factory.hpp"
+
+namespace mda::blocks {
+
+struct InvertingAdderHandles {
+  spice::NodeId out = spice::kGround;
+  dev::OpAmp* amp = nullptr;
+  std::vector<dev::Memristor*> input_mems;  ///< Mi (one per input).
+  dev::Memristor* feedback = nullptr;       ///< Mf (= M0 in the paper).
+
+  /// Reconfigure input weight i to w (Mi = Mf / w).
+  void set_weight(std::size_t i, double w, double r_unit) const;
+};
+
+/// out = -sum(w_i * v_i).  weights must match inputs in size; pass {} for
+/// all-unity weights.
+InvertingAdderHandles make_inverting_adder(
+    BlockFactory& f, const std::vector<spice::NodeId>& inputs,
+    const std::vector<double>& weights, const std::string& name);
+
+struct RowAdderHandles {
+  spice::NodeId out = spice::kGround;        ///< Positive weighted sum.
+  InvertingAdderHandles summer;              ///< First stage (negative sum).
+  InvertingAdderHandles inverter;            ///< Unity inverter stage.
+};
+
+/// out = +sum(w_i * v_i): inverting adder followed by a unity inverter.
+RowAdderHandles make_row_adder(BlockFactory& f,
+                               const std::vector<spice::NodeId>& inputs,
+                               const std::vector<double>& weights,
+                               const std::string& name);
+
+}  // namespace mda::blocks

@@ -1,0 +1,37 @@
+#pragma once
+// Shared analog-design environment for all generated circuits: supply rails,
+// device parameter defaults (Table 1 / Table 2), memristor network unit
+// resistance and parasitics.
+
+#include <cstdint>
+
+#include "devices/comparator.hpp"
+#include "devices/diode.hpp"
+#include "devices/memristor.hpp"
+#include "devices/opamp.hpp"
+#include "devices/transmission_gate.hpp"
+
+namespace mda::blocks {
+
+struct AnalogEnv {
+  double vcc = 1.0;             ///< Supply [V] (Table 1).
+  double r_unit = 100e3;        ///< Unit network resistance = HRS [ohm].
+  double parasitic_c = 20e-15;  ///< Per-net parasitic capacitance [F].
+
+  dev::OpAmpParams opamp{};                ///< Table 1 defaults.
+  dev::DiodeParams diode{};                ///< Table 1: zero threshold.
+  dev::ComparatorParams comparator{};
+  dev::TransmissionGateParams tgate{};
+  dev::MemristorParams memristor{};        ///< Table 2 defaults.
+  dev::MemristorModel mem_model = dev::MemristorModel::Fixed;
+
+  /// Pre-compensate the systematic finite-gain deficit of resistor-ratio
+  /// stages by trimming the feedback memristor ratio by (1 + noise_gain/A0)
+  /// — what the Sec. 3.3 resistance-tuning procedure achieves in deployment.
+  /// Buffers (no ratio to trim), offsets and converter quantisation remain.
+  bool finite_gain_trim = true;
+
+  std::uint64_t seed = 0x5EED;  ///< Base seed for stochastic devices.
+};
+
+}  // namespace mda::blocks

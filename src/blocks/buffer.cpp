@@ -1,0 +1,14 @@
+#include "blocks/buffer.hpp"
+
+namespace mda::blocks {
+
+BufferHandles make_buffer(BlockFactory& f, spice::NodeId in,
+                          const std::string& name) {
+  BlockFactory::Scope scope(f, name);
+  BufferHandles h;
+  h.out = f.node("out");
+  h.amp = &f.opamp(in, h.out, h.out, "amp");
+  return h;
+}
+
+}  // namespace mda::blocks

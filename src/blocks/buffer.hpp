@@ -1,0 +1,19 @@
+#pragma once
+// Unity-gain buffer (op-amp follower).  The paper inserts buffers after
+// diode networks so downstream stages do not load the high-impedance
+// diode-OR node and so outputs may swing below Vcc/2 (Sec. 3.2.3, 3.2.4).
+
+#include "blocks/factory.hpp"
+
+namespace mda::blocks {
+
+struct BufferHandles {
+  spice::NodeId out = spice::kGround;
+  dev::OpAmp* amp = nullptr;
+};
+
+/// out follows in with unity gain.
+BufferHandles make_buffer(BlockFactory& f, spice::NodeId in,
+                          const std::string& name);
+
+}  // namespace mda::blocks

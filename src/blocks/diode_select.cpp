@@ -1,0 +1,51 @@
+#include "blocks/diode_select.hpp"
+
+#include <stdexcept>
+
+#include "blocks/buffer.hpp"
+
+namespace mda::blocks {
+
+DiodeMaxHandles make_diode_max(BlockFactory& f,
+                               const std::vector<spice::NodeId>& inputs,
+                               const std::string& name, bool buffered) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("DiodeMax needs at least one input");
+  }
+  BlockFactory::Scope scope(f, name);
+  DiodeMaxHandles h;
+  h.raw = f.node("or");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    f.diode(inputs[i], h.raw, "d" + std::to_string(i));
+  }
+  h.pulldown = &f.mem(h.raw, f.rails().vee, f.env().r_unit, "mpd");
+  if (buffered) {
+    h.out = make_buffer(f, h.raw, "buf").out;
+  } else {
+    h.out = h.raw;
+  }
+  return h;
+}
+
+MinViaMaxHandles make_min_via_max(BlockFactory& f,
+                                  const std::vector<spice::NodeId>& inputs,
+                                  const std::string& name) {
+  BlockFactory::Scope scope(f, name);
+  MinViaMaxHandles h;
+  std::vector<spice::NodeId> complemented;
+  complemented.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    // Vcc/2 - x_i (Step 2 of Equation (8): input and Vcc/2 switch roles so
+    // the diode inputs stay positive).
+    DiffAmpHandles c = make_diff_amp(f, f.rails().vcc_half, inputs[i], 1.0,
+                                     "comp" + std::to_string(i));
+    complemented.push_back(c.out);
+    h.complements.push_back(c);
+  }
+  h.max_stage = make_diode_max(f, complemented, "max");
+  h.recover = make_diff_amp(f, f.rails().vcc_half, h.max_stage.out, 1.0, "rec");
+  h.out = h.recover.out;
+  return h;
+}
+
+}  // namespace mda::blocks

@@ -1,0 +1,43 @@
+#pragma once
+// Diode selection networks.
+//
+// "Diodes are perfect for maximum value calculation" (Sec. 3.2.1): a diode
+// OR from each input to a common node with a pulldown resistor outputs the
+// maximum input.  Minima are computed by the paper's complement trick —
+// max(Vcc/2 - x_i) = Vcc/2 - min(x_i) — implemented by make_min_via_max.
+
+#include <vector>
+
+#include "blocks/factory.hpp"
+#include "blocks/subtractor.hpp"
+
+namespace mda::blocks {
+
+struct DiodeMaxHandles {
+  spice::NodeId raw = spice::kGround;  ///< Diode-OR node (high impedance).
+  spice::NodeId out = spice::kGround;  ///< Buffered output.
+  dev::Memristor* pulldown = nullptr;
+};
+
+/// out = max(inputs).  The common node is pulled down to -Vcc so the winning
+/// diode always conducts; the output is buffered unless `buffered` is false
+/// (in which case `out == raw`).
+DiodeMaxHandles make_diode_max(BlockFactory& f,
+                               const std::vector<spice::NodeId>& inputs,
+                               const std::string& name, bool buffered = true);
+
+struct MinViaMaxHandles {
+  spice::NodeId out = spice::kGround;  ///< min(inputs), positive domain.
+  std::vector<DiffAmpHandles> complements;  ///< Vcc/2 - x_i stages.
+  DiodeMaxHandles max_stage;
+  DiffAmpHandles recover;  ///< Vcc/2 - max stage.
+};
+
+/// out = min(inputs) for inputs in [0, Vcc/2), using the complement trick of
+/// Equation (8): complement each input about Vcc/2, take the diode maximum,
+/// and complement back.
+MinViaMaxHandles make_min_via_max(BlockFactory& f,
+                                  const std::vector<spice::NodeId>& inputs,
+                                  const std::string& name);
+
+}  // namespace mda::blocks

@@ -1,0 +1,102 @@
+#include "blocks/factory.hpp"
+
+#include "spice/waveform.hpp"
+
+namespace mda::blocks {
+
+BlockFactory::BlockFactory(spice::Netlist& net, AnalogEnv env)
+    : net_(&net), env_(env) {
+  rails_.vcc = net_->node("rail/vcc");
+  rails_.vee = net_->node("rail/vee");
+  rails_.vcc_half = net_->node("rail/vcc_half");
+  net_->add<spice::VSource>(rails_.vcc, spice::kGround,
+                            spice::Waveform::dc(env_.vcc))
+      .set_label("rail/vcc");
+  net_->add<spice::VSource>(rails_.vee, spice::kGround,
+                            spice::Waveform::dc(-env_.vcc))
+      .set_label("rail/vee");
+  net_->add<spice::VSource>(rails_.vcc_half, spice::kGround,
+                            spice::Waveform::dc(env_.vcc / 2.0))
+      .set_label("rail/vcc_half");
+}
+
+spice::NodeId BlockFactory::node(const std::string& name) {
+  return net_->node(scoped(name));
+}
+
+void BlockFactory::push_scope(const std::string& scope) {
+  prefix_ += scope;
+  prefix_ += '/';
+}
+
+void BlockFactory::pop_scope() {
+  if (prefix_.empty()) return;
+  // Drop the trailing '/' then erase back to the previous one.
+  std::size_t pos = prefix_.rfind('/', prefix_.size() - 2);
+  prefix_.erase(pos == std::string::npos ? 0 : pos + 1);
+}
+
+std::string BlockFactory::scoped(const std::string& name) const {
+  return prefix_ + name;
+}
+
+dev::Memristor& BlockFactory::mem(spice::NodeId a, spice::NodeId b,
+                                  double ohms, const std::string& label) {
+  auto& m = net_->add<dev::Memristor>(a, b, ohms, env_.mem_model,
+                                      env_.memristor, env_.seed + ++seed_counter_);
+  m.set_label(scoped(label));
+  memristors_.push_back(&m);
+  return m;
+}
+
+dev::OpAmp& BlockFactory::opamp(spice::NodeId in_p, spice::NodeId in_n,
+                                spice::NodeId out, const std::string& label) {
+  auto& a = net_->add<dev::OpAmp>(in_p, in_n, out, env_.opamp);
+  a.set_label(scoped(label));
+  opamps_.push_back(&a);
+  return a;
+}
+
+dev::Diode& BlockFactory::diode(spice::NodeId anode, spice::NodeId cathode,
+                                const std::string& label) {
+  auto& d = net_->add<dev::Diode>(anode, cathode, env_.diode);
+  d.set_label(scoped(label));
+  ++num_diodes_;
+  return d;
+}
+
+dev::Comparator& BlockFactory::comparator(spice::NodeId in_p,
+                                          spice::NodeId in_n,
+                                          spice::NodeId out,
+                                          const std::string& label) {
+  auto& c = net_->add<dev::Comparator>(in_p, in_n, out, env_.comparator);
+  c.set_label(scoped(label));
+  ++num_comparators_;
+  return c;
+}
+
+dev::TransmissionGate& BlockFactory::tgate(spice::NodeId a, spice::NodeId b,
+                                           spice::NodeId ctrl,
+                                           bool active_high,
+                                           const std::string& label) {
+  auto params = env_.tgate;
+  params.active_high = active_high;
+  params.v_mid = env_.vcc / 2.0;
+  auto& t = net_->add<dev::TransmissionGate>(a, b, ctrl, params);
+  t.set_label(scoped(label));
+  ++num_tgates_;
+  return t;
+}
+
+spice::NodeId BlockFactory::bias(double volts, const std::string& label) {
+  const spice::NodeId n = node(label);
+  net_->add<spice::VSource>(n, spice::kGround, spice::Waveform::dc(volts))
+      .set_label(scoped(label));
+  return n;
+}
+
+void BlockFactory::finalize_parasitics() {
+  net_->add_parasitics(env_.parasitic_c);
+}
+
+}  // namespace mda::blocks

@@ -1,0 +1,103 @@
+#pragma once
+// BlockFactory: convenience layer for building analog subcircuits on a
+// Netlist.  Provides supply rails, hierarchical naming, per-device seeds and
+// a registry of every memristor created (needed later by the resistance
+// tuning and process-variation machinery).
+
+#include <string>
+#include <vector>
+
+#include "blocks/analog_env.hpp"
+#include "spice/netlist.hpp"
+#include "spice/primitives.hpp"
+
+namespace mda::blocks {
+
+/// Supply rails shared by every block in a netlist.
+struct Rails {
+  spice::NodeId vcc = spice::kGround;    ///< +Vcc.
+  spice::NodeId vee = spice::kGround;    ///< -Vcc.
+  spice::NodeId vcc_half = spice::kGround;  ///< +Vcc/2 reference.
+};
+
+class BlockFactory {
+ public:
+  BlockFactory(spice::Netlist& net, AnalogEnv env);
+
+  [[nodiscard]] spice::Netlist& net() { return *net_; }
+  [[nodiscard]] const AnalogEnv& env() const { return env_; }
+  [[nodiscard]] const Rails& rails() const { return rails_; }
+
+  /// Create a node under the current prefix.
+  spice::NodeId node(const std::string& name);
+
+  /// Push/pop a hierarchical name scope ("pe_2_3/abs").
+  void push_scope(const std::string& scope);
+  void pop_scope();
+
+  /// RAII scope helper.
+  class Scope {
+   public:
+    Scope(BlockFactory& f, const std::string& s) : f_(f) { f_.push_scope(s); }
+    ~Scope() { f_.pop_scope(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    BlockFactory& f_;
+  };
+
+  /// Memristor between a and b with the given target resistance; registered
+  /// for tuning/variation.  Model and parameters come from the environment.
+  dev::Memristor& mem(spice::NodeId a, spice::NodeId b, double ohms,
+                      const std::string& label);
+
+  dev::OpAmp& opamp(spice::NodeId in_p, spice::NodeId in_n, spice::NodeId out,
+                    const std::string& label);
+
+  dev::Diode& diode(spice::NodeId anode, spice::NodeId cathode,
+                    const std::string& label);
+
+  dev::Comparator& comparator(spice::NodeId in_p, spice::NodeId in_n,
+                              spice::NodeId out, const std::string& label);
+
+  dev::TransmissionGate& tgate(spice::NodeId a, spice::NodeId b,
+                               spice::NodeId ctrl, bool active_high,
+                               const std::string& label);
+
+  /// Independent DC bias source driving a fresh node (e.g. Vthre, Vstep).
+  spice::NodeId bias(double volts, const std::string& label);
+
+  /// All memristors created through this factory.
+  [[nodiscard]] const std::vector<dev::Memristor*>& memristors() const {
+    return memristors_;
+  }
+  /// All op-amps created through this factory (for offset injection and
+  /// power accounting).
+  [[nodiscard]] const std::vector<dev::OpAmp*>& opamps() const {
+    return opamps_;
+  }
+  [[nodiscard]] std::size_t num_comparators() const { return num_comparators_; }
+  [[nodiscard]] std::size_t num_tgates() const { return num_tgates_; }
+  [[nodiscard]] std::size_t num_diodes() const { return num_diodes_; }
+
+  /// Finish construction: attach the per-net parasitic capacitance to every
+  /// node created so far.
+  void finalize_parasitics();
+
+ private:
+  [[nodiscard]] std::string scoped(const std::string& name) const;
+
+  spice::Netlist* net_;
+  AnalogEnv env_;
+  Rails rails_;
+  std::string prefix_;
+  std::vector<dev::Memristor*> memristors_;
+  std::vector<dev::OpAmp*> opamps_;
+  std::size_t num_comparators_ = 0;
+  std::size_t num_tgates_ = 0;
+  std::size_t num_diodes_ = 0;
+  std::uint64_t seed_counter_ = 0;
+};
+
+}  // namespace mda::blocks

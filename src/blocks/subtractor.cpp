@@ -1,0 +1,79 @@
+#include "blocks/subtractor.hpp"
+
+#include <stdexcept>
+
+namespace mda::blocks {
+
+void DiffAmpHandles::set_gain(double gain, double r_unit) const {
+  if (gain <= 0.0) throw std::invalid_argument("DiffAmp gain must be > 0");
+  m2->set_resistance(gain * r_unit);
+  m4->set_resistance(gain * r_unit);
+}
+
+DiffAmpHandles make_diff_amp(BlockFactory& f, spice::NodeId v_p,
+                             spice::NodeId v_n, double gain,
+                             const std::string& name) {
+  if (gain <= 0.0) throw std::invalid_argument("DiffAmp gain must be > 0");
+  BlockFactory::Scope scope(f, name);
+  const double r = f.env().r_unit;
+  // Finite-gain trim (Sec. 3.3 tuning in deployment): the closed loop
+  // realises gain/(1 + (1+gain)/A0); bump the ratio to compensate.
+  const double trim =
+      f.env().finite_gain_trim
+          ? 1.0 + (1.0 + gain) / f.env().opamp.open_loop_gain
+          : 1.0;
+  DiffAmpHandles h;
+  const spice::NodeId inn = f.node("inn");
+  const spice::NodeId inp = f.node("inp");
+  h.out = f.node("out");
+  h.m1 = &f.mem(v_n, inn, r, "m1");
+  h.m2 = &f.mem(h.out, inn, gain * trim * r, "m2");
+  h.m3 = &f.mem(v_p, inp, r, "m3");
+  h.m4 = &f.mem(inp, spice::kGround, gain * trim * r, "m4");
+  h.amp = &f.opamp(inp, inn, h.out, "amp");
+  return h;
+}
+
+SumDiffAmpHandles make_sum_diff_amp(BlockFactory& f,
+                                    const std::vector<spice::NodeId>& plus,
+                                    const std::vector<spice::NodeId>& minus,
+                                    const std::string& name) {
+  if (plus.empty()) {
+    throw std::invalid_argument("SumDiffAmp needs at least one plus input");
+  }
+  BlockFactory::Scope scope(f, name);
+  const double r = f.env().r_unit;
+  SumDiffAmpHandles h;
+  const spice::NodeId inp = f.node("inp");
+  const spice::NodeId inn = f.node("inn");
+  h.out = f.node("out");
+  const std::size_t k = plus.size();
+  const std::size_t j = minus.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    h.plus_mems.push_back(
+        &f.mem(plus[i], inp, r, "mp" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < j; ++i) {
+    h.minus_mems.push_back(
+        &f.mem(minus[i], inn, r, "mn" + std::to_string(i)));
+  }
+  h.feedback = &f.mem(h.out, inn, r, "mf");
+  // Balance: the inverting side has j inputs + feedback = j+1 branches; the
+  // non-inverting side has k.  Ground-return memristors equalise the branch
+  // counts so the transfer is exactly sum(plus) - sum(minus).
+  if (k > j + 1) {
+    for (std::size_t i = 0; i < k - (j + 1); ++i) {
+      h.minus_mems.push_back(
+          &f.mem(inn, spice::kGround, r, "mgn" + std::to_string(i)));
+    }
+  } else if (j + 1 > k) {
+    for (std::size_t i = 0; i < (j + 1) - k; ++i) {
+      h.plus_mems.push_back(
+          &f.mem(inp, spice::kGround, r, "mgp" + std::to_string(i)));
+    }
+  }
+  h.amp = &f.opamp(inp, inn, h.out, "amp");
+  return h;
+}
+
+}  // namespace mda::blocks

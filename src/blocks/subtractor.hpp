@@ -1,0 +1,53 @@
+#pragma once
+// Analog subtractors (Fig. 2 / Fig. 4(a)).
+//
+// DiffAmp is the classic four-resistor difference amplifier built from
+// memristors: out = gain * (v_p - v_n) with gain = M2/M1 and the matching
+// condition M4/M3 = M2/M1.  Weighted distance functions configure the gain
+// through the memristor ratio (e.g. DTW weights via M1/M2 = (2-w)/w per
+// Sec. 3.2.1; we expose the gain directly and the tuning machinery handles
+// the ratios).
+//
+// SumDiffAmp generalises to out = sum(plus) - sum(minus) with unit weights,
+// using ground-return memristors to balance the two input networks.
+
+#include <vector>
+
+#include "blocks/factory.hpp"
+
+namespace mda::blocks {
+
+/// Handles to the pieces of a difference amplifier.
+struct DiffAmpHandles {
+  spice::NodeId out = spice::kGround;
+  dev::OpAmp* amp = nullptr;
+  dev::Memristor* m1 = nullptr;  ///< v_n -> inverting input.
+  dev::Memristor* m2 = nullptr;  ///< feedback (out -> inverting input).
+  dev::Memristor* m3 = nullptr;  ///< v_p -> non-inverting input.
+  dev::Memristor* m4 = nullptr;  ///< non-inverting input -> ground.
+
+  /// Reconfigure the closed-loop gain by setting M2 = M4 = gain * r_unit.
+  void set_gain(double gain, double r_unit) const;
+};
+
+/// out = gain * (v_p - v_n).  Either input may be a rail or bias node.
+DiffAmpHandles make_diff_amp(BlockFactory& f, spice::NodeId v_p,
+                             spice::NodeId v_n, double gain,
+                             const std::string& name);
+
+struct SumDiffAmpHandles {
+  spice::NodeId out = spice::kGround;
+  dev::OpAmp* amp = nullptr;
+  std::vector<dev::Memristor*> plus_mems;
+  std::vector<dev::Memristor*> minus_mems;
+  dev::Memristor* feedback = nullptr;
+};
+
+/// out = sum(plus) - sum(minus), unit weights.  minus may be empty (pure
+/// non-inverting summer).  At least one plus input is required.
+SumDiffAmpHandles make_sum_diff_amp(BlockFactory& f,
+                                    const std::vector<spice::NodeId>& plus,
+                                    const std::vector<spice::NodeId>& minus,
+                                    const std::string& name);
+
+}  // namespace mda::blocks

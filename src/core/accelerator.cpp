@@ -1,0 +1,113 @@
+#include "core/accelerator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/array_builder.hpp"
+#include "core/dac_adc.hpp"
+#include "distance/registry.hpp"
+#include "util/stats.hpp"
+
+namespace mda::core {
+
+Accelerator::Accelerator(AcceleratorConfig config)
+    : config_(config), timing_(TimingModel::defaults()) {}
+
+void Accelerator::configure(DistanceSpec spec) {
+  // Validate against the configuration library (throws for unknown kinds).
+  (void)config_for(spec.kind);
+  spec_ = spec;
+}
+
+const ConfigEntry& Accelerator::active_entry() const {
+  return config_for(spec_.kind);
+}
+
+std::size_t Accelerator::tiles_required(std::size_t m, std::size_t n) const {
+  auto ceil_div = [](std::size_t a, std::size_t b) { return (a + b - 1) / b; };
+  if (dist::is_matrix_structure(spec_.kind)) {
+    return ceil_div(m, config_.rows) * ceil_div(n, config_.cols);
+  }
+  return ceil_div(n, config_.cols);
+}
+
+double Accelerator::latency_s(std::size_t m, std::size_t n) const {
+  const std::size_t tiles = tiles_required(m, n);
+  const std::size_t tile_n = std::min(n, config_.cols);
+  const double analog = timing_.convergence_time_s(spec_.kind, tile_n) *
+                        static_cast<double>(tiles);
+  // Converter serialisation: inputs stream through the DAC array, the final
+  // result through one ADC conversion.
+  const double dac_time =
+      static_cast<double>(m + n) / (1.6e9 * static_cast<double>(
+                                               std::max<std::size_t>(1, 4)));
+  const double adc_time = 1.0 / 8.8e9;
+  return analog + dac_time + adc_time;
+}
+
+power::PowerBreakdown Accelerator::power(std::size_t n) const {
+  if (n == 0) n = config_.cols;
+  const power::PowerModel model;
+  const power::PeInventory inv = measure_pe_inventory(spec_.kind);
+  const double latency = latency_s(n, n);
+  const double input_rate = static_cast<double>(2 * n) / latency;
+  const double output_rate = 1.0 / latency;
+  return model.accelerator_power(spec_.kind, n, inv, input_rate, output_rate,
+                                 spec_.band);
+}
+
+ComputeResult Accelerator::compute(std::span<const double> p,
+                                   std::span<const double> q,
+                                   Backend backend) const {
+  if (p.empty() || q.empty()) {
+    throw std::invalid_argument("compute: empty sequence");
+  }
+  if (dist::requires_equal_length(spec_.kind) && p.size() != q.size()) {
+    throw std::invalid_argument("compute: " + dist::kind_name(spec_.kind) +
+                                " requires equal-length sequences");
+  }
+  const EncodedInputs enc = encode_inputs(config_, spec_, p, q);
+  AnalogEval eval;
+  switch (backend) {
+    case Backend::Behavioral:
+      eval = eval_behavioral(config_, spec_, enc);
+      break;
+    case Backend::Wavefront:
+      eval = eval_wavefront(config_, spec_, enc);
+      break;
+    case Backend::FullSpice:
+      eval = eval_full_spice(config_, spec_, enc);
+      break;
+  }
+  if (!eval.ok) {
+    throw std::runtime_error("accelerator backend failed: " + eval.error);
+  }
+
+  ComputeResult r;
+  r.volts = eval.out_volts;
+  if (config_.quantize_outputs) {
+    // Readback through the 8-bit ADC spanning the representable DP range.
+    const Quantizer adc(config_.adc_bits, config_.v_max);
+    r.volts = adc.quantize(r.volts);
+  }
+  r.input_scale = enc.scale;
+  r.value = decode_output(config_, spec_, r.volts, enc);
+  r.reference = dist::compute(spec_.kind, p, q, spec_.reference_params());
+  // Relative-error floor: one count for the counting distances, a tenth of
+  // a unit for analog-valued ones, so near-zero references (identical
+  // sequences) do not blow the ratio up.
+  const bool counting = spec_.kind == dist::DistanceKind::Lcs ||
+                        spec_.kind == dist::DistanceKind::Edit ||
+                        spec_.kind == dist::DistanceKind::Hamming;
+  r.relative_error =
+      util::relative_error(r.value, r.reference, counting ? 1.0 : 0.1);
+  r.tiles = tiles_required(p.size(), q.size());
+  r.convergence_time_s =
+      backend == Backend::FullSpice && eval.convergence_time_s > 0.0
+          ? eval.convergence_time_s
+          : timing_.convergence_time_s(spec_.kind, q.size()) *
+                static_cast<double>(r.tiles);
+  return r;
+}
+
+}  // namespace mda::core

@@ -1,0 +1,62 @@
+#pragma once
+// Top-level accelerator API (the paper's Fig. 1 system: DAC array ->
+// configurable computation module -> ADC array, under a control and
+// configuration module).
+//
+// Usage:
+//   mda::core::Accelerator acc;                       // 128x128 fabric
+//   acc.configure({.kind = dist::DistanceKind::Dtw}); // from the config lib
+//   auto r = acc.compute(P, Q);                       // analog evaluation
+//   r.value, r.relative_error, r.convergence_time_s, ...
+
+#include <span>
+
+#include "core/backend.hpp"
+#include "core/config.hpp"
+#include "core/timing_model.hpp"
+#include "power/power_model.hpp"
+
+namespace mda::core {
+
+/// Backend selector (see backend.hpp for the fidelity trade-offs).
+enum class Backend { Behavioral, Wavefront, FullSpice };
+
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig config = {});
+
+  /// Select a distance function — the control/configuration module pulls
+  /// the PE and interconnect configuration from the configuration library.
+  void configure(DistanceSpec spec);
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return config_; }
+  [[nodiscard]] const DistanceSpec& spec() const { return spec_; }
+  [[nodiscard]] const ConfigEntry& active_entry() const;
+
+  /// Evaluate the configured distance on P and Q.  Throws on backend
+  /// failure (simulation non-convergence).
+  ComputeResult compute(std::span<const double> p, std::span<const double> q,
+                        Backend backend = Backend::Wavefront) const;
+
+  /// Tiling passes needed for sequences longer than the array (Sec. 3.1).
+  [[nodiscard]] std::size_t tiles_required(std::size_t m, std::size_t n) const;
+
+  /// Modeled end-to-end latency for one evaluation, including tiling and
+  /// converter (DAC/ADC) serialisation.
+  [[nodiscard]] double latency_s(std::size_t m, std::size_t n) const;
+
+  /// Accelerator power in the active configuration at array size n
+  /// (Sec. 4.3 accounting).
+  [[nodiscard]] power::PowerBreakdown power(std::size_t n = 0) const;
+
+  /// Timing model in use (defaults unless replace_timing_model was called).
+  [[nodiscard]] const TimingModel& timing() const { return timing_; }
+  void replace_timing_model(TimingModel model) { timing_ = model; }
+
+ private:
+  AcceleratorConfig config_;
+  DistanceSpec spec_;
+  TimingModel timing_;
+};
+
+}  // namespace mda::core

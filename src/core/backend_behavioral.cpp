@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace mda::core {
+namespace {
+
+// Behavioral per-stage circuit models.  Constants mirror the physics the
+// SPICE backends resolve numerically:
+//  * a feedback amplifier with noise gain k realises its transfer within a
+//    relative error of k / A0 (finite open-loop gain);
+//  * each amplifier contributes its input-referred offset, amplified by the
+//    noise gain ("zero drift" — the paper's explanation for the larger
+//    DTW/EdD errors, Sec. 4.2);
+//  * a diode-OR output sits ~(pulldown current / g_on) below the true
+//    maximum, a few microvolts with the default network.
+struct StageModels {
+  double a0 = 1e4;
+  double offset = 0.0;      ///< Op-amp input offset [V].
+  double diode_drop = 5e-6; ///< Diode-OR deficit [V].
+  bool trim = true;         ///< Finite-gain trim applied (AnalogEnv flag).
+
+  explicit StageModels(const blocks::AnalogEnv& env)
+      : a0(env.opamp.open_loop_gain),
+        offset(env.opamp.input_offset),
+        diode_drop(env.diode.smoothing),
+        trim(env.finite_gain_trim) {}
+
+  /// Difference amplifier out = gain * (p - n), noise gain 1 + gain
+  /// (gain error removed by the trim).
+  [[nodiscard]] double diff(double p, double n, double gain = 1.0) const {
+    const double k = 1.0 + gain;
+    const double err = trim ? 0.0 : k / a0;
+    return gain * (p - n) * (1.0 - err) + k * offset;
+  }
+  /// Sum-difference amplifier with b branches total (not trimmable: the
+  /// balance condition pins every ratio).
+  [[nodiscard]] double sumdiff(double plus, double minus, int branches) const {
+    const double k = static_cast<double>(branches);
+    return (plus - minus) * (1.0 - k / a0) + k * offset;
+  }
+  /// Unity buffer (follower: no ratio to trim).
+  [[nodiscard]] double buffer(double x) const {
+    return x * (1.0 - 1.0 / a0) + offset;
+  }
+  /// Diode-OR maximum.
+  [[nodiscard]] double dmax(std::initializer_list<double> xs) const {
+    double best = -1e300;
+    for (double x : xs) best = std::max(best, x);
+    return best - diode_drop;
+  }
+  /// Two-stage inverting row adder: +sum(w_i x_i), noise gain = inputs + 1
+  /// (both stages trimmed).
+  [[nodiscard]] double row_add(const std::vector<double>& xs,
+                               const std::vector<double>& ws) const {
+    double acc = 0.0;
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double w = ws.empty() ? 1.0 : ws[i];
+      acc += w * xs[i];
+      wsum += w;
+    }
+    const double err1 = trim ? 0.0 : (1.0 + wsum) / a0;
+    const double err2 = trim ? 0.0 : 2.0 / a0;
+    const double k = wsum + 1.0;
+    const double stage1 = -acc * (1.0 - err1) + k * offset;
+    return -stage1 * (1.0 - err2) + 2.0 * offset;
+  }
+  /// Absolute-value module (two diff amps + diode pair + buffer).
+  [[nodiscard]] double abs_block(double p, double q, double w) const {
+    const double a1 = diff(p, q, w);
+    const double a2 = diff(q, p, w);
+    return buffer(dmax({a1, a2}));
+  }
+};
+
+}  // namespace
+
+AnalogEval eval_behavioral(const AcceleratorConfig& config,
+                           const DistanceSpec& spec,
+                           const EncodedInputs& enc) {
+  AnalogEval result;
+  const StageModels sm(config.env);
+  const std::size_t m = enc.p_volts.size();
+  const std::size_t n = enc.q_volts.size();
+  const double vcc = config.env.vcc;
+  const double vthre = spec.threshold * config.voltage_resolution * enc.scale;
+  const double vstep = enc.vstep_eff;
+  auto weight = [&](std::size_t i, std::size_t j) {
+    return spec.pair_weights ? (*spec.pair_weights)[i * n + j] : 1.0;
+  };
+
+  switch (spec.kind) {
+    case dist::DistanceKind::Dtw: {
+      const double v_inf = config.v_max;
+      dist::DistanceParams band_check;
+      band_check.band = spec.band;
+      std::vector<double> grid((m + 1) * (n + 1), v_inf);
+      auto at = [&](std::size_t i, std::size_t j) -> double& {
+        return grid[i * (n + 1) + j];
+      };
+      at(0, 0) = 0.0;
+      for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+          if (!band_check.in_band(i, j, m, n)) continue;
+          const double a =
+              sm.abs_block(enc.p_volts[i - 1], enc.q_volts[j - 1],
+                           weight(i - 1, j - 1));
+          const double cl = sm.diff(vcc / 2.0, at(i, j - 1));
+          const double cu = sm.diff(vcc / 2.0, at(i - 1, j));
+          const double cd = sm.diff(vcc / 2.0, at(i - 1, j - 1));
+          const double mx = sm.buffer(sm.dmax({cl, cu, cd}));
+          at(i, j) = sm.sumdiff(a + vcc / 2.0, mx, /*branches=*/3);
+        }
+      }
+      result.out_volts = at(m, n);
+      break;
+    }
+    case dist::DistanceKind::Lcs: {
+      std::vector<double> grid((m + 1) * (n + 1), 0.0);
+      auto at = [&](std::size_t i, std::size_t j) -> double& {
+        return grid[i * (n + 1) + j];
+      };
+      for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+          const double a =
+              sm.abs_block(enc.p_volts[i - 1], enc.q_volts[j - 1], 1.0);
+          if (a <= vthre) {
+            at(i, j) = sm.row_add({at(i - 1, j - 1), vstep},
+                                  {1.0, weight(i - 1, j - 1)});
+          } else {
+            at(i, j) = sm.buffer(sm.dmax({at(i, j - 1), at(i - 1, j)}));
+          }
+        }
+      }
+      result.out_volts = at(m, n);
+      break;
+    }
+    case dist::DistanceKind::Edit: {
+      std::vector<double> grid((m + 1) * (n + 1), 0.0);
+      auto at = [&](std::size_t i, std::size_t j) -> double& {
+        return grid[i * (n + 1) + j];
+      };
+      for (std::size_t j = 0; j <= n; ++j) at(0, j) = j * vstep;
+      for (std::size_t i = 0; i <= m; ++i) at(i, 0) = i * vstep;
+      for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+          const double w = weight(i - 1, j - 1);
+          const double a =
+              sm.abs_block(enc.p_volts[i - 1], enc.q_volts[j - 1], 1.0);
+          const double diag_sel =
+              a <= vthre ? at(i - 1, j - 1)
+                         : sm.row_add({at(i - 1, j - 1), vstep}, {1.0, w});
+          const double up_sum = sm.row_add({at(i - 1, j), vstep}, {1.0, w});
+          const double left_sum = sm.row_add({at(i, j - 1), vstep}, {1.0, w});
+          // Min module: complement, diode max, recover.
+          const double cd = sm.diff(vcc / 2.0, diag_sel);
+          const double cu = sm.diff(vcc / 2.0, up_sum);
+          const double cl = sm.diff(vcc / 2.0, left_sum);
+          const double mx = sm.buffer(sm.dmax({cd, cu, cl}));
+          at(i, j) = sm.diff(vcc / 2.0, mx);
+        }
+      }
+      result.out_volts = at(m, n);
+      break;
+    }
+    case dist::DistanceKind::Hausdorff: {
+      double global = -1e300;
+      for (std::size_t j = 0; j < n; ++j) {
+        // Column diode-OR rail: one max over all comparing modules.
+        double col_max = -1e300;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double a =
+              sm.abs_block(enc.p_volts[i], enc.q_volts[j], weight(i, j));
+          col_max = std::max(col_max, sm.diff(vcc, a));
+        }
+        col_max = sm.buffer(col_max - sm.diode_drop);
+        const double col_min = sm.diff(vcc, col_max);  // converter
+        global = std::max(global, col_min);
+      }
+      result.out_volts = sm.buffer(global - sm.diode_drop);
+      break;
+    }
+    case dist::DistanceKind::Hamming: {
+      std::vector<double> pe(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = sm.abs_block(enc.p_volts[i], enc.q_volts[i], 1.0);
+        pe[i] = a > vthre ? vstep : 0.0;
+      }
+      std::vector<double> ws(n, 1.0);
+      if (spec.elem_weights) ws = *spec.elem_weights;
+      result.out_volts = sm.row_add(pe, ws);
+      break;
+    }
+    case dist::DistanceKind::Manhattan: {
+      std::vector<double> pe(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        pe[i] = sm.abs_block(enc.p_volts[i], enc.q_volts[i], 1.0);
+      }
+      std::vector<double> ws(n, 1.0);
+      if (spec.elem_weights) ws = *spec.elem_weights;
+      result.out_volts = sm.row_add(pe, ws);
+      break;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace mda::core

@@ -1,0 +1,304 @@
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "blocks/diode_select.hpp"
+#include "blocks/subtractor.hpp"
+#include "core/array_builder.hpp"
+#include "core/backend.hpp"
+#include "core/dac_adc.hpp"
+#include "spice/mna.hpp"
+#include "spice/newton.hpp"
+#include "spice/transient.hpp"
+#include "util/log.hpp"
+
+namespace mda::core {
+namespace {
+
+using spice::NodeId;
+
+/// A single PE (or auxiliary stage) circuit with source-driven inputs,
+/// DC-solved once per wavefront cell.  Warm-starts Newton from the previous
+/// cell's solution — neighbouring cells sit at similar operating points.
+class DcHarness {
+ public:
+  DcHarness() : factory_(nullptr) {}
+
+  /// Finish construction after `build` populated the netlist.
+  void finalize() {
+    factory_->finalize_parasitics();
+    mna_ = std::make_unique<spice::MnaSystem>(net_);
+    newton_ = std::make_unique<spice::NewtonSolver>(*mna_);
+    x_.assign(static_cast<std::size_t>(mna_->num_unknowns()), 0.0);
+    warm_ = false;
+  }
+
+  double solve_out() {
+    if (!warm_) {
+      for (auto& dev : net_.devices()) dev->reset_state();
+    }
+    spice::NewtonResult r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
+    if (!r.converged) {
+      // Cold restart once before giving up.
+      std::fill(x_.begin(), x_.end(), 0.0);
+      r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
+      if (!r.converged) {
+        throw std::runtime_error("wavefront: DC solve failed to converge");
+      }
+    }
+    warm_ = true;
+    return x_[static_cast<std::size_t>(out_)];
+  }
+
+  spice::Netlist net_;
+  std::unique_ptr<blocks::BlockFactory> factory_;
+  std::vector<spice::VSource*> sources_;
+  NodeId out_ = spice::kGround;
+
+ private:
+  std::unique_ptr<spice::MnaSystem> mna_;
+  std::unique_ptr<spice::NewtonSolver> newton_;
+  std::vector<double> x_;
+  bool warm_ = false;
+};
+
+/// Add a source-driven input node.
+NodeId add_source(DcHarness& h, const std::string& name) {
+  const NodeId node = h.net_.node(name);
+  h.sources_.push_back(&h.net_.add<spice::VSource>(node, spice::kGround,
+                                                   spice::Waveform::dc(0.0)));
+  return node;
+}
+
+void set_sources(DcHarness& h, std::initializer_list<double> values) {
+  if (values.size() != h.sources_.size()) {
+    throw std::logic_error("wavefront: source count mismatch");
+  }
+  std::size_t k = 0;
+  for (double v : values) {
+    h.sources_[k++]->set_waveform(spice::Waveform::dc(v));
+  }
+}
+
+/// Build a matrix-PE harness: sources are (p, q, left, up, diag).
+std::unique_ptr<DcHarness> make_matrix_pe_harness(dist::DistanceKind kind,
+                                                  const AcceleratorConfig& cfg,
+                                                  double vthre_volts,
+                                                  double vstep_volts,
+                                                  double weight) {
+  auto h = std::make_unique<DcHarness>();
+  h->factory_ = std::make_unique<blocks::BlockFactory>(h->net_, cfg.env);
+  MatrixPeInputs in;
+  in.p = add_source(*h, "in/p");
+  in.q = add_source(*h, "in/q");
+  in.left = add_source(*h, "in/left");
+  in.up = add_source(*h, "in/up");
+  in.diag = add_source(*h, "in/diag");
+  PeBias bias;
+  bias.vthre = h->factory_->bias(vthre_volts, "bias/vthre");
+  bias.vstep = h->factory_->bias(vstep_volts, "bias/vstep");
+  PeBuild pe;
+  switch (kind) {
+    case dist::DistanceKind::Dtw:
+      pe = build_dtw_pe(*h->factory_, in, weight, "pe");
+      break;
+    case dist::DistanceKind::Lcs:
+      pe = build_lcs_pe(*h->factory_, in, bias, weight, "pe");
+      break;
+    case dist::DistanceKind::Edit:
+      pe = build_edit_pe(*h->factory_, in, bias, weight, "pe");
+      break;
+    default:
+      throw std::logic_error("not a matrix PE kind");
+  }
+  h->out_ = pe.out;
+  h->finalize();
+  return h;
+}
+
+/// HauD column harness: m PE (p, q) source pairs feeding the shared column
+/// diode-OR rail, followed by the converter — one DC solve per column.
+/// Sources are ordered p_0, q_0, p_1, q_1, ...
+std::unique_ptr<DcHarness> make_haud_column_harness(
+    const AcceleratorConfig& cfg, std::size_t m,
+    const std::vector<double>& weights) {
+  auto h = std::make_unique<DcHarness>();
+  h->factory_ = std::make_unique<blocks::BlockFactory>(h->net_, cfg.env);
+  std::vector<NodeId> comp_outs;
+  comp_outs.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const NodeId p = add_source(*h, "in/p" + std::to_string(i));
+    const NodeId q = add_source(*h, "in/q" + std::to_string(i));
+    PeBuild pe = build_hausdorff_pe(*h->factory_, p, q, weights[i],
+                                    "pe_" + std::to_string(i));
+    comp_outs.push_back(pe.out);
+  }
+  blocks::DiodeMaxHandles col_max =
+      blocks::make_diode_max(*h->factory_, comp_outs, "colmax");
+  h->out_ = blocks::make_diff_amp(*h->factory_, h->factory_->rails().vcc,
+                                  col_max.out, 1.0, "conv")
+                .out;
+  h->finalize();
+  return h;
+}
+
+/// Per-weight harness cache (weights are usually all 1.0).
+class HarnessCache {
+ public:
+  template <typename MakeFn>
+  DcHarness& get(double weight, MakeFn&& make) {
+    auto it = cache_.find(weight);
+    if (it == cache_.end()) {
+      it = cache_.emplace(weight, make(weight)).first;
+    }
+    return *it->second;
+  }
+
+ private:
+  std::map<double, std::unique_ptr<DcHarness>> cache_;
+};
+
+AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
+                                 const DistanceSpec& spec,
+                                 const EncodedInputs& enc) {
+  AnalogEval result;
+  const std::size_t m = enc.p_volts.size();
+  const std::size_t n = enc.q_volts.size();
+  const double vthre = spec.threshold * config.voltage_resolution * enc.scale;
+  HarnessCache cache;
+  auto make = [&](double w) {
+    return make_matrix_pe_harness(spec.kind, config, vthre, enc.vstep_eff, w);
+  };
+
+  // DP grid of measured analog voltages, with function-specific borders.
+  std::vector<double> grid((m + 1) * (n + 1), 0.0);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return grid[i * (n + 1) + j];
+  };
+  const double v_inf = config.v_max;
+  dist::DistanceParams band_check;
+  band_check.band = spec.band;
+  if (spec.kind == dist::DistanceKind::Dtw) {
+    for (std::size_t j = 0; j <= n; ++j) at(0, j) = v_inf;
+    for (std::size_t i = 0; i <= m; ++i) at(i, 0) = v_inf;
+    at(0, 0) = 0.0;
+  } else if (spec.kind == dist::DistanceKind::Edit) {
+    for (std::size_t j = 0; j <= n; ++j) at(0, j) = j * enc.vstep_eff;
+    for (std::size_t i = 0; i <= m; ++i) at(i, 0) = i * enc.vstep_eff;
+  }  // LCS borders stay 0.
+
+  // Tiling (Sec. 3.1): when the problem exceeds the physical array, DP
+  // values crossing a tile edge are read out through the ADC and re-driven
+  // by the DAC on the next pass — modelled as re-quantisation at the edges.
+  const Quantizer edge_adc(config.adc_bits, config.v_max);
+  auto at_tile_edge = [&](std::size_t i, std::size_t j) {
+    return (config.rows > 0 && i % config.rows == 0 && i < m) ||
+           (config.cols > 0 && j % config.cols == 0 && j < n);
+  };
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (spec.kind == dist::DistanceKind::Dtw &&
+          !band_check.in_band(i, j, m, n)) {
+        at(i, j) = v_inf;
+        continue;
+      }
+      const double w =
+          spec.pair_weights ? (*spec.pair_weights)[(i - 1) * n + (j - 1)] : 1.0;
+      DcHarness& h = cache.get(w, make);
+      set_sources(h, {enc.p_volts[i - 1], enc.q_volts[j - 1], at(i, j - 1),
+                      at(i - 1, j), at(i - 1, j - 1)});
+      at(i, j) = h.solve_out();
+      if (at_tile_edge(i, j)) at(i, j) = edge_adc.quantize(at(i, j));
+    }
+  }
+  result.ok = true;
+  result.out_volts = at(m, n);
+  return result;
+}
+
+AnalogEval eval_haud_wavefront(const AcceleratorConfig& config,
+                               const DistanceSpec& spec,
+                               const EncodedInputs& enc) {
+  AnalogEval result;
+  const std::size_t m = enc.p_volts.size();
+  const std::size_t n = enc.q_volts.size();
+
+  // Final diode max over the n column minima.
+  DcHarness finmax;
+  finmax.factory_ =
+      std::make_unique<blocks::BlockFactory>(finmax.net_, config.env);
+  std::vector<NodeId> fin_inputs;
+  for (std::size_t j = 0; j < n; ++j) {
+    fin_inputs.push_back(add_source(finmax, "in/c" + std::to_string(j)));
+  }
+  finmax.out_ =
+      blocks::make_diode_max(*finmax.factory_, fin_inputs, "max").out;
+  finmax.finalize();
+
+  std::unique_ptr<DcHarness> column;
+  std::vector<double> prev_weights;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> weights(m, 1.0);
+    if (spec.pair_weights) {
+      for (std::size_t i = 0; i < m; ++i) {
+        weights[i] = (*spec.pair_weights)[i * n + j];
+      }
+    }
+    if (!column || weights != prev_weights) {
+      column = make_haud_column_harness(config, m, weights);
+      prev_weights = weights;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      column->sources_[2 * i]->set_waveform(
+          spice::Waveform::dc(enc.p_volts[i]));
+      column->sources_[2 * i + 1]->set_waveform(
+          spice::Waveform::dc(enc.q_volts[j]));
+    }
+    finmax.sources_[j]->set_waveform(spice::Waveform::dc(column->solve_out()));
+  }
+  result.ok = true;
+  result.out_volts = finmax.solve_out();
+  return result;
+}
+
+AnalogEval eval_row_wavefront(const AcceleratorConfig& config,
+                              const DistanceSpec& spec,
+                              const EncodedInputs& enc) {
+  // The row structure is cheap enough to DC-solve whole.
+  AnalogEval result;
+  AcceleratorConfig cfg = config;
+  cfg.vstep = enc.vstep_eff;
+  ArrayCircuit array =
+      build_array(cfg, spec, enc.p_volts.size(), enc.q_volts.size());
+  array.set_dc_inputs(enc.p_volts, enc.q_volts);
+  spice::TransientSimulator sim(*array.net);
+  std::vector<double> x = sim.dc_operating_point();
+  if (x.empty()) {
+    result.error = "row-array DC operating point failed";
+    return result;
+  }
+  result.ok = true;
+  result.out_volts = x[static_cast<std::size_t>(array.out)];
+  return result;
+}
+
+}  // namespace
+
+AnalogEval eval_wavefront(const AcceleratorConfig& config,
+                          const DistanceSpec& spec, const EncodedInputs& enc) {
+  switch (spec.kind) {
+    case dist::DistanceKind::Dtw:
+    case dist::DistanceKind::Lcs:
+    case dist::DistanceKind::Edit:
+      return eval_matrix_wavefront(config, spec, enc);
+    case dist::DistanceKind::Hausdorff:
+      return eval_haud_wavefront(config, spec, enc);
+    case dist::DistanceKind::Hamming:
+    case dist::DistanceKind::Manhattan:
+      return eval_row_wavefront(config, spec, enc);
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace mda::core

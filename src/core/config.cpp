@@ -1,0 +1,39 @@
+#include "core/config.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "core/array_builder.hpp"
+
+namespace mda::core {
+
+dist::DistanceParams DistanceSpec::reference_params() const {
+  dist::DistanceParams p;
+  p.band = band;
+  p.threshold = threshold;
+  p.vstep = 1.0;  // value units: counting distances come out as counts
+  p.pair_weights = pair_weights;
+  p.elem_weights = elem_weights;
+  return p;
+}
+
+const std::vector<ConfigEntry>& configuration_library() {
+  static std::vector<ConfigEntry> lib;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    lib.reserve(6);
+    for (dist::DistanceKind kind : dist::kAllKinds) {
+      lib.push_back(measure_config_entry(kind));
+    }
+  });
+  return lib;
+}
+
+const ConfigEntry& config_for(dist::DistanceKind kind) {
+  for (const auto& entry : configuration_library()) {
+    if (entry.kind == kind) return entry;
+  }
+  throw std::out_of_range("no configuration entry for kind");
+}
+
+}  // namespace mda::core

@@ -1,0 +1,82 @@
+#pragma once
+// Accelerator configuration types and the configuration library (Sec. 3.1:
+// "the control and configuration module ... reconfigures circuit connections
+// in the computation module to perform specific distance functions with the
+// configuration lib").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "blocks/analog_env.hpp"
+#include "distance/params.hpp"
+#include "distance/registry.hpp"
+
+namespace mda::core {
+
+/// Static accelerator build parameters (Table 1 plus array geometry).
+struct AcceleratorConfig {
+  std::size_t rows = 128;  ///< PEs per column (the paper matches [25]).
+  std::size_t cols = 128;  ///< PEs per row.
+
+  /// Voltage encoding: sequence value 1 <-> 20 mV (Sec. 4.1).
+  double voltage_resolution = 0.02;
+  /// Unit voltage Vstep = 10 mV (Sec. 4.1).
+  double vstep = 0.01;
+  /// Largest representable DP voltage; inputs are scaled to keep cumulative
+  /// distances below this (matrix functions use Vcc/2 headroom).
+  double v_max = 0.45;
+
+  blocks::AnalogEnv env{};  ///< Device models and rails (Tables 1 & 2).
+
+  int dac_bits = 8;   ///< Tseng et al. DAC (Sec. 4.3).
+  int adc_bits = 8;   ///< Kull et al. ADC (Sec. 4.3).
+  bool quantize_inputs = true;   ///< Apply DAC quantisation to inputs.
+  bool quantize_outputs = false; ///< Apply ADC quantisation on readback.
+};
+
+/// Per-computation distance configuration (value-domain units; the
+/// accelerator converts to volts internally).
+struct DistanceSpec {
+  dist::DistanceKind kind = dist::DistanceKind::Dtw;
+  double threshold = 0.0;  ///< LCS/EdD/HamD equality threshold (value units).
+  int band = -1;           ///< DTW Sakoe-Chiba radius; <0 = unconstrained.
+  /// Optional weights (see dist::DistanceParams).
+  const std::vector<double>* pair_weights = nullptr;
+  const std::vector<double>* elem_weights = nullptr;
+
+  /// Equivalent digital-reference parameters in VALUE units (vstep = 1).
+  [[nodiscard]] dist::DistanceParams reference_params() const;
+};
+
+/// Result of one accelerated distance computation.
+struct ComputeResult {
+  double value = 0.0;        ///< Distance in value units (Vstep divided out).
+  double volts = 0.0;        ///< Raw analog output voltage.
+  double reference = 0.0;    ///< Digital reference result (value units).
+  double relative_error = 0.0;
+  double convergence_time_s = 0.0;  ///< Modeled/measured settling time.
+  double input_scale = 1.0;  ///< Applied range-compression factor.
+  std::size_t tiles = 1;     ///< Tiling passes used (Sec. 3.1).
+};
+
+/// One entry of the configuration library: how a distance function maps onto
+/// the unified PE fabric.
+struct ConfigEntry {
+  dist::DistanceKind kind;
+  bool matrix_structure;       ///< Fig. 1: matrix vs row connection.
+  std::size_t opamps_per_pe;   ///< Actual inventory of our PE netlist.
+  std::size_t memristors_per_pe;
+  std::size_t tgates_per_pe;
+  std::size_t comparators_per_pe;
+  std::size_t diodes_per_pe;
+  std::string notes;
+};
+
+/// The configuration library: one entry per supported function.  Inventories
+/// are computed once from freshly built PE netlists (so they can never drift
+/// from the circuits).
+const std::vector<ConfigEntry>& configuration_library();
+const ConfigEntry& config_for(dist::DistanceKind kind);
+
+}  // namespace mda::core

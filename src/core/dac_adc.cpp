@@ -1,0 +1,27 @@
+#include "core/dac_adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::core {
+
+Quantizer::Quantizer(int bits, double full_scale)
+    : bits_(bits), full_scale_(full_scale) {
+  if (bits < 1 || bits > 24) {
+    throw std::invalid_argument("Quantizer: bits must be in [1, 24]");
+  }
+  if (full_scale <= 0.0) {
+    throw std::invalid_argument("Quantizer: full_scale must be > 0");
+  }
+  max_code_ = (1L << (bits - 1)) - 1;  // signed codes
+  lsb_ = full_scale / static_cast<double>(max_code_ + 1);
+}
+
+double Quantizer::quantize(double v) const {
+  const long code = std::clamp(
+      static_cast<long>(std::llround(v / lsb_)), -(max_code_ + 1), max_code_);
+  return static_cast<double>(code) * lsb_;
+}
+
+}  // namespace mda::core

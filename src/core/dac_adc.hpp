@@ -1,0 +1,59 @@
+#pragma once
+// DAC / ADC array models (Sec. 3.1: "The DAC and ADC arrays are used to
+// convert time series data between digital signals and analog signals").
+//
+// Behavioral: uniform quantisation over a bipolar range, plus the rate /
+// power bookkeeping of Sec. 4.3 (8-bit 1.6 GS/s DAC, 8-bit 8.8 GS/s ADC).
+
+#include <cstddef>
+
+namespace mda::core {
+
+/// Value <-> voltage codec ("voltage resolution" of Table 1).
+struct VoltageCodec {
+  double resolution = 0.02;  ///< Volts per unit value.
+
+  [[nodiscard]] double to_volts(double value) const { return value * resolution; }
+  [[nodiscard]] double to_value(double volts) const { return volts / resolution; }
+};
+
+/// Uniform bipolar quantiser used by both converter models.
+class Quantizer {
+ public:
+  /// `bits`-wide converter spanning [-full_scale, +full_scale].
+  Quantizer(int bits, double full_scale);
+
+  /// Nearest reproducible level (clamped at the rails).
+  [[nodiscard]] double quantize(double v) const;
+
+  /// Size of one LSB [V].
+  [[nodiscard]] double lsb() const { return lsb_; }
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] double full_scale() const { return full_scale_; }
+
+ private:
+  int bits_;
+  double full_scale_;
+  double lsb_;
+  long max_code_;
+};
+
+struct DacModel {
+  Quantizer quantizer;
+  double rate_sps = 1.6e9;  ///< Tseng et al. (Sec. 4.3).
+
+  [[nodiscard]] double convert(double volts) const {
+    return quantizer.quantize(volts);
+  }
+};
+
+struct AdcModel {
+  Quantizer quantizer;
+  double rate_sps = 8.8e9;  ///< Kull et al. (Sec. 4.3).
+
+  [[nodiscard]] double convert(double volts) const {
+    return quantizer.quantize(volts);
+  }
+};
+
+}  // namespace mda::core

@@ -1,0 +1,69 @@
+#include "core/early_decision.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/array_builder.hpp"
+#include "core/backend.hpp"
+#include "spice/transient.hpp"
+
+namespace mda::core {
+
+std::vector<std::size_t> ranking(const std::vector<double>& values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  return idx;
+}
+
+EarlyDecisionResult early_decision_experiment(
+    const AcceleratorConfig& config, const DistanceSpec& spec,
+    const data::Series& query, const std::vector<data::Series>& candidates,
+    double early_fraction) {
+  if (!(spec.kind == dist::DistanceKind::Hamming ||
+        spec.kind == dist::DistanceKind::Manhattan)) {
+    throw std::invalid_argument(
+        "early decision applies to the row structure (HamD / MD)");
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("early decision: no candidates");
+  }
+
+  EarlyDecisionResult result;
+  std::vector<spice::Trace> traces;
+  traces.reserve(candidates.size());
+  for (const data::Series& cand : candidates) {
+    const EncodedInputs enc = encode_inputs(config, spec, query, cand);
+    AcceleratorConfig cfg = config;
+    cfg.vstep = enc.vstep_eff;
+    ArrayCircuit array = build_array(cfg, spec, enc.p_volts.size(),
+                                     enc.q_volts.size());
+    array.set_step_inputs(enc.p_volts, enc.q_volts);
+    spice::TransientSimulator sim(*array.net);
+    sim.probe(array.out, "out");
+    spice::TransientParams params;
+    params.t_stop = default_t_stop(spec.kind, array.m, array.n);
+    spice::TransientResult tr = sim.run(params);
+    if (!tr.ok) {
+      throw std::runtime_error("early decision transient failed: " + tr.error);
+    }
+    const spice::Trace& out = tr.trace("out");
+    result.convergence_time_s = std::max(
+        result.convergence_time_s, spice::settling_time(out, 1e-3, 1e-3));
+    traces.push_back(out);
+  }
+
+  result.early_time_s = early_fraction * result.convergence_time_s;
+  for (const spice::Trace& tr : traces) {
+    result.early_volts.push_back(tr.at(result.early_time_s));
+    result.final_volts.push_back(tr.final_value());
+  }
+  result.ordering_preserved =
+      ranking(result.early_volts) == ranking(result.final_volts);
+  return result;
+}
+
+}  // namespace mda::core

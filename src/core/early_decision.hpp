@@ -1,0 +1,35 @@
+#pragma once
+// Early decision (Sec. 3.3(1), Fig. 3): in the row structure every input has
+// an identical circuit path, so the ORDERING of several candidates'
+// outputs is already correct long before the outputs converge.  Data mining
+// tasks that only need the argmin (classification, nearest neighbour) can
+// therefore read the comparison at the Early Point — one tenth of the
+// convergence time in the paper's Fig. 6(a) evaluation.
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "data/series.hpp"
+
+namespace mda::core {
+
+struct EarlyDecisionResult {
+  std::vector<double> final_volts;  ///< Converged outputs, one per candidate.
+  std::vector<double> early_volts;  ///< Outputs sampled at the early point.
+  double convergence_time_s = 0.0;  ///< Slowest candidate settling time.
+  double early_time_s = 0.0;
+  bool ordering_preserved = false;  ///< Early ranking == final ranking.
+};
+
+/// Run the Fig. 3 experiment: one row-structure circuit per candidate, all
+/// computing the distance to `query`; sample at `early_fraction` of the
+/// convergence time and compare rankings.  kind must be HamD or MD.
+EarlyDecisionResult early_decision_experiment(
+    const AcceleratorConfig& config, const DistanceSpec& spec,
+    const data::Series& query, const std::vector<data::Series>& candidates,
+    double early_fraction = 0.1);
+
+/// Ranking helper: indices of `values` sorted ascending.
+std::vector<std::size_t> ranking(const std::vector<double>& values);
+
+}  // namespace mda::core

@@ -1,0 +1,62 @@
+#include "core/montecarlo.hpp"
+
+#include "core/array_builder.hpp"
+#include "core/backend.hpp"
+#include "distance/registry.hpp"
+#include "spice/transient.hpp"
+#include "util/rng.hpp"
+
+namespace mda::core {
+
+MonteCarloResult monte_carlo_distance(const AcceleratorConfig& config,
+                                      const DistanceSpec& spec,
+                                      std::span<const double> p,
+                                      std::span<const double> q,
+                                      const MonteCarloConfig& mc) {
+  MonteCarloResult result;
+  const EncodedInputs enc = encode_inputs(config, spec, p, q);
+  const double reference =
+      dist::compute(spec.kind, p, q, spec.reference_params());
+
+  for (int trial = 0; trial < mc.trials; ++trial) {
+    const std::uint64_t seed =
+        mc.seed + 977u * static_cast<std::uint64_t>(trial);
+    AcceleratorConfig cfg = config;
+    cfg.vstep = enc.vstep_eff;
+    ArrayCircuit arr = build_array(cfg, spec, p.size(), q.size());
+
+    std::vector<double> targets;
+    targets.reserve(arr.factory->memristors().size());
+    for (auto* m : arr.factory->memristors()) {
+      targets.push_back(m->resistance());
+    }
+    util::Rng vrng(seed);
+    apply_process_variation(arr.factory->memristors(), mc.variation, vrng);
+    if (mc.tune_after) {
+      util::Rng trng(seed ^ 0x7A11Eull);
+      tune_all(arr.factory->memristors(), targets, mc.tuning, trng);
+    }
+
+    arr.set_dc_inputs(enc.p_volts, enc.q_volts);
+    spice::TransientSimulator sim(*arr.net);
+    const std::vector<double> x = sim.dc_operating_point();
+    if (x.empty()) {
+      ++result.failed_solves;
+      continue;
+    }
+    const double got = decode_output(
+        config, spec, x[static_cast<std::size_t>(arr.out)], enc);
+    result.errors.push_back(util::relative_error(got, reference, 0.1));
+  }
+
+  result.summary = util::summarize(result.errors);
+  int passes = 0;
+  for (double e : result.errors) passes += e <= mc.pass_threshold ? 1 : 0;
+  result.yield = result.errors.empty()
+                     ? 0.0
+                     : static_cast<double>(passes) /
+                           static_cast<double>(result.errors.size());
+  return result;
+}
+
+}  // namespace mda::core

@@ -1,0 +1,43 @@
+#pragma once
+// Monte-Carlo yield analysis: repeatedly fabricate (apply process
+// variation), optionally tune, and evaluate a distance computation through
+// the full generated circuit, collecting the error distribution — the
+// statistical backing for the Sec. 3.3(3) discussion.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tuning.hpp"
+#include "core/variation.hpp"
+#include "util/stats.hpp"
+
+namespace mda::core {
+
+struct MonteCarloConfig {
+  int trials = 20;
+  VariationConfig variation{};
+  bool tune_after = false;       ///< Run the Sec. 3.3(2) tuning loop.
+  TuningConfig tuning{};
+  double pass_threshold = 0.05;  ///< Relative error counted as a pass.
+  std::uint64_t seed = 1;
+};
+
+struct MonteCarloResult {
+  std::vector<double> errors;    ///< Relative error per trial.
+  util::Summary summary;
+  double yield = 0.0;            ///< Fraction of trials under the threshold.
+  int failed_solves = 0;         ///< Trials whose DC solve did not converge.
+};
+
+/// Run the analysis for one (function, input pair).  Row-structure and
+/// matrix functions both evaluate the full generated array via a nonlinear
+/// DC solve, so keep matrix sizes modest (n <= 8).
+MonteCarloResult monte_carlo_distance(const AcceleratorConfig& config,
+                                      const DistanceSpec& spec,
+                                      std::span<const double> p,
+                                      std::span<const double> q,
+                                      const MonteCarloConfig& mc);
+
+}  // namespace mda::core

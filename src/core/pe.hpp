@@ -1,0 +1,73 @@
+#pragma once
+// PE circuit generators — one per distance function, mirroring Fig. 2.
+//
+// Matrix-structure PEs (DTW / LCS / EdD) take the three neighbour DP values
+// plus the two sequence elements; the HauD PE is a chain element
+// (Fig. 2(d1)/(d2)); row-structure PEs (HamD / MD) take only the paired
+// elements.  All PEs are built from the shared blocks of src/blocks on a
+// BlockFactory, so their memristors are registered for tuning/variation and
+// their op-amp inventory feeds the power model.
+
+#include <string>
+
+#include "blocks/factory.hpp"
+
+namespace mda::core {
+
+/// Inputs of a matrix-structure PE (1-based DP cell (i,j)):
+///   left = D[i][j-1], up = D[i-1][j], diag = D[i-1][j-1].
+struct MatrixPeInputs {
+  spice::NodeId p = spice::kGround;
+  spice::NodeId q = spice::kGround;
+  spice::NodeId left = spice::kGround;
+  spice::NodeId up = spice::kGround;
+  spice::NodeId diag = spice::kGround;
+};
+
+/// Shared bias nodes (Vthre / Vstep sources, created once per array).
+struct PeBias {
+  spice::NodeId vthre = spice::kGround;
+  spice::NodeId vstep = spice::kGround;
+};
+
+struct PeBuild {
+  spice::NodeId out = spice::kGround;
+  /// Comparator output (LCS/EdD/HamD), for diagnostics; ground otherwise.
+  spice::NodeId cmp = spice::kGround;
+};
+
+/// DTW PE (Fig. 2(a)): out = w*|p-q| + min(left, up, diag).
+PeBuild build_dtw_pe(blocks::BlockFactory& f, const MatrixPeInputs& in,
+                     double weight, const std::string& name);
+
+/// LCS PE (Fig. 2(b)): out = diag + w*Vstep when |p-q| <= Vthre, else
+/// max(left, up).
+PeBuild build_lcs_pe(blocks::BlockFactory& f, const MatrixPeInputs& in,
+                     const PeBias& bias, double weight,
+                     const std::string& name);
+
+/// EdD PE (Fig. 2(c)): out = min(up + w*Vstep, left + w*Vstep,
+/// diag + (equal ? 0 : w*Vstep)).
+PeBuild build_edit_pe(blocks::BlockFactory& f, const MatrixPeInputs& in,
+                      const PeBias& bias, double weight,
+                      const std::string& name);
+
+/// HauD PE (Fig. 2(d1)): out = Vcc - w*|p-q|.  The column maximum of
+/// Fig. 2(d2) is taken on a shared diode-OR rail assembled by the array
+/// builder, so PEs settle in parallel (the source of HauD's flat
+/// convergence-time curve).
+PeBuild build_hausdorff_pe(blocks::BlockFactory& f, spice::NodeId p,
+                           spice::NodeId q, double weight,
+                           const std::string& name);
+
+/// HamD PE (Fig. 2(e)): out = Vstep if |p-q| > Vthre else 0 (weights are
+/// applied by the row adder, M0/Mk = w_k).
+PeBuild build_hamming_pe(blocks::BlockFactory& f, spice::NodeId p,
+                         spice::NodeId q, const PeBias& bias,
+                         const std::string& name);
+
+/// MD PE (Fig. 2(f)): out = |p-q| (weights applied by the row adder).
+PeBuild build_manhattan_pe(blocks::BlockFactory& f, spice::NodeId p,
+                           spice::NodeId q, const std::string& name);
+
+}  // namespace mda::core

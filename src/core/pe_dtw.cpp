@@ -1,0 +1,41 @@
+#include "core/pe.hpp"
+
+#include "blocks/absblock.hpp"
+#include "blocks/diode_select.hpp"
+#include "blocks/subtractor.hpp"
+
+namespace mda::core {
+
+// Fig. 2(a): absolution module -> minimum module -> addition module.
+//
+// The minimum module implements Equation (8): each neighbour D is
+// complemented about Vcc/2 (so diode inputs stay positive), the diode OR
+// takes the maximum complement, and the addition module computes
+//   out = w*|p-q| + Vcc/2 - max_k(Vcc/2 - D_k) = w*|p-q| + min_k(D_k)
+// in a single sum-difference amplifier, fusing the paper's "convert the
+// addition to subtraction" step.
+PeBuild build_dtw_pe(blocks::BlockFactory& f, const MatrixPeInputs& in,
+                     double weight, const std::string& name) {
+  blocks::BlockFactory::Scope scope(f, name);
+  PeBuild pe;
+
+  // Absolution module: w * |p - q| (A1, A2 + diode pair + buffer).
+  blocks::AbsBlockHandles abs =
+      blocks::make_abs_block(f, in.p, in.q, weight, "abs");
+
+  // Minimum module: complements and diode maximum.
+  const spice::NodeId vref = f.rails().vcc_half;
+  blocks::DiffAmpHandles c_left = blocks::make_diff_amp(f, vref, in.left, 1.0, "cl");
+  blocks::DiffAmpHandles c_up = blocks::make_diff_amp(f, vref, in.up, 1.0, "cu");
+  blocks::DiffAmpHandles c_diag = blocks::make_diff_amp(f, vref, in.diag, 1.0, "cd");
+  blocks::DiodeMaxHandles mx =
+      blocks::make_diode_max(f, {c_left.out, c_up.out, c_diag.out}, "max");
+
+  // Addition module: out = abs + Vcc/2 - max.
+  blocks::SumDiffAmpHandles add =
+      blocks::make_sum_diff_amp(f, {abs.out, vref}, {mx.out}, "add");
+  pe.out = add.out;
+  return pe;
+}
+
+}  // namespace mda::core

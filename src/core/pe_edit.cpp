@@ -1,0 +1,50 @@
+#include "core/pe.hpp"
+
+#include "blocks/absblock.hpp"
+#include "blocks/adder.hpp"
+#include "blocks/diode_select.hpp"
+
+namespace mda::core {
+
+// Fig. 2(c): computing module with three paths, then a minimum module.
+//
+//   path_diag = diag            when |p-q| <= Vthre (match: free diagonal)
+//             = diag + w*Vstep  otherwise (substitution)
+//   path_up   = up   + w*Vstep  (deletion)
+//   path_left = left + w*Vstep  (insertion)
+//   out       = min(path_diag, path_up, path_left)
+//
+// (The branch conditions in the paper's Equation (4) are swapped — a typo;
+// see DESIGN.md.  The circuit below implements standard edit distance.)
+PeBuild build_edit_pe(blocks::BlockFactory& f, const MatrixPeInputs& in,
+                      const PeBias& bias, double weight,
+                      const std::string& name) {
+  blocks::BlockFactory::Scope scope(f, name);
+  PeBuild pe;
+
+  blocks::AbsBlockHandles abs = blocks::make_abs_block(f, in.p, in.q, 1.0, "abs");
+  pe.cmp = f.node("cmp");
+  f.comparator(bias.vthre, abs.out, pe.cmp, "comp");
+
+  // Diagonal path: TG-select between the free and charged variants.
+  blocks::RowAdderHandles diag_sum =
+      blocks::make_row_adder(f, {in.diag, bias.vstep}, {1.0, weight}, "dsum");
+  const spice::NodeId diag_sel = f.node("dsel");
+  f.tgate(in.diag, diag_sel, pe.cmp, /*active_high=*/true, "tg_eq");
+  f.tgate(diag_sum.out, diag_sel, pe.cmp, /*active_high=*/false, "tg_ne");
+
+  // Deletion / insertion paths.
+  blocks::RowAdderHandles up_sum =
+      blocks::make_row_adder(f, {in.up, bias.vstep}, {1.0, weight}, "usum");
+  blocks::RowAdderHandles left_sum =
+      blocks::make_row_adder(f, {in.left, bias.vstep}, {1.0, weight}, "lsum");
+
+  // Minimum module (complement trick + buffer, as in the DTW PE; the buffer
+  // inside make_diode_max lets the output swing below Vcc/2, Sec. 3.2.3).
+  blocks::MinViaMaxHandles mn = blocks::make_min_via_max(
+      f, {diag_sel, up_sum.out, left_sum.out}, "min");
+  pe.out = mn.out;
+  return pe;
+}
+
+}  // namespace mda::core

@@ -1,0 +1,27 @@
+#include "core/pe.hpp"
+
+#include "blocks/absblock.hpp"
+
+namespace mda::core {
+
+// Fig. 2(e): abs module + comparator; the TGs connect the PE output to
+// Vstep when the elements differ (|p-q| > Vthre) and to ground otherwise.
+// Per-element weights are applied by the row adder (M0/Mk = w_k, Sec. 3.2.5).
+PeBuild build_hamming_pe(blocks::BlockFactory& f, spice::NodeId p,
+                         spice::NodeId q, const PeBias& bias,
+                         const std::string& name) {
+  blocks::BlockFactory::Scope scope(f, name);
+  PeBuild pe;
+
+  blocks::AbsBlockHandles abs = blocks::make_abs_block(f, p, q, 1.0, "abs");
+  pe.cmp = f.node("cmp");
+  // High when DIFFERENT: |p-q| > Vthre.
+  f.comparator(abs.out, bias.vthre, pe.cmp, "comp");
+
+  pe.out = f.node("out");
+  f.tgate(bias.vstep, pe.out, pe.cmp, /*active_high=*/true, "tg_ne");
+  f.tgate(spice::kGround, pe.out, pe.cmp, /*active_high=*/false, "tg_eq");
+  return pe;
+}
+
+}  // namespace mda::core

@@ -1,0 +1,28 @@
+#include "core/pe.hpp"
+
+#include "blocks/absblock.hpp"
+#include "blocks/diode_select.hpp"
+#include "blocks/subtractor.hpp"
+
+namespace mda::core {
+
+// Fig. 2(d1): computing module (abs) + comparing module.  The PE outputs its
+// complemented distance Vcc - w*|p-q|; the column maximum is taken on a
+// shared diode-OR rail assembled by the array builder (Fig. 2(d2)) — one
+// diode per PE into the column rail.  Because every PE drives the rail
+// directly, all sub-modules settle almost in parallel, which is exactly why
+// HauD's convergence time stays flat with sequence length (Sec. 4.2).
+PeBuild build_hausdorff_pe(blocks::BlockFactory& f, spice::NodeId p,
+                           spice::NodeId q, double weight,
+                           const std::string& name) {
+  blocks::BlockFactory::Scope scope(f, name);
+  PeBuild pe;
+  blocks::AbsBlockHandles abs = blocks::make_abs_block(f, p, q, weight, "abs");
+  // Comparing-module input: Vcc - w*|p-q|.
+  blocks::DiffAmpHandles comp =
+      blocks::make_diff_amp(f, f.rails().vcc, abs.out, 1.0, "c");
+  pe.out = comp.out;
+  return pe;
+}
+
+}  // namespace mda::core

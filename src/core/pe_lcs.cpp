@@ -1,0 +1,35 @@
+#include "core/pe.hpp"
+
+#include "blocks/absblock.hpp"
+#include "blocks/adder.hpp"
+#include "blocks/diode_select.hpp"
+
+namespace mda::core {
+
+// Fig. 2(b): selecting module (abs + comparator + TGs) and computing module
+// (diag + w*Vstep summer; diode max of left/up).
+PeBuild build_lcs_pe(blocks::BlockFactory& f, const MatrixPeInputs& in,
+                     const PeBias& bias, double weight,
+                     const std::string& name) {
+  blocks::BlockFactory::Scope scope(f, name);
+  PeBuild pe;
+
+  // Selecting module: comparator goes high when |p-q| <= Vthre ("equal").
+  blocks::AbsBlockHandles abs = blocks::make_abs_block(f, in.p, in.q, 1.0, "abs");
+  pe.cmp = f.node("cmp");
+  f.comparator(bias.vthre, abs.out, pe.cmp, "comp");
+
+  // Computing module, part 1: diag + w*Vstep (weighted via memristor ratio).
+  blocks::RowAdderHandles sum =
+      blocks::make_row_adder(f, {in.diag, bias.vstep}, {1.0, weight}, "sum");
+  // Part 2: max(left, up) via diodes (LCS values are >= 0).
+  blocks::DiodeMaxHandles mx = blocks::make_diode_max(f, {in.left, in.up}, "max");
+
+  // TG selection onto the PE output.
+  pe.out = f.node("out");
+  f.tgate(sum.out, pe.out, pe.cmp, /*active_high=*/true, "tg_eq");
+  f.tgate(mx.out, pe.out, pe.cmp, /*active_high=*/false, "tg_ne");
+  return pe;
+}
+
+}  // namespace mda::core

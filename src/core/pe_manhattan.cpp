@@ -1,0 +1,18 @@
+#include "core/pe.hpp"
+
+#include "blocks/absblock.hpp"
+
+namespace mda::core {
+
+// Fig. 2(f): the MD PE is the subset of the HamD PE — just the absolute
+// value module.  Per-element weights are applied by the row adder.
+PeBuild build_manhattan_pe(blocks::BlockFactory& f, spice::NodeId p,
+                           spice::NodeId q, const std::string& name) {
+  blocks::BlockFactory::Scope scope(f, name);
+  PeBuild pe;
+  blocks::AbsBlockHandles abs = blocks::make_abs_block(f, p, q, 1.0, "abs");
+  pe.out = abs.out;
+  return pe;
+}
+
+}  // namespace mda::core

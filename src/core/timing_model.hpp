@@ -1,0 +1,49 @@
+#pragma once
+// Convergence-time model.
+//
+// Fig. 5 shows settling time almost linear in sequence length for all
+// functions except HauD (whose chain stages settle nearly in parallel).  We
+// model t(n) = a + b*n per function and fit (a, b) from full-SPICE transient
+// runs at small lengths — the wavefront/behavioral backends then extend the
+// fit to the lengths the paper reports.  `defaults()` ships constants
+// measured with the Table 1 environment so benches start instantly;
+// `calibrate()` re-derives them live.
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.hpp"
+
+namespace mda::core {
+
+struct TimingEntry {
+  double a_s = 0.0;  ///< Intercept [s].
+  double b_s = 0.0;  ///< Slope per element [s].
+
+  [[nodiscard]] double at(std::size_t n) const {
+    return a_s + b_s * static_cast<double>(n);
+  }
+};
+
+class TimingModel {
+ public:
+  /// Constants pre-measured with the default AcceleratorConfig.
+  static const TimingModel& defaults();
+
+  /// Fit fresh constants by running full-SPICE transients at small lengths
+  /// (matrix functions) / moderate lengths (row functions, HauD).
+  /// `seed` makes the random calibration inputs reproducible.
+  static TimingModel calibrate(const AcceleratorConfig& config,
+                               std::uint64_t seed = 11);
+
+  [[nodiscard]] double convergence_time_s(dist::DistanceKind kind,
+                                          std::size_t n) const;
+
+  [[nodiscard]] TimingEntry entry(dist::DistanceKind kind) const;
+  void set_entry(dist::DistanceKind kind, TimingEntry e);
+
+ private:
+  TimingEntry entries_[6];
+};
+
+}  // namespace mda::core

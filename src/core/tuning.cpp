@@ -1,0 +1,103 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::core {
+namespace {
+
+/// Verify step: read resistance through the 0.1 V probe with noise.
+double measure(const dev::Memristor& m, double noise, util::Rng& rng) {
+  return m.resistance() * (1.0 + rng.normal(0.0, noise));
+}
+
+}  // namespace
+
+TuningReport tune_memristor(dev::Memristor& m, double target_ohms,
+                            const TuningConfig& cfg, util::Rng& rng) {
+  if (target_ohms <= 0.0) {
+    throw std::invalid_argument("tune_memristor: target must be > 0");
+  }
+  TuningReport report;
+  for (int it = 0; it < cfg.max_iters; ++it) {
+    report.iterations = it + 1;
+    const double measured = measure(m, cfg.measure_noise, rng);
+    if (std::abs(measured - target_ohms) / target_ohms <= cfg.target_tol) {
+      report.converged = true;
+      break;
+    }
+    // Modulate: command a corrective write.  The feedback ratio cancels the
+    // unknown variation factor geometrically; the write itself lands within
+    // program_noise of the command.
+    const double correction = target_ohms / measured;
+    const double commanded =
+        m.resistance() * correction * (1.0 + rng.normal(0.0, cfg.program_noise));
+    // The device exposes only its effective resistance; emulate the write by
+    // replacing the configured value (variation is folded into the write).
+    m.apply_variation(1.0);
+    m.set_resistance(std::max(commanded, 1.0));
+  }
+  report.final_rel_error =
+      std::abs(m.resistance() - target_ohms) / target_ohms;
+  if (!report.converged) {
+    report.converged = report.final_rel_error <= cfg.target_tol;
+  }
+  return report;
+}
+
+TuningReport tune_ratio(dev::Memristor& m1, dev::Memristor& m2,
+                        double target_ratio, const TuningConfig& cfg,
+                        util::Rng& rng) {
+  if (target_ratio <= 0.0) {
+    throw std::invalid_argument("tune_ratio: ratio must be > 0");
+  }
+  TuningReport report;
+  for (int it = 0; it < cfg.max_iters; ++it) {
+    report.iterations = it + 1;
+    // Verify: x1 = 0.1 V applied, x2 measured -> ratio with read noise on
+    // both ports.
+    const double r1 = measure(m1, cfg.measure_noise, rng);
+    const double r2 = measure(m2, cfg.measure_noise, rng);
+    const double ratio = r1 / r2;
+    if (std::abs(ratio - target_ratio) / target_ratio <= cfg.target_tol) {
+      report.converged = true;
+      break;
+    }
+    const double commanded = m1.resistance() * (target_ratio / ratio) *
+                             (1.0 + rng.normal(0.0, cfg.program_noise));
+    m1.apply_variation(1.0);
+    m1.set_resistance(std::max(commanded, 1.0));
+  }
+  const double true_ratio = m1.resistance() / m2.resistance();
+  report.final_rel_error = std::abs(true_ratio - target_ratio) / target_ratio;
+  if (!report.converged) {
+    report.converged = report.final_rel_error <= cfg.target_tol;
+  }
+  return report;
+}
+
+ArrayTuningReport tune_all(std::span<dev::Memristor* const> mems,
+                           std::span<const double> targets,
+                           const TuningConfig& cfg, util::Rng& rng) {
+  if (mems.size() != targets.size()) {
+    throw std::invalid_argument("tune_all: size mismatch");
+  }
+  ArrayTuningReport report;
+  double total_iters = 0.0;
+  for (std::size_t i = 0; i < mems.size(); ++i) {
+    const TuningReport r = tune_memristor(*mems[i], targets[i], cfg, rng);
+    total_iters += r.iterations;
+    report.max_rel_error = std::max(report.max_rel_error, r.final_rel_error);
+    if (r.converged) {
+      ++report.tuned;
+    } else {
+      ++report.failed;
+    }
+  }
+  report.mean_iterations =
+      mems.empty() ? 0.0 : total_iters / static_cast<double>(mems.size());
+  return report;
+}
+
+}  // namespace mda::core

@@ -1,0 +1,55 @@
+#pragma once
+// Resistance tuning (Sec. 3.3(2), Fig. 4): the iterative modulate / verify
+// procedure that programs every memristor to its configured target.
+//
+// The model captures what limits the real procedure: each verify step reads
+// the resistance through a 0.1 V probe with relative measurement noise, and
+// each modulate step lands within a relative programming error of the
+// commanded value.  The closed loop converges geometrically; the paper's
+// claim ("the two steps can be iterated several times for better precision")
+// shows up as the iteration counts in the TuningReport.
+
+#include <span>
+
+#include "devices/memristor.hpp"
+#include "util/rng.hpp"
+
+namespace mda::core {
+
+struct TuningConfig {
+  double measure_noise = 0.001;  ///< Relative verify (read) noise.
+  double program_noise = 0.005;  ///< Relative modulate (write) accuracy.
+  double target_tol = 0.01;      ///< Accept within 1% (Sec. 3.3(3)).
+  int max_iters = 20;
+};
+
+struct TuningReport {
+  bool converged = false;
+  int iterations = 0;
+  double final_rel_error = 0.0;  ///< True (noise-free) relative error.
+};
+
+/// Tune one memristor to `target_ohms`.
+TuningReport tune_memristor(dev::Memristor& m, double target_ohms,
+                            const TuningConfig& cfg, util::Rng& rng);
+
+/// Tune a ratio M1/M2 (the subtractor procedure of Fig. 4(a)): M2 is the
+/// reference; M1 is modulated until the measured ratio matches.
+TuningReport tune_ratio(dev::Memristor& m1, dev::Memristor& m2,
+                        double target_ratio, const TuningConfig& cfg,
+                        util::Rng& rng);
+
+struct ArrayTuningReport {
+  std::size_t tuned = 0;
+  std::size_t failed = 0;
+  double max_rel_error = 0.0;
+  double mean_iterations = 0.0;
+};
+
+/// Tune every memristor to its own configured target (the adder procedure
+/// of Fig. 4(b) applied device by device against the reference port).
+ArrayTuningReport tune_all(std::span<dev::Memristor* const> mems,
+                           std::span<const double> targets,
+                           const TuningConfig& cfg, util::Rng& rng);
+
+}  // namespace mda::core

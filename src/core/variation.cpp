@@ -1,0 +1,52 @@
+#include "core/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+namespace mda::core {
+namespace {
+
+/// Matching scope of a device: its hierarchical label up to the last '/'
+/// (i.e. the amplifier cell that owns it).
+std::string scope_of(const dev::Memristor& m) {
+  const std::string& label = m.label();
+  const std::size_t pos = label.rfind('/');
+  return pos == std::string::npos ? label : label.substr(0, pos);
+}
+
+}  // namespace
+
+void apply_process_variation(std::span<dev::Memristor* const> mems,
+                             const VariationConfig& cfg, util::Rng& rng) {
+  if (cfg.tolerance_control) {
+    std::unordered_map<std::string, double> cell_factor;
+    for (dev::Memristor* m : mems) {
+      auto [it, inserted] = cell_factor.try_emplace(scope_of(*m), 0.0);
+      if (inserted) {
+        it->second = 1.0 + cfg.tolerance * (2.0 * rng.uniform() - 1.0);
+      }
+      const double mismatch =
+          1.0 + cfg.matched_tolerance * (2.0 * rng.uniform() - 1.0);
+      m->apply_variation(it->second * mismatch);
+    }
+    return;
+  }
+  for (dev::Memristor* m : mems) {
+    m->apply_variation(1.0 + cfg.tolerance * (2.0 * rng.uniform() - 1.0));
+  }
+}
+
+double worst_pair_ratio_error(std::span<dev::Memristor* const> mems,
+                              std::span<const double> targets) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i + 1 < mems.size(); i += 2) {
+    const double actual = mems[i]->resistance() / mems[i + 1]->resistance();
+    const double ideal = targets[i] / targets[i + 1];
+    worst = std::max(worst, std::abs(actual / ideal - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace mda::core

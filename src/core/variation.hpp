@@ -1,0 +1,39 @@
+#pragma once
+// Process variation (Sec. 3.3(3)): fabricated memristances deviate by
+// +-20% to +-30% from their targets.  The paper's two mitigations are both
+// modeled: tolerance control in layout (matched pairs track each other
+// within 1% even though their absolute values drift together) and
+// post-fabrication resistance tuning (src/core/tuning.hpp).
+
+#include <span>
+
+#include "devices/memristor.hpp"
+#include "util/rng.hpp"
+
+namespace mda::core {
+
+struct VariationConfig {
+  /// Absolute resistance tolerance (0.25 = +-25%; paper: 20-30%).
+  double tolerance = 0.25;
+  /// Apply layout tolerance control: the devices of one amplifier cell
+  /// (same hierarchical label scope, e.g. "pe_1_2/abs/a1/") share their
+  /// variation factor up to `matched_tolerance` — the layout-matching the
+  /// paper's Sec. 3.3(3) invokes.  Ratio-critical pairs always live in one
+  /// scope, so their ratios are protected.
+  bool tolerance_control = false;
+  /// Intra-cell mismatch under tolerance control (paper: "lower than 1%").
+  double matched_tolerance = 0.01;
+};
+
+/// Apply variation multipliers to every memristor.  With tolerance control,
+/// devices sharing a label scope drift together (matched layout); without
+/// it every device drifts independently.
+void apply_process_variation(std::span<dev::Memristor* const> mems,
+                             const VariationConfig& cfg, util::Rng& rng);
+
+/// Worst pairwise ratio error over consecutive pairs: max over pairs of
+/// |R1/R2 / (target1/target2) - 1|.  The quantity tolerance control bounds.
+double worst_pair_ratio_error(std::span<dev::Memristor* const> mems,
+                              std::span<const double> targets);
+
+}  // namespace mda::core

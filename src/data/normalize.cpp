@@ -1,0 +1,72 @@
+#include "data/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::data {
+
+Series znormalize(std::span<const double> s) {
+  Series out(s.begin(), s.end());
+  if (out.empty()) return out;
+  double mean = 0.0;
+  for (double v : out) mean += v;
+  mean /= static_cast<double>(out.size());
+  double var = 0.0;
+  for (double v : out) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(out.size());
+  const double sd = std::sqrt(var);
+  if (sd < 1e-12) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (double& v : out) v = (v - mean) / sd;
+  return out;
+}
+
+Series resample(std::span<const double> s, std::size_t length) {
+  if (length == 0) throw std::invalid_argument("resample: length must be >= 1");
+  if (s.empty()) return Series(length, 0.0);
+  Series out(length);
+  if (s.size() == 1) {
+    std::fill(out.begin(), out.end(), s[0]);
+    return out;
+  }
+  for (std::size_t i = 0; i < length; ++i) {
+    const double pos = length == 1
+                           ? 0.0
+                           : static_cast<double>(i) *
+                                 static_cast<double>(s.size() - 1) /
+                                 static_cast<double>(length - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = s[lo] * (1.0 - frac) + s[hi] * frac;
+  }
+  return out;
+}
+
+Series clamp_range(std::span<const double> s, double limit) {
+  Series out(s.begin(), s.end());
+  double peak = 0.0;
+  for (double v : out) peak = std::max(peak, std::abs(v));
+  if (peak <= limit || peak == 0.0) return out;
+  const double scale = limit / peak;
+  for (double& v : out) v *= scale;
+  return out;
+}
+
+Dataset prepare(const Dataset& ds, std::size_t length) {
+  Dataset out;
+  out.name = ds.name;
+  out.items.reserve(ds.items.size());
+  for (const auto& item : ds.items) {
+    LabeledSeries prepared;
+    prepared.label = item.label;
+    prepared.values = resample(znormalize(item.values), length);
+    out.items.push_back(std::move(prepared));
+  }
+  return out;
+}
+
+}  // namespace mda::data

@@ -1,0 +1,25 @@
+#pragma once
+// Series preprocessing: z-normalisation (the UCR standard), linear
+// resampling ("for each data set, we formalize the sequences with different
+// lengths", Sec. 4.1), and range scaling into the accelerator's voltage
+// window.
+
+#include <span>
+
+#include "data/series.hpp"
+
+namespace mda::data {
+
+/// Z-normalise to zero mean / unit variance.  Constant series become zeros.
+Series znormalize(std::span<const double> s);
+
+/// Linearly resample to the requested length (>= 1).
+Series resample(std::span<const double> s, std::size_t length);
+
+/// Scale linearly so values fit [-limit, +limit]; no-op if already inside.
+Series clamp_range(std::span<const double> s, double limit);
+
+/// Apply znormalize + resample to every series of a dataset (copy).
+Dataset prepare(const Dataset& ds, std::size_t length);
+
+}  // namespace mda::data

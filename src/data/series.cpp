@@ -1,0 +1,62 @@
+#include "data/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mda::data {
+
+std::vector<int> Dataset::labels() const {
+  std::vector<int> out;
+  for (const auto& item : items) out.push_back(item.label);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indices_of(int label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].label == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Dataset::common_length() const {
+  if (items.empty()) return 0;
+  const std::size_t len = items.front().values.size();
+  for (const auto& item : items) {
+    if (item.values.size() != len) return 0;
+  }
+  return len;
+}
+
+Split stratified_split(const Dataset& ds, double train_fraction,
+                       std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: fraction must be in (0,1)");
+  }
+  util::Rng rng(seed);
+  Split split;
+  split.train.name = ds.name + "_train";
+  split.test.name = ds.name + "_test";
+  for (int label : ds.labels()) {
+    std::vector<std::size_t> idx = ds.indices_of(label);
+    // Seeded shuffle within the class.
+    const auto perm = rng.permutation(idx.size());
+    std::vector<std::size_t> shuffled(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) shuffled[i] = idx[perm[i]];
+    const std::size_t n_train = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(train_fraction * static_cast<double>(idx.size()))));
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      (i < n_train ? split.train : split.test)
+          .items.push_back(ds.items[shuffled[i]]);
+    }
+  }
+  return split;
+}
+
+}  // namespace mda::data

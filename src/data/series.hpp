@@ -1,0 +1,47 @@
+#pragma once
+// Core time-series containers used across the library.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mda::data {
+
+using Series = std::vector<double>;
+
+/// One labelled time series (UCR convention: integer class label).
+struct LabeledSeries {
+  int label = 0;
+  Series values;
+};
+
+/// A dataset split (train or test) of labelled series.
+struct Dataset {
+  std::string name;
+  std::vector<LabeledSeries> items;
+
+  [[nodiscard]] std::size_t size() const { return items.size(); }
+  [[nodiscard]] bool empty() const { return items.empty(); }
+
+  /// Distinct labels present, sorted.
+  [[nodiscard]] std::vector<int> labels() const;
+
+  /// Indices of all items with the given label.
+  [[nodiscard]] std::vector<std::size_t> indices_of(int label) const;
+
+  /// Common length if all series share one; 0 otherwise.
+  [[nodiscard]] std::size_t common_length() const;
+};
+
+/// Deterministic stratified train/test split: for each class, a
+/// `train_fraction` share (rounded up, at least one item) goes to train and
+/// the remainder to test.  Shuffling is seeded.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split stratified_split(const Dataset& ds, double train_fraction,
+                       std::uint64_t seed = 33);
+
+}  // namespace mda::data

@@ -1,0 +1,207 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mda::data {
+namespace {
+
+using util::Rng;
+constexpr double kPi = std::numbers::pi;
+
+double gaussian_bump(double x, double center, double width, double height) {
+  const double z = (x - center) / width;
+  return height * std::exp(-0.5 * z * z);
+}
+
+/// Beef-like: smooth spectrometry curves; classes differ by the positions
+/// and heights of a few absorption peaks.
+Series beef_series(int cls, std::size_t length, double noise, Rng& rng) {
+  Series s(length, 0.0);
+  // Class-dependent peak layout (deterministic), plus a shared baseline.
+  const double base_centers[] = {0.15, 0.45, 0.8};
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(length - 1);
+    double v = 0.4 + 0.2 * x;  // drifting baseline
+    for (int p = 0; p < 3; ++p) {
+      const double shift = 0.03 * cls * (p + 1);
+      const double height = 0.8 + 0.25 * std::cos(1.7 * cls + p);
+      v += gaussian_bump(x, base_centers[p] + shift, 0.05, height);
+    }
+    s[i] = v;
+  }
+  for (double& v : s) v += rng.normal(0.0, noise * 0.3);
+  return s;
+}
+
+/// Symbols-like: pen trajectories; classes differ in frequency mix & phase.
+Series symbols_series(int cls, std::size_t length, double noise, Rng& rng) {
+  Series s(length, 0.0);
+  const double f1 = 1.0 + 0.5 * cls;
+  const double f2 = 2.0 + 0.3 * cls;
+  const double phase = 0.6 * cls;
+  const double jitter = rng.normal(0.0, 0.05);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(length - 1);
+    s[i] = std::sin(2.0 * kPi * f1 * x + phase + jitter) +
+           0.5 * std::sin(2.0 * kPi * f2 * x + 2.0 * phase) +
+           rng.normal(0.0, noise);
+  }
+  return s;
+}
+
+/// OSULeaf-like: closed-contour radii; classes differ in harmonic content
+/// (lobedness) of the leaf outline.
+Series osuleaf_series(int cls, std::size_t length, double noise, Rng& rng) {
+  Series s(length, 0.0);
+  const int lobes = 2 + cls;  // number of leaf lobes
+  const double serration = 0.08 + 0.02 * cls;
+  const double stretch = rng.normal(1.0, 0.03);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double theta =
+        2.0 * kPi * static_cast<double>(i) / static_cast<double>(length);
+    s[i] = 1.0 + 0.35 * std::cos(lobes * theta * stretch) +
+           serration * std::cos(9.0 * theta) + rng.normal(0.0, noise);
+  }
+  return s;
+}
+
+}  // namespace
+
+SurrogateKind surrogate_from_name(const std::string& name) {
+  if (name == "Beef" || name == "beef") return SurrogateKind::Beef;
+  if (name == "Symbols" || name == "symbols") return SurrogateKind::Symbols;
+  if (name == "OSULeaf" || name == "OsuLeaf" || name == "osuleaf") {
+    return SurrogateKind::OsuLeaf;
+  }
+  throw std::invalid_argument("unknown surrogate dataset: " + name);
+}
+
+std::string surrogate_name(SurrogateKind kind) {
+  switch (kind) {
+    case SurrogateKind::Beef: return "Beef";
+    case SurrogateKind::Symbols: return "Symbols";
+    case SurrogateKind::OsuLeaf: return "OSULeaf";
+  }
+  return "?";
+}
+
+Dataset make_surrogate(SurrogateKind kind, std::uint64_t seed,
+                       SurrogateConfig cfg) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(kind) << 32));
+  Dataset ds;
+  ds.name = surrogate_name(kind);
+  // Class counts follow the originals: Beef has 5 classes, Symbols 6,
+  // OSULeaf 6.
+  const int num_classes = kind == SurrogateKind::Beef ? 5 : 6;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    for (std::size_t k = 0; k < cfg.per_class; ++k) {
+      LabeledSeries item;
+      item.label = cls + 1;
+      switch (kind) {
+        case SurrogateKind::Beef:
+          item.values = beef_series(cls, cfg.length, cfg.noise, rng);
+          break;
+        case SurrogateKind::Symbols:
+          item.values = symbols_series(cls, cfg.length, cfg.noise, rng);
+          break;
+        case SurrogateKind::OsuLeaf:
+          item.values = osuleaf_series(cls, cfg.length, cfg.noise, rng);
+          break;
+      }
+      ds.items.push_back(std::move(item));
+    }
+  }
+  return ds;
+}
+
+Series make_ecg(std::size_t length, double heart_rate_hz, bool anomaly,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Series s(length, 0.0);
+  const double fs = 250.0;  // virtual sampling rate [Hz]
+  const double beat_period = 1.0 / heart_rate_hz;
+  const double hrv = rng.normal(0.0, 0.01);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double phase = std::fmod(t, beat_period * (1.0 + hrv)) / beat_period;
+    double v = 0.0;
+    // P wave.
+    v += gaussian_bump(phase, 0.15, 0.025, 0.12);
+    // QRS complex (wider when anomalous).
+    const double qrs_w = anomaly ? 0.035 : 0.018;
+    v += gaussian_bump(phase, 0.28, qrs_w * 0.6, -0.18);
+    v += gaussian_bump(phase, 0.30, qrs_w, 1.1);
+    v += gaussian_bump(phase, 0.33, qrs_w * 0.7, -0.25);
+    // ST segment depression when anomalous.
+    if (anomaly && phase > 0.34 && phase < 0.48) v -= 0.12;
+    // T wave.
+    v += gaussian_bump(phase, 0.55, 0.05, 0.28);
+    s[i] = v + rng.normal(0.0, 0.015);
+  }
+  return s;
+}
+
+Series make_vehicle_profile(int vehicle_class, std::size_t length,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  Series s(length, 0.0);
+  double accel = 0.0, cruise = 0.0;
+  int stops = 0;
+  switch (vehicle_class) {
+    case 0:  // car
+      accel = 3.2;
+      cruise = 14.0;
+      stops = 1;
+      break;
+    case 1:  // bus
+      accel = 1.1;
+      cruise = 9.0;
+      stops = 3;
+      break;
+    case 2:  // truck
+      accel = 0.8;
+      cruise = 11.0;
+      stops = 1;
+      break;
+    default:
+      throw std::invalid_argument("vehicle_class must be 0, 1 or 2");
+  }
+  double v = 0.0;
+  const double dt = 1.0;
+  const std::size_t stop_interval = length / static_cast<std::size_t>(stops + 1);
+  for (std::size_t i = 0; i < length; ++i) {
+    const bool near_stop =
+        stops > 0 && stop_interval > 4 &&
+        (i % stop_interval) > stop_interval - stop_interval / 4;
+    const double target = near_stop ? 0.0 : cruise * (1.0 + rng.normal(0.0, 0.03));
+    const double rate = v < target ? accel : -1.5 * accel;
+    v += rate * dt;
+    if ((rate > 0 && v > target) || (rate < 0 && v < target)) v = target;
+    v = std::max(v, 0.0);
+    s[i] = v + rng.normal(0.0, 0.15);
+  }
+  return s;
+}
+
+std::vector<bool> make_iris_code(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> code(bits);
+  for (std::size_t i = 0; i < bits; ++i) code[i] = rng.bernoulli(0.5);
+  return code;
+}
+
+std::vector<bool> make_iris_probe(const std::vector<bool>& templ,
+                                  double flip_fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> probe = templ;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    if (rng.bernoulli(flip_fraction)) probe[i] = !probe[i];
+  }
+  return probe;
+}
+
+}  // namespace mda::data

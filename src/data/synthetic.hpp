@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic data generators.
+//
+// Surrogates for the three UCR datasets of Sec. 4.1 (Beef, Symbols,
+// OSULeaf): class-conditional shape families matching the originals'
+// character (spectra-like smooth curves, pen-trajectory oscillations,
+// leaf-contour harmonics) with controlled intra-class noise, so that
+// same-class pairs are measurably more similar than different-class pairs —
+// the property the paper's experiments rely on.  Also domain generators for
+// the example applications: synthetic ECG beats (healthcare / LCS), vehicle
+// speed profiles (smart city / DTW) and iris codes (authentication / HamD).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/series.hpp"
+
+namespace mda::data {
+
+enum class SurrogateKind { Beef, Symbols, OsuLeaf };
+
+/// Map a UCR dataset name to its surrogate kind; throws for unknown names.
+SurrogateKind surrogate_from_name(const std::string& name);
+std::string surrogate_name(SurrogateKind kind);
+
+struct SurrogateConfig {
+  std::size_t per_class = 12;   ///< Series per class.
+  std::size_t length = 128;     ///< Raw length before resampling.
+  double noise = 0.12;          ///< Intra-class noise stddev.
+};
+
+/// Deterministic surrogate dataset for the given kind.
+Dataset make_surrogate(SurrogateKind kind, std::uint64_t seed = 7,
+                       SurrogateConfig cfg = {});
+
+/// Synthetic single-lead ECG: concatenated beats with P-QRS-T morphology.
+/// `anomaly` widens the QRS and depresses the ST segment (a crude "abnormal"
+/// class for the similarity example).
+Series make_ecg(std::size_t length, double heart_rate_hz, bool anomaly,
+                std::uint64_t seed);
+
+/// Vehicle speed profile for the smart-city DTW example.  Classes: 0 = car
+/// (quick acceleration, steady cruise), 1 = bus (slow ramps, stops),
+/// 2 = truck (slow ramp, long cruise).
+Series make_vehicle_profile(int vehicle_class, std::size_t length,
+                            std::uint64_t seed);
+
+/// Iris-code template: `bits` random bits; `make_iris_probe` flips a
+/// fraction of bits (same-subject probes flip few, imposters ~50%).
+std::vector<bool> make_iris_code(std::size_t bits, std::uint64_t seed);
+std::vector<bool> make_iris_probe(const std::vector<bool>& templ,
+                                  double flip_fraction, std::uint64_t seed);
+
+}  // namespace mda::data

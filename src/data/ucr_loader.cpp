@@ -1,0 +1,68 @@
+#include "data/ucr_loader.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace mda::data {
+
+std::optional<Dataset> load_ucr_file(const std::string& path,
+                                     const std::string& dataset_name) {
+  auto rows = util::read_numeric(path);
+  if (!rows) return std::nullopt;
+  Dataset ds;
+  ds.name = dataset_name.empty() ? path : dataset_name;
+  for (const auto& row : *rows) {
+    if (row.size() < 2) continue;
+    LabeledSeries item;
+    item.label = static_cast<int>(std::lround(row[0]));
+    item.values.assign(row.begin() + 1, row.end());
+    ds.items.push_back(std::move(item));
+  }
+  if (ds.items.empty()) return std::nullopt;
+  return ds;
+}
+
+Dataset load_ucr_or_surrogate(const std::string& dir, const std::string& name,
+                              std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  const std::string candidates[] = {
+      dir + "/" + name + "/" + name + "_TRAIN.tsv",
+      dir + "/" + name + "/" + name + "_TRAIN.txt",
+      dir + "/" + name + "/" + name + "_TRAIN",
+      dir + "/" + name + "_TRAIN.tsv",
+      dir + "/" + name + "_TRAIN",
+  };
+  for (const auto& path : candidates) {
+    if (!fs::exists(path)) continue;
+    if (auto ds = load_ucr_file(path, name)) {
+      util::log_info() << "loaded UCR dataset " << name << " from " << path;
+      return *ds;
+    }
+  }
+  util::log_info() << "UCR dataset " << name
+                   << " not found; using synthetic surrogate";
+  return make_surrogate(surrogate_from_name(name), seed);
+}
+
+bool save_ucr_file(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const LabeledSeries& item : ds.items) {
+    out << item.label;
+    char buf[32];
+    for (double v : item.values) {
+      std::snprintf(buf, sizeof buf, "%.10g", v);
+      out << '\t' << buf;
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace mda::data

@@ -1,0 +1,32 @@
+#pragma once
+// Loader for the UCR Time Series Classification Archive file format:
+// one series per line, class label first, then the values, separated by
+// commas or whitespace (both archive generations are accepted).
+//
+// The paper evaluates on Beef, Symbols and OSULeaf from the archive; the
+// archive files are not redistributable with this repository, so
+// load_ucr_or_surrogate falls back to the statistically matched synthetic
+// surrogates in synthetic.hpp when the file is absent (see DESIGN.md).
+
+#include <optional>
+#include <string>
+
+#include "data/series.hpp"
+
+namespace mda::data {
+
+/// Load a UCR-format file.  Returns nullopt if the file cannot be read.
+std::optional<Dataset> load_ucr_file(const std::string& path,
+                                     const std::string& dataset_name = "");
+
+/// Load `<dir>/<name>/<name>_TRAIN*` if present, else synthesise the
+/// surrogate for `name` ("Beef", "Symbols", "OSULeaf").  Throws for unknown
+/// names without a file.
+Dataset load_ucr_or_surrogate(const std::string& dir, const std::string& name,
+                              std::uint64_t seed = 7);
+
+/// Write a dataset in UCR tab-separated format (label first).  Returns
+/// false on I/O failure.  Round-trips through load_ucr_file.
+bool save_ucr_file(const Dataset& ds, const std::string& path);
+
+}  // namespace mda::data

@@ -1,0 +1,89 @@
+#include "devices/comparator.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "spice/ac.hpp"
+
+namespace mda::dev {
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Comparator::Comparator(spice::NodeId in_p, spice::NodeId in_n,
+                       spice::NodeId out, ComparatorParams p)
+    : in_p_(in_p), in_n_(in_n), out_(out), p_(p) {}
+
+double Comparator::target(double vd) const {
+  return p_.v_low +
+         (p_.v_high - p_.v_low) * sigmoid((vd + p_.input_offset) / p_.v_scale);
+}
+
+double Comparator::dtarget(double vd) const {
+  const double sg = sigmoid((vd + p_.input_offset) / p_.v_scale);
+  return (p_.v_high - p_.v_low) * sg * (1.0 - sg) / p_.v_scale;
+}
+
+void Comparator::stamp(spice::Stamper& s, const spice::StampContext& ctx) {
+  const double vd = ctx.v(in_p_) - ctx.v(in_n_);
+  double e0 = 0.0;
+  double g = 0.0;
+  if (ctx.dc || ctx.dt <= 0.0) {
+    e0 = target(vd);
+    g = dtarget(vd);
+  } else {
+    const double alpha = ctx.dt / (p_.tau + ctx.dt);
+    const double beta = p_.tau / (p_.tau + ctx.dt);
+    const double y0 = y_init_ ? y_prev_ : target(vd);
+    e0 = alpha * target(vd) + beta * y0;
+    g = alpha * dtarget(vd);
+  }
+  const int b = branch_row();
+  s.add(out_, b, 1.0);
+  s.add(b, out_, 1.0);
+  s.add(b, b, -p_.r_out);
+  s.add(b, in_p_, -g);
+  s.add(b, in_n_, g);
+  s.inject(b, e0 - g * vd);
+}
+
+void Comparator::stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                          double omega) {
+  const double vd = op.v(in_p_) - op.v(in_n_);
+  const std::complex<double> gain =
+      dtarget(vd) / std::complex<double>(1.0, omega * p_.tau);
+  const int b = branch_row();
+  s.add(out_, b, {1.0, 0.0});
+  s.add(b, out_, {1.0, 0.0});
+  s.add(b, b, {-p_.r_out, 0.0});
+  s.add(b, in_p_, -gain);
+  s.add(b, in_n_, gain);
+}
+
+void Comparator::accept_step(const spice::StampContext& ctx) {
+  const double vd = ctx.v(in_p_) - ctx.v(in_n_);
+  if (ctx.dc || ctx.dt <= 0.0 || !y_init_) {
+    y_prev_ = target(vd);
+    y_init_ = true;
+    return;
+  }
+  const double alpha = ctx.dt / (p_.tau + ctx.dt);
+  const double beta = p_.tau / (p_.tau + ctx.dt);
+  y_prev_ = alpha * target(vd) + beta * y_prev_;
+}
+
+void Comparator::reset_state() {
+  y_prev_ = 0.0;
+  y_init_ = false;
+}
+
+}  // namespace mda::dev

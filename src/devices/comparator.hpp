@@ -1,0 +1,51 @@
+#pragma once
+// Behavioral comparator.  The PE circuits use comparators to test
+// |Pi - Qj| <= Vthre (LCS / EdD / HamD selecting modules); the output swings
+// between two logic levels and drives transmission-gate controls.
+//
+// Modeled as a sharp-but-smooth sigmoid with a small first-order lag:
+//   target(vd) = Vlow + (Vhigh - Vlow) * sigma((vd + Voff) / Vscale)
+//   tau_c * dy/dt = target - y;  out = y  (behind r_out)
+
+#include "spice/device.hpp"
+
+namespace mda::dev {
+
+struct ComparatorParams {
+  double v_low = 0.0;        ///< Output low level [V].
+  double v_high = 1.0;       ///< Output high level [V] (Vcc).
+  double v_scale = 2e-4;     ///< Transition sharpness [V].
+  double tau = 2e-11;        ///< Response time constant [s].
+  double r_out = 1.0;        ///< Output resistance [ohm].
+  double input_offset = 0.0; ///< Input-referred offset [V].
+};
+
+class Comparator : public spice::Device {
+ public:
+  /// Output goes high when V(in_p) > V(in_n).
+  Comparator(spice::NodeId in_p, spice::NodeId in_n, spice::NodeId out,
+             ComparatorParams p = {});
+
+  [[nodiscard]] int num_branches() const override { return 1; }
+  [[nodiscard]] bool nonlinear() const override { return true; }
+  void stamp(spice::Stamper& s, const spice::StampContext& ctx) override;
+  void stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                double omega) override;
+  void accept_step(const spice::StampContext& ctx) override;
+  void reset_state() override;
+
+  [[nodiscard]] const ComparatorParams& params() const { return p_; }
+
+ private:
+  double target(double vd) const;
+  double dtarget(double vd) const;
+
+  spice::NodeId in_p_;
+  spice::NodeId in_n_;
+  spice::NodeId out_;
+  ComparatorParams p_;
+  double y_prev_ = 0.0;
+  bool y_init_ = false;
+};
+
+}  // namespace mda::dev

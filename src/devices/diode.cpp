@@ -1,0 +1,59 @@
+#include "devices/diode.hpp"
+
+#include <cmath>
+
+#include "spice/ac.hpp"
+
+namespace mda::dev {
+namespace {
+
+// Numerically stable softplus and logistic sigmoid.
+double softplus(double z) {
+  if (z > 30.0) return z;
+  if (z < -30.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Diode::Diode(spice::NodeId anode, spice::NodeId cathode, DiodeParams p)
+    : anode_(anode), cathode_(cathode), p_(p) {}
+
+double Diode::current(double v) const {
+  const double z = (v - p_.v_threshold) / p_.smoothing;
+  return p_.g_off * (v - p_.v_threshold) +
+         (p_.g_on - p_.g_off) * p_.smoothing * softplus(z);
+}
+
+double Diode::conductance(double v) const {
+  const double z = (v - p_.v_threshold) / p_.smoothing;
+  return p_.g_off + (p_.g_on - p_.g_off) * sigmoid(z);
+}
+
+void Diode::stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                     double /*omega*/) {
+  const double v = op.v(anode_) - op.v(cathode_);
+  s.conductance(anode_, cathode_, {conductance(v), 0.0});
+}
+
+void Diode::stamp(spice::Stamper& s, const spice::StampContext& ctx) {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  const double g = conductance(v);
+  const double i0 = current(v);
+  // Linearised companion: I ~= i0 + g*(v - v0)  =>  stamp g, inject g*v0-i0.
+  s.conductance(anode_, cathode_, g);
+  const double ieq = g * v - i0;
+  s.inject(anode_, ieq);
+  s.inject(cathode_, -ieq);
+}
+
+}  // namespace mda::dev

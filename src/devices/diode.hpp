@@ -1,0 +1,44 @@
+#pragma once
+// Piecewise-linear "ideal" diode with a smooth corner.
+//
+// Table 1 sets the diode threshold voltage to 0 V (following Liu & Zhang,
+// DAC'15): the diode conducts for positive bias and blocks otherwise, which
+// is what makes diode-OR networks compute exact maxima.  We model
+//   I(v) = Goff*(v-Vth) + (Gon-Goff) * w * softplus((v-Vth)/w)
+// whose conductance blends smoothly from Goff to Gon over a window `w`
+// around the threshold — C1-continuous, so Newton converges reliably, and
+// within microvolts of the ideal characteristic for the default window.
+
+#include "spice/device.hpp"
+
+namespace mda::dev {
+
+struct DiodeParams {
+  double v_threshold = 0.0;  ///< Conduction threshold [V] (Table 1: 0).
+  double g_on = 1.0;         ///< On conductance [S] (1 ohm series).
+  double g_off = 1e-9;       ///< Off (leakage) conductance [S].
+  double smoothing = 5e-6;   ///< Corner smoothing window [V].
+};
+
+class Diode : public spice::Device {
+ public:
+  /// Current flows from anode to cathode when forward biased.
+  Diode(spice::NodeId anode, spice::NodeId cathode, DiodeParams p = {});
+
+  [[nodiscard]] bool nonlinear() const override { return true; }
+  void stamp(spice::Stamper& s, const spice::StampContext& ctx) override;
+  void stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                double omega) override;
+
+  /// I(v) characteristic (exposed for characterisation tests).
+  [[nodiscard]] double current(double v) const;
+  /// dI/dv.
+  [[nodiscard]] double conductance(double v) const;
+
+ private:
+  spice::NodeId anode_;
+  spice::NodeId cathode_;
+  DiodeParams p_;
+};
+
+}  // namespace mda::dev

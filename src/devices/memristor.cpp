@@ -1,0 +1,131 @@
+#include "devices/memristor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/ac.hpp"
+
+namespace mda::dev {
+
+Memristor::Memristor(spice::NodeId a, spice::NodeId b, double initial_ohms,
+                     MemristorModel model, MemristorParams p,
+                     std::uint64_t seed)
+    : a_(a),
+      b_(b),
+      model_(model),
+      p_(p),
+      configured_ohms_(initial_ohms),
+      rng_(seed) {
+  if (initial_ohms <= 0.0) {
+    throw std::invalid_argument("Memristor: resistance must be > 0");
+  }
+  // Device-to-device spread on the two resistance states (Table 2: 5%).
+  const double spread_on = 1.0 + p_.delta_r * (2.0 * rng_.uniform() - 1.0);
+  const double spread_off = 1.0 + p_.delta_r * (2.0 * rng_.uniform() - 1.0);
+  r_on_eff_ = p_.r_on * spread_on;
+  r_off_eff_ = p_.r_off * spread_off;
+  stochastic_on_ = initial_ohms <= std::sqrt(p_.r_on * p_.r_off);
+  // Map the initial resistance onto the drift state variable.
+  const double clamped = std::clamp(initial_ohms, p_.r_on, p_.r_off);
+  w_ = (p_.r_off - clamped) / (p_.r_off - p_.r_on);
+}
+
+double Memristor::resistance() const {
+  switch (model_) {
+    case MemristorModel::Fixed:
+      return configured_ohms_ * variation_;
+    case MemristorModel::LinearDrift:
+      return (p_.r_on * w_ + p_.r_off * (1.0 - w_)) * variation_;
+    case MemristorModel::StochasticBiolek:
+      return (stochastic_on_ ? r_on_eff_ : r_off_eff_) * variation_;
+  }
+  return configured_ohms_;
+}
+
+void Memristor::set_resistance(double ohms) {
+  if (ohms <= 0.0) {
+    throw std::invalid_argument("Memristor: resistance must be > 0");
+  }
+  configured_ohms_ = ohms;
+  const double clamped = std::clamp(ohms, p_.r_on, p_.r_off);
+  w_ = (p_.r_off - clamped) / (p_.r_off - p_.r_on);
+  stochastic_on_ = ohms <= std::sqrt(p_.r_on * p_.r_off);
+}
+
+void Memristor::apply_variation(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("Memristor: variation factor must be > 0");
+  }
+  variation_ = factor;
+}
+
+void Memristor::set_state(double w) { w_ = std::clamp(w, 0.0, 1.0); }
+
+double Memristor::mean_switching_time(double v_abs) const {
+  return p_.tau * std::exp(-v_abs / p_.v0);
+}
+
+void Memristor::stamp(spice::Stamper& s, const spice::StampContext&) {
+  // Resistance is held over a timestep (state updates on acceptance), so the
+  // memristor stamps as a plain conductance.
+  s.conductance(a_, b_, 1.0 / resistance());
+}
+
+void Memristor::stamp_ac(spice::AcStamper& s, const spice::StampContext&,
+                         double /*omega*/) {
+  s.conductance(a_, b_, {1.0 / resistance(), 0.0});
+}
+
+double Memristor::stamp_noise(spice::AcStamper& s, const spice::StampContext&,
+                              double, int /*k*/) {
+  // Memristors in compute mode are resistors: thermal noise 4kT/R.
+  s.inject(a_, {1.0, 0.0});
+  s.inject(b_, {-1.0, 0.0});
+  constexpr double kBoltzmann = 1.380649e-23;
+  constexpr double kTemperature = 300.0;
+  return 4.0 * kBoltzmann * kTemperature / resistance();
+}
+
+void Memristor::accept_step(const spice::StampContext& ctx) {
+  if (ctx.dc || ctx.dt <= 0.0) return;
+  const double v = ctx.v(a_) - ctx.v(b_);
+  switch (model_) {
+    case MemristorModel::Fixed:
+      return;
+    case MemristorModel::LinearDrift: {
+      const double r = resistance();
+      const double i = v / r;
+      // dw/dt = (mu * Ron / D^2) * i * f(w), Biolek window
+      // f(w) = 1 - (w - step(-i))^(2p).
+      const double stp = i >= 0.0 ? 0.0 : 1.0;
+      const double window = 1.0 - std::pow(w_ - stp, 2.0 * p_.biolek_p);
+      const double k = p_.mobility * p_.r_on / (p_.thickness * p_.thickness);
+      w_ = std::clamp(w_ + ctx.dt * k * i * window, 0.0, 1.0);
+      return;
+    }
+    case MemristorModel::StochasticBiolek: {
+      // Threshold drawn per attempt: switching only arms above threshold.
+      const double v_abs = std::abs(v);
+      const double vt = rng_.normal(p_.vt0, p_.delta_v);
+      if (v_abs < vt) return;
+      const double mean_t = mean_switching_time(v_abs);
+      const double p_switch = 1.0 - std::exp(-ctx.dt / mean_t);
+      if (!rng_.bernoulli(p_switch)) return;
+      const bool target_on = v > 0.0;  // positive bias SETs the device
+      if (stochastic_on_ != target_on) {
+        stochastic_on_ = target_on;
+        ++switch_count_;
+      }
+      return;
+    }
+  }
+}
+
+void Memristor::reset_state() {
+  switch_count_ = 0;
+  // Re-derive state from the configured resistance.
+  set_resistance(configured_ohms_);
+}
+
+}  // namespace mda::dev

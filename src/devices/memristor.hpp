@@ -1,0 +1,96 @@
+#pragma once
+// Memristor device.
+//
+// The accelerator uses memristors as configurable resistors: HRS/LRS for
+// unweighted distance functions, intermediate resistance ratios for the
+// weighted variants (Sec. 3.1).  Three behavioural models are provided:
+//
+//  * Fixed            — resistance set by the configuration/tuning machinery;
+//                       no dynamics.  This is the compute mode.
+//  * LinearDrift      — classic HP linear ion drift with the Biolek window,
+//                       for device-characterisation tests.
+//  * StochasticBiolek — the stochastic switching model of Al-Shedivat et al.
+//                       with the paper's Table 2 parameters: switching is a
+//                       Poisson process whose mean waiting time is
+//                       T(v) = tau * exp(-|v| / V0) once |v| exceeds a
+//                       threshold drawn from N(VT0, dV); the resistance then
+//                       toggles between Ron and Roff (each with +-dR device
+//                       spread).  Sub-threshold operation makes switching
+//                       astronomically unlikely — the property the paper's
+//                       Sec. 4.2 relies on, and which our tests verify.
+
+#include "spice/device.hpp"
+#include "util/rng.hpp"
+
+namespace mda::dev {
+
+enum class MemristorModel { Fixed, LinearDrift, StochasticBiolek };
+
+struct MemristorParams {
+  double r_on = 1e3;    ///< LRS [ohm] (Table 2).
+  double r_off = 100e3; ///< HRS [ohm] (Table 2).
+
+  // Linear ion drift parameters.
+  double mobility = 1e-14;    ///< Dopant mobility [m^2 / (V s)].
+  double thickness = 10e-9;   ///< Device thickness [m].
+  double biolek_p = 2.0;      ///< Biolek window exponent.
+
+  // Stochastic Biolek parameters (Table 2).
+  double v0 = 0.156;          ///< Voltage scale of the switching rate [V].
+  double tau = 2.85e5;        ///< Mean switching time at v = 0 [s].
+  double vt0 = 3.0;           ///< Mean switching threshold [V].
+  double delta_v = 0.2;       ///< Threshold spread [V].
+  double delta_r = 0.05;      ///< Ron/Roff device-to-device spread (5%).
+};
+
+class Memristor : public spice::Device {
+ public:
+  Memristor(spice::NodeId a, spice::NodeId b, double initial_ohms,
+            MemristorModel model = MemristorModel::Fixed,
+            MemristorParams p = {}, std::uint64_t seed = 1);
+
+  void stamp(spice::Stamper& s, const spice::StampContext& ctx) override;
+  void stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                double omega) override;
+  [[nodiscard]] int num_noise_sources() const override { return 1; }
+  double stamp_noise(spice::AcStamper& s, const spice::StampContext& op,
+                     double omega, int k) override;
+  void accept_step(const spice::StampContext& ctx) override;
+  void reset_state() override;
+
+  /// Present resistance [ohm].
+  [[nodiscard]] double resistance() const;
+  /// Configure the resistance (Fixed model; also resets drift state so the
+  /// internal state variable matches).
+  void set_resistance(double ohms);
+
+  /// Multiply the configured resistance by `factor` (process variation).
+  void apply_variation(double factor);
+
+  [[nodiscard]] MemristorModel model() const { return model_; }
+  [[nodiscard]] const MemristorParams& params() const { return p_; }
+  /// Number of stochastic switching events since reset (test observability).
+  [[nodiscard]] long switch_count() const { return switch_count_; }
+  /// Internal state variable w in [0,1] (1 = fully LRS).
+  [[nodiscard]] double state() const { return w_; }
+  void set_state(double w);
+
+  /// Mean stochastic switching time at a given voltage magnitude [s].
+  [[nodiscard]] double mean_switching_time(double v_abs) const;
+
+ private:
+  spice::NodeId a_;
+  spice::NodeId b_;
+  MemristorModel model_;
+  MemristorParams p_;
+  double configured_ohms_;   ///< Nominal configured resistance.
+  double variation_ = 1.0;   ///< Process-variation multiplier.
+  double w_ = 0.0;           ///< Drift state in [0,1] (1 = LRS).
+  bool stochastic_on_;       ///< Binary state for the stochastic model.
+  double r_on_eff_;          ///< Ron with device spread applied.
+  double r_off_eff_;         ///< Roff with device spread applied.
+  long switch_count_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace mda::dev

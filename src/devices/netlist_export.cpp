@@ -1,0 +1,121 @@
+#include "devices/netlist_export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "devices/comparator.hpp"
+#include "devices/diode.hpp"
+#include "devices/memristor.hpp"
+#include "devices/opamp.hpp"
+#include "devices/transmission_gate.hpp"
+#include "spice/primitives.hpp"
+
+namespace mda::dev {
+namespace {
+
+std::string eng(double value, const char* unit) {
+  char buf[64];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.4gMeg%s", value / 1e6, unit);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.4gk%s", value / 1e3, unit);
+  } else if (value >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.4g%s", value, unit);
+  } else if (value >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.4gm%s", value * 1e3, unit);
+  } else if (value >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.4gu%s", value * 1e6, unit);
+  } else if (value >= 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.4gn%s", value * 1e9, unit);
+  } else if (value >= 1e-12) {
+    std::snprintf(buf, sizeof buf, "%.4gp%s", value * 1e12, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g%s", value, unit);
+  }
+  return buf;
+}
+
+bool is_parasitic(const spice::Device& dev) {
+  return dev.label().rfind("cpar:", 0) == 0;
+}
+
+}  // namespace
+
+std::string export_netlist(const spice::Netlist& netlist, ExportOptions opts) {
+  std::ostringstream out;
+  auto node = [&](spice::NodeId id) { return netlist.node_name(id); };
+  if (opts.include_comment_header) {
+    out << "* MDA generated netlist: " << netlist.num_nodes() << " nodes, "
+        << netlist.num_devices() << " devices\n";
+  }
+  std::size_t index = 0;
+  for (const auto& dev_ptr : netlist.devices()) {
+    const spice::Device& dev = *dev_ptr;
+    ++index;
+    if (!opts.include_parasitics && is_parasitic(dev)) continue;
+    const std::string tag =
+        dev.label().empty() ? "u" + std::to_string(index) : dev.label();
+    if (const auto* r = dynamic_cast<const spice::Resistor*>(&dev)) {
+      out << "R:" << tag << ' ' << node(r->a()) << ' ' << node(r->b()) << ' '
+          << eng(r->resistance(), "") << '\n';
+    } else if (const auto* m = dynamic_cast<const Memristor*>(&dev)) {
+      out << "M:" << tag << " r=" << eng(m->resistance(), "")
+          << (m->model() == MemristorModel::Fixed ? " fixed"
+              : m->model() == MemristorModel::LinearDrift ? " drift"
+                                                          : " stochastic")
+          << '\n';
+    } else if (const auto* c = dynamic_cast<const spice::Capacitor*>(&dev)) {
+      out << "C:" << tag << ' ' << eng(c->capacitance(), "F") << '\n';
+    } else if (dynamic_cast<const spice::VSource*>(&dev) != nullptr) {
+      out << "V:" << tag << '\n';
+    } else if (dynamic_cast<const spice::ISource*>(&dev) != nullptr) {
+      out << "I:" << tag << '\n';
+    } else if (dynamic_cast<const Diode*>(&dev) != nullptr) {
+      out << "D:" << tag << '\n';
+    } else if (const auto* a = dynamic_cast<const OpAmp*>(&dev)) {
+      out << "XOPAMP:" << tag << " A0=" << a->params().open_loop_gain
+          << " GBW=" << eng(a->params().gbw_hz, "Hz") << '\n';
+    } else if (dynamic_cast<const Comparator*>(&dev) != nullptr) {
+      out << "XCMP:" << tag << '\n';
+    } else if (dynamic_cast<const TransmissionGate*>(&dev) != nullptr) {
+      out << "XTG:" << tag << '\n';
+    } else if (const auto* sw = dynamic_cast<const ConfigSwitch*>(&dev)) {
+      out << "XSW:" << tag << (sw->closed() ? " on" : " off") << '\n';
+    } else {
+      out << "* unknown device: " << tag << '\n';
+    }
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+DeviceCensus census(const spice::Netlist& netlist) {
+  DeviceCensus c;
+  for (const auto& dev_ptr : netlist.devices()) {
+    const spice::Device& dev = *dev_ptr;
+    if (dynamic_cast<const Memristor*>(&dev) != nullptr) {
+      ++c.memristors;
+    } else if (dynamic_cast<const spice::Resistor*>(&dev) != nullptr) {
+      ++c.resistors;
+    } else if (dynamic_cast<const spice::Capacitor*>(&dev) != nullptr) {
+      ++c.capacitors;
+    } else if (dynamic_cast<const spice::VSource*>(&dev) != nullptr ||
+               dynamic_cast<const spice::ISource*>(&dev) != nullptr) {
+      ++c.sources;
+    } else if (dynamic_cast<const Diode*>(&dev) != nullptr) {
+      ++c.diodes;
+    } else if (dynamic_cast<const OpAmp*>(&dev) != nullptr) {
+      ++c.opamps;
+    } else if (dynamic_cast<const Comparator*>(&dev) != nullptr) {
+      ++c.comparators;
+    } else if (dynamic_cast<const TransmissionGate*>(&dev) != nullptr ||
+               dynamic_cast<const ConfigSwitch*>(&dev) != nullptr) {
+      ++c.tgates;
+    } else {
+      ++c.other;
+    }
+  }
+  return c;
+}
+
+}  // namespace mda::dev

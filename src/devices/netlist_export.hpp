@@ -1,0 +1,43 @@
+#pragma once
+// Netlist export: renders a generated circuit as a SPICE-deck-style text
+// listing (one card per device, hierarchical node names preserved).  Useful
+// for inspecting generated PE arrays, diffing configurations, and feeding
+// external tools.  Lives in the devices layer because it knows every
+// concrete device type.
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace mda::dev {
+
+struct ExportOptions {
+  bool include_parasitics = true;  ///< List the per-net 20 fF capacitors.
+  bool include_comment_header = true;
+};
+
+/// Render the netlist.  Devices of unknown concrete type are listed as
+/// comment cards so the export is always complete.
+std::string export_netlist(const spice::Netlist& netlist,
+                           ExportOptions opts = {});
+
+/// Device census (area/debug reporting).
+struct DeviceCensus {
+  std::size_t resistors = 0;
+  std::size_t capacitors = 0;
+  std::size_t sources = 0;
+  std::size_t diodes = 0;
+  std::size_t opamps = 0;
+  std::size_t comparators = 0;
+  std::size_t tgates = 0;
+  std::size_t memristors = 0;
+  std::size_t other = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return resistors + capacitors + sources + diodes + opamps + comparators +
+           tgates + memristors + other;
+  }
+};
+DeviceCensus census(const spice::Netlist& netlist);
+
+}  // namespace mda::dev

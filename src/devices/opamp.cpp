@@ -1,0 +1,116 @@
+#include "devices/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "spice/ac.hpp"
+
+namespace mda::dev {
+
+double OpAmpParams::tau() const {
+  return open_loop_gain / (2.0 * std::numbers::pi * gbw_hz);
+}
+
+OpAmp::OpAmp(spice::NodeId in_p, spice::NodeId in_n, spice::NodeId out,
+             OpAmpParams p)
+    : in_p_(in_p), in_n_(in_n), out_(out), p_(p) {}
+
+void OpAmp::step_coeffs(const spice::StampContext& ctx, double& alpha,
+                        double& beta) const {
+  if (ctx.dc || ctx.dt <= 0.0) {
+    alpha = 1.0;  // steady state: y = A0 * vd
+    beta = 0.0;
+    return;
+  }
+  const double tau = p_.tau();
+  alpha = ctx.dt / (tau + ctx.dt);
+  beta = tau / (tau + ctx.dt);
+}
+
+double OpAmp::clamp_output(double y) const {
+  return p_.v_sat * std::tanh(y / p_.v_sat);
+}
+
+double OpAmp::slew_limit(double e, double dt) const {
+  if (p_.slew_rate <= 0.0 || dt <= 0.0) return e;
+  const double max_step = p_.slew_rate * dt;
+  return std::clamp(e, e_prev_ - max_step, e_prev_ + max_step);
+}
+
+void OpAmp::stamp(spice::Stamper& s, const spice::StampContext& ctx) {
+  double alpha = 1.0, beta = 0.0;
+  step_coeffs(ctx, alpha, beta);
+  const double vd = ctx.v(in_p_) - ctx.v(in_n_) + p_.input_offset;
+  const double y = alpha * p_.open_loop_gain * vd + beta * y_prev_;
+  // Smooth rail clamp, then the slew limiter.
+  const double th = std::tanh(y / p_.v_sat);
+  const double e_unslewed = p_.v_sat * th;
+  const double e0 = ctx.dc ? e_unslewed : slew_limit(e_unslewed, ctx.dt);
+  const double dy_dvd = alpha * p_.open_loop_gain;
+  // When the limiter is active the output no longer follows vd.
+  const bool slewing = e0 != e_unslewed;
+  const double g = slewing ? 0.0 : (1.0 - th * th) * dy_dvd;  // dE/dvd
+
+  const int b = branch_row();
+  // KCL: branch current leaves `out` into the device.
+  s.add(out_, b, 1.0);
+  // Branch equation: V(out) - Rout*i - g*(V(inp) - V(inn)) = e0 - g*vd0'
+  // where vd0' excludes the offset contribution (it is constant).
+  s.add(b, out_, 1.0);
+  s.add(b, b, -p_.r_out);
+  s.add(b, in_p_, -g);
+  s.add(b, in_n_, g);
+  s.inject(b, e0 - g * (vd - p_.input_offset));
+}
+
+void OpAmp::stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                     double omega) {
+  // Small-signal single-pole gain at the operating point: the tanh clamp
+  // derates the DC gain by (1 - tanh^2).
+  const double vd = op.v(in_p_) - op.v(in_n_) + p_.input_offset;
+  const double th = std::tanh(p_.open_loop_gain * vd / p_.v_sat);
+  const std::complex<double> gain =
+      (1.0 - th * th) * p_.open_loop_gain /
+      std::complex<double>(1.0, omega * p_.tau());
+  const int b = branch_row();
+  s.add(out_, b, {1.0, 0.0});
+  s.add(b, out_, {1.0, 0.0});
+  s.add(b, b, {-p_.r_out, 0.0});
+  s.add(b, in_p_, -gain);
+  s.add(b, in_n_, gain);
+}
+
+double OpAmp::stamp_noise(spice::AcStamper& s, const spice::StampContext& op,
+                          double omega, int /*k*/) {
+  // Input-referred voltage noise: equivalent to +1 V on vd, which drives
+  // the branch equation with the (frequency-dependent) open-loop gain.
+  const double vd = op.v(in_p_) - op.v(in_n_) + p_.input_offset;
+  const double th = std::tanh(p_.open_loop_gain * vd / p_.v_sat);
+  const std::complex<double> gain =
+      (1.0 - th * th) * p_.open_loop_gain /
+      std::complex<double>(1.0, omega * p_.tau());
+  s.inject(branch_row(), gain);
+  const double en = p_.input_noise_nv * 1e-9;
+  return en * en;
+}
+
+void OpAmp::accept_step(const spice::StampContext& ctx) {
+  double alpha = 1.0, beta = 0.0;
+  step_coeffs(ctx, alpha, beta);
+  const double vd = ctx.v(in_p_) - ctx.v(in_n_) + p_.input_offset;
+  double y = alpha * p_.open_loop_gain * vd + beta * y_prev_;
+  // Anti-windup: keep the integrator near the rails so recovery from
+  // saturation is not artificially slow.
+  y = std::clamp(y, -5.0 * p_.v_sat, 5.0 * p_.v_sat);
+  y_prev_ = y;
+  const double e = clamp_output(y);
+  e_prev_ = ctx.dc ? e : slew_limit(e, ctx.dt);
+}
+
+void OpAmp::reset_state() {
+  y_prev_ = 0.0;
+  e_prev_ = 0.0;
+}
+
+}  // namespace mda::dev

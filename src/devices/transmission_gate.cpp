@@ -1,0 +1,85 @@
+#include "devices/transmission_gate.hpp"
+
+#include <cmath>
+
+#include "spice/ac.hpp"
+
+namespace mda::dev {
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+TransmissionGate::TransmissionGate(spice::NodeId a, spice::NodeId b,
+                                   spice::NodeId ctrl,
+                                   TransmissionGateParams p)
+    : a_(a), b_(b), ctrl_(ctrl), p_(p) {}
+
+double TransmissionGate::conductance_at(double v_ctrl) const {
+  double z = (v_ctrl - p_.v_mid) / p_.v_scale;
+  if (!p_.active_high) z = -z;
+  return p_.g_off + (p_.g_on - p_.g_off) * sigmoid(z);
+}
+
+void TransmissionGate::stamp(spice::Stamper& s,
+                             const spice::StampContext& ctx) {
+  const double vc = ctx.v(ctrl_);
+  const double vab = ctx.v(a_) - ctx.v(b_);
+  double z = (vc - p_.v_mid) / p_.v_scale;
+  double sign = 1.0;
+  if (!p_.active_high) {
+    z = -z;
+    sign = -1.0;
+  }
+  const double sg = sigmoid(z);
+  const double g = p_.g_off + (p_.g_on - p_.g_off) * sg;
+  const double dg_dvc = sign * (p_.g_on - p_.g_off) * sg * (1.0 - sg) / p_.v_scale;
+  const double gc = dg_dvc * vab;  // dI/dVctrl
+
+  s.conductance(a_, b_, g);
+  s.add(a_, ctrl_, gc);
+  s.add(b_, ctrl_, -gc);
+  // rhs = J*x0 - I(x0); the conductance part cancels, leaving the ctrl term.
+  s.inject(a_, gc * vc);
+  s.inject(b_, -gc * vc);
+}
+
+void TransmissionGate::stamp_ac(spice::AcStamper& s,
+                                const spice::StampContext& op,
+                                double /*omega*/) {
+  // Channel conductance at the operating point; the ctrl transconductance
+  // also transfers small signals from the gate to the channel.
+  const double vc = op.v(ctrl_);
+  const double vab = op.v(a_) - op.v(b_);
+  double z = (vc - p_.v_mid) / p_.v_scale;
+  double sign = 1.0;
+  if (!p_.active_high) {
+    z = -z;
+    sign = -1.0;
+  }
+  const double sg = 1.0 / (1.0 + std::exp(-z));
+  const double g = p_.g_off + (p_.g_on - p_.g_off) * sg;
+  const double gc =
+      sign * (p_.g_on - p_.g_off) * sg * (1.0 - sg) / p_.v_scale * vab;
+  s.conductance(a_, b_, {g, 0.0});
+  s.add(a_, ctrl_, {gc, 0.0});
+  s.add(b_, ctrl_, {-gc, 0.0});
+}
+
+ConfigSwitch::ConfigSwitch(spice::NodeId a, spice::NodeId b, bool closed,
+                           double g_on, double g_off)
+    : a_(a), b_(b), closed_(closed), g_on_(g_on), g_off_(g_off) {}
+
+void ConfigSwitch::stamp(spice::Stamper& s, const spice::StampContext&) {
+  s.conductance(a_, b_, closed_ ? g_on_ : g_off_);
+}
+
+}  // namespace mda::dev

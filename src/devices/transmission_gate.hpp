@@ -1,0 +1,64 @@
+#pragma once
+// Voltage-controlled transmission gate.
+//
+// The configuration module uses TGs both statically (circuit reconfiguration
+// between distance functions) and dynamically (comparator-driven path
+// selection inside the LCS/EdD/HamD PEs).  Modeled as a conductance that
+// moves smoothly between G_off and G_on as the control voltage crosses the
+// switching midpoint:
+//   I(a->b) = G(vc) * (va - vb),
+//   G(vc)   = Goff + (Gon - Goff) * sigma(+-(vc - Vmid)/Vscale).
+
+#include "spice/device.hpp"
+
+namespace mda::dev {
+
+struct TransmissionGateParams {
+  double g_on = 1e-1;       ///< On conductance [S] (10 ohm switch).
+  double g_off = 1e-10;     ///< Off conductance [S].
+  double v_mid = 0.5;       ///< Control switching midpoint [V] (Vcc/2).
+  double v_scale = 0.01;    ///< Control transition width [V].
+  bool active_high = true;  ///< Conducts when ctrl is above v_mid.
+};
+
+class TransmissionGate : public spice::Device {
+ public:
+  TransmissionGate(spice::NodeId a, spice::NodeId b, spice::NodeId ctrl,
+                   TransmissionGateParams p = {});
+
+  [[nodiscard]] bool nonlinear() const override { return true; }
+  void stamp(spice::Stamper& s, const spice::StampContext& ctx) override;
+  void stamp_ac(spice::AcStamper& s, const spice::StampContext& op,
+                double omega) override;
+
+  /// Conductance at a given control voltage (for characterisation tests).
+  [[nodiscard]] double conductance_at(double v_ctrl) const;
+
+ private:
+  spice::NodeId a_;
+  spice::NodeId b_;
+  spice::NodeId ctrl_;
+  TransmissionGateParams p_;
+};
+
+/// Statically configured switch (configuration-library TG whose control is a
+/// stored bit, not a circuit node).  Linear during analysis.
+class ConfigSwitch : public spice::Device {
+ public:
+  ConfigSwitch(spice::NodeId a, spice::NodeId b, bool closed,
+               double g_on = 1e-1, double g_off = 1e-10);
+
+  void stamp(spice::Stamper& s, const spice::StampContext& ctx) override;
+
+  void set_closed(bool closed) { closed_ = closed; }
+  [[nodiscard]] bool closed() const { return closed_; }
+
+ private:
+  spice::NodeId a_;
+  spice::NodeId b_;
+  bool closed_;
+  double g_on_;
+  double g_off_;
+};
+
+}  // namespace mda::dev

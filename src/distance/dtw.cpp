@@ -1,0 +1,100 @@
+#include "distance/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mda::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool DistanceParams::in_band(std::size_t i, std::size_t j, std::size_t m,
+                             std::size_t n) const {
+  if (band < 0) return true;
+  // Scale the diagonal for unequal lengths (standard generalisation).
+  const double diag = n <= 1 || m <= 1
+                          ? static_cast<double>(i)
+                          : 1.0 + (static_cast<double>(j) - 1.0) *
+                                      (static_cast<double>(m) - 1.0) /
+                                      (static_cast<double>(n) - 1.0);
+  return std::abs(static_cast<double>(i) - diag) <= static_cast<double>(band);
+}
+
+double dtw(std::span<const double> p, std::span<const double> q,
+           const DistanceParams& params) {
+  const std::size_t m = p.size();
+  const std::size_t n = q.size();
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("dtw: empty sequence");
+  }
+  std::vector<double> prev(n + 1, kInf);
+  std::vector<double> cur(n + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur.assign(n + 1, kInf);
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (!params.in_band(i, j, m, n)) continue;
+      const double best = std::min({cur[j - 1], prev[j], prev[j - 1]});
+      if (best == kInf) continue;
+      const double cost =
+          params.w(i - 1, j - 1, n) * std::abs(p[i - 1] - q[j - 1]);
+      cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+std::vector<double> dtw_matrix(std::span<const double> p,
+                               std::span<const double> q,
+                               const DistanceParams& params) {
+  const std::size_t m = p.size();
+  const std::size_t n = q.size();
+  std::vector<double> d((m + 1) * (n + 1), kInf);
+  d[0] = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (!params.in_band(i, j, m, n)) continue;
+      const double best =
+          std::min({d[i * (n + 1) + j - 1], d[(i - 1) * (n + 1) + j],
+                    d[(i - 1) * (n + 1) + j - 1]});
+      if (best == kInf) continue;
+      const double cost =
+          params.w(i - 1, j - 1, n) * std::abs(p[i - 1] - q[j - 1]);
+      d[i * (n + 1) + j] = cost + best;
+    }
+  }
+  return d;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> dtw_path(
+    std::span<const double> p, std::span<const double> q,
+    const DistanceParams& params) {
+  const std::size_t m = p.size();
+  const std::size_t n = q.size();
+  const std::vector<double> d = dtw_matrix(p, q, params);
+  auto at = [&](std::size_t i, std::size_t j) { return d[i * (n + 1) + j]; };
+  std::vector<std::pair<std::size_t, std::size_t>> path;
+  std::size_t i = m, j = n;
+  while (i > 0 && j > 0) {
+    path.emplace_back(i, j);
+    const double diag = at(i - 1, j - 1);
+    const double up = at(i - 1, j);
+    const double left = at(i, j - 1);
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace mda::dist

@@ -1,0 +1,63 @@
+#include "distance/edit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mda::dist {
+
+double edit_distance(std::span<const double> p, std::span<const double> q,
+                     const DistanceParams& params) {
+  const std::size_t m = p.size();
+  const std::size_t n = q.size();
+  std::vector<double> prev(n + 1, 0.0);
+  std::vector<double> cur(n + 1, 0.0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    prev[j] = static_cast<double>(j) * params.vstep;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<double>(i) * params.vstep;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const double w = params.w(i - 1, j - 1, n) * params.vstep;
+      const double del = prev[j] + w;
+      const double ins = cur[j - 1] + w;
+      const bool equal = std::abs(p[i - 1] - q[j - 1]) <= params.threshold;
+      const double sub = prev[j - 1] + (equal ? 0.0 : w);
+      cur[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+std::vector<double> edit_matrix(std::span<const double> p,
+                                std::span<const double> q,
+                                const DistanceParams& params) {
+  const std::size_t m = p.size();
+  const std::size_t n = q.size();
+  std::vector<double> e((m + 1) * (n + 1), 0.0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    e[j] = static_cast<double>(j) * params.vstep;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    e[i * (n + 1)] = static_cast<double>(i) * params.vstep;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const double w = params.w(i - 1, j - 1, n) * params.vstep;
+      const double del = e[(i - 1) * (n + 1) + j] + w;
+      const double ins = e[i * (n + 1) + j - 1] + w;
+      const bool equal = std::abs(p[i - 1] - q[j - 1]) <= params.threshold;
+      const double sub = e[(i - 1) * (n + 1) + j - 1] + (equal ? 0.0 : w);
+      e[i * (n + 1) + j] = std::min({del, ins, sub});
+    }
+  }
+  return e;
+}
+
+std::size_t levenshtein(std::span<const int> a, std::span<const int> b) {
+  std::vector<double> pa(a.begin(), a.end());
+  std::vector<double> pb(b.begin(), b.end());
+  DistanceParams params;
+  params.threshold = 0.5;
+  return static_cast<std::size_t>(std::lround(edit_distance(pa, pb, params)));
+}
+
+}  // namespace mda::dist

@@ -1,0 +1,26 @@
+#include "distance/euclidean.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::dist {
+
+double squared_euclidean(std::span<const double> p, std::span<const double> q,
+                         const DistanceParams& params) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("euclidean: sequences must have equal length");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double diff = p[i] - q[i];
+    d += params.w(i) * diff * diff;
+  }
+  return d;
+}
+
+double euclidean(std::span<const double> p, std::span<const double> q,
+                 const DistanceParams& params) {
+  return std::sqrt(squared_euclidean(p, q, params));
+}
+
+}  // namespace mda::dist

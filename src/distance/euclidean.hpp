@@ -1,0 +1,20 @@
+#pragma once
+// Euclidean distance.  Not one of the six accelerated functions, but used as
+// the conventional baseline by the mining substrate and the UCR-style
+// experiments (and Fig. 5(f)'s axis label).
+
+#include <span>
+
+#include "distance/params.hpp"
+
+namespace mda::dist {
+
+/// Weighted Euclidean distance sqrt(sum w_i * (P_i - Q_i)^2).
+double euclidean(std::span<const double> p, std::span<const double> q,
+                 const DistanceParams& params = {});
+
+/// Squared Euclidean distance (cheaper; order-preserving).
+double squared_euclidean(std::span<const double> p, std::span<const double> q,
+                         const DistanceParams& params = {});
+
+}  // namespace mda::dist

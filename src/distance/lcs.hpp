@@ -1,0 +1,26 @@
+#pragma once
+// Longest common subsequence for time series (Equation (3)): elements match
+// when |P_i - Q_j| <= threshold; every match contributes w_ij * Vstep.
+// Unlike the other five functions, larger LCS means higher similarity.
+
+#include <span>
+#include <vector>
+
+#include "distance/params.hpp"
+
+namespace mda::dist {
+
+/// LCS similarity score L[m][n].
+double lcs(std::span<const double> p, std::span<const double> q,
+           const DistanceParams& params = {});
+
+/// Full DP matrix ((m+1) x (n+1), row-major) for circuit cross-checks.
+std::vector<double> lcs_matrix(std::span<const double> p,
+                               std::span<const double> q,
+                               const DistanceParams& params = {});
+
+/// Classic integer LCS length of two symbol strings (convenience wrapper
+/// used by the text-oriented tests; threshold 0.5 on symbol codes).
+std::size_t lcs_length(std::span<const int> a, std::span<const int> b);
+
+}  // namespace mda::dist

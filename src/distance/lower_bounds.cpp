@@ -1,0 +1,58 @@
+#include "distance/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::dist {
+
+double lb_kim(std::span<const double> p, std::span<const double> q) {
+  if (p.empty() || q.empty()) {
+    throw std::invalid_argument("lb_kim: empty sequence");
+  }
+  // The warping path must start at (1,1) and end at (m,n): the first and
+  // last alignments are fixed, so their costs bound the total from below.
+  const double first = std::abs(p.front() - q.front());
+  const double last = std::abs(p.back() - q.back());
+  return first + (p.size() > 1 && q.size() > 1 ? last : 0.0);
+}
+
+Envelope make_envelope(std::span<const double> q, int r) {
+  const std::size_t n = q.size();
+  Envelope env;
+  env.lower.resize(n);
+  env.upper.resize(n);
+  const std::size_t radius = r < 0 ? n : static_cast<std::size_t>(r);
+  // O(n*r) evaluation: r is small (5% of n in the paper's configuration),
+  // so this is linear in practice and obviously correct, which matters more
+  // for a reference implementation than a monotone-deque variant.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= radius ? i - radius : 0;
+    const std::size_t hi = std::min(n - 1, i + radius);
+    double mn = q[lo], mx = q[lo];
+    for (std::size_t k = lo + 1; k <= hi; ++k) {
+      mn = std::min(mn, q[k]);
+      mx = std::max(mx, q[k]);
+    }
+    env.lower[i] = mn;
+    env.upper[i] = mx;
+  }
+  return env;
+}
+
+double lb_keogh(std::span<const double> p, const Envelope& env) {
+  if (p.size() != env.lower.size()) {
+    throw std::invalid_argument("lb_keogh: envelope length mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > env.upper[i]) {
+      acc += p[i] - env.upper[i];
+    } else if (p[i] < env.lower[i]) {
+      acc += env.lower[i] - p[i];
+    }
+  }
+  return acc;
+}
+
+}  // namespace mda::dist

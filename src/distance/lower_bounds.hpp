@@ -1,0 +1,30 @@
+#pragma once
+// DTW lower bounds (Rakthanmanon et al., KDD'12 — the paper's reference [24]
+// for "software optimization with lower bound methods").  Used by the
+// subsequence-search substrate for the classic cascade:
+//   LB_Kim -> LB_Keogh -> full DTW.
+// Every bound is admissible: LB(P,Q) <= DTW(P,Q) for the same band.
+
+#include <span>
+#include <vector>
+
+#include "distance/params.hpp"
+
+namespace mda::dist {
+
+/// LB_Kim (constant time, first/last/min/max feature distances).  Uses the
+/// absolute-difference ground distance to match our DTW definition.
+double lb_kim(std::span<const double> p, std::span<const double> q);
+
+/// Upper/lower envelope of a series for a Sakoe-Chiba radius r.
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+Envelope make_envelope(std::span<const double> q, int r);
+
+/// LB_Keogh: sum of distances from p to the envelope of q.  `env` must have
+/// been built from q with the same band radius used for the final DTW.
+double lb_keogh(std::span<const double> p, const Envelope& env);
+
+}  // namespace mda::dist

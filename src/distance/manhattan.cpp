@@ -1,0 +1,20 @@
+#include "distance/manhattan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::dist {
+
+double manhattan(std::span<const double> p, std::span<const double> q,
+                 const DistanceParams& params) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("manhattan: sequences must have equal length");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    d += params.w(i) * std::abs(p[i] - q[i]);
+  }
+  return d;
+}
+
+}  // namespace mda::dist

@@ -1,0 +1,14 @@
+#pragma once
+// Manhattan distance (Equation (7)): sum of weighted absolute differences at
+// corresponding positions.  Sequences must have equal length.
+
+#include <span>
+
+#include "distance/params.hpp"
+
+namespace mda::dist {
+
+double manhattan(std::span<const double> p, std::span<const double> q,
+                 const DistanceParams& params = {});
+
+}  // namespace mda::dist

@@ -1,0 +1,104 @@
+#include "mining/kmedoids.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mda::mining {
+
+ClusteringResult kmedoids(const std::vector<data::Series>& items,
+                          const DistanceFn& fn, KMedoidsConfig cfg) {
+  const std::size_t n = items.size();
+  if (cfg.k == 0 || cfg.k > n) {
+    throw std::invalid_argument("kmedoids: k out of range");
+  }
+  // Precompute the pairwise matrix (mining tasks "invoke the distance a
+  // huge number of times" — this is the hot loop an accelerator offloads).
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = fn(items[i], items[j]);
+      const double cost = cfg.similarity ? -v : v;
+      d[i * n + j] = cost;
+      d[j * n + i] = cost;
+    }
+  }
+
+  util::Rng rng(cfg.seed);
+  std::vector<std::size_t> perm = rng.permutation(n);
+  ClusteringResult result;
+  result.medoids.assign(perm.begin(), perm.begin() + static_cast<long>(cfg.k));
+  result.assignment.assign(n, 0);
+
+  auto assign_all = [&]() {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < result.medoids.size(); ++c) {
+        const double cost = d[i * n + result.medoids[c]];
+        if (cost < best) {
+          best = cost;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      total += best;
+    }
+    return total;
+  };
+
+  result.total_cost = assign_all();
+  for (int it = 0; it < cfg.max_iters; ++it) {
+    result.iterations = it + 1;
+    bool improved = false;
+    // For each cluster, move the medoid to the member minimising the
+    // within-cluster cost.
+    for (std::size_t c = 0; c < result.medoids.size(); ++c) {
+      std::size_t best_medoid = result.medoids[c];
+      double best_cost = 0.0;
+      bool first = true;
+      for (std::size_t candidate = 0; candidate < n; ++candidate) {
+        if (result.assignment[candidate] != c) continue;
+        double cost = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (result.assignment[i] == c) cost += d[candidate * n + i];
+        }
+        if (first || cost < best_cost) {
+          first = false;
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != result.medoids[c]) {
+        result.medoids[c] = best_medoid;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+    result.total_cost = assign_all();
+  }
+  return result;
+}
+
+double rand_index(const std::vector<std::size_t>& assignment,
+                  const std::vector<int>& labels) {
+  if (assignment.size() != labels.size() || assignment.size() < 2) {
+    throw std::invalid_argument("rand_index: size mismatch");
+  }
+  const std::size_t n = assignment.size();
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_cluster = assignment[i] == assignment[j];
+      const bool same_label = labels[i] == labels[j];
+      agree += same_cluster == same_label ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace mda::mining

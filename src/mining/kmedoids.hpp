@@ -1,0 +1,38 @@
+#pragma once
+// k-medoids clustering (PAM-style) over an arbitrary distance — the second
+// of the paper's three motivating mining tasks.  Medoid-based (rather than
+// centroid-based) clustering works with any of the six distances, including
+// the elastic ones where averaging is ill-defined.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/series.hpp"
+#include "mining/knn.hpp"
+
+namespace mda::mining {
+
+struct ClusteringResult {
+  std::vector<std::size_t> medoids;      ///< Indices into the input items.
+  std::vector<std::size_t> assignment;   ///< Cluster id per item.
+  double total_cost = 0.0;               ///< Sum of within-cluster distances.
+  int iterations = 0;
+};
+
+struct KMedoidsConfig {
+  std::size_t k = 2;
+  int max_iters = 50;
+  std::uint64_t seed = 17;   ///< Initial medoid selection.
+  bool similarity = false;   ///< true for LCS-style scores.
+};
+
+/// Cluster `items` with the given distance.  Deterministic for a fixed seed.
+ClusteringResult kmedoids(const std::vector<data::Series>& items,
+                          const DistanceFn& fn, KMedoidsConfig cfg = {});
+
+/// Rand index between a clustering assignment and ground-truth labels
+/// (1.0 = identical partition structure).
+double rand_index(const std::vector<std::size_t>& assignment,
+                  const std::vector<int>& labels);
+
+}  // namespace mda::mining

@@ -1,0 +1,87 @@
+#include "mining/knn.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace mda::mining {
+
+KnnClassifier::KnnClassifier(DistanceFn fn, KnnConfig cfg)
+    : fn_(std::move(fn)), cfg_(cfg) {
+  if (cfg_.k == 0) throw std::invalid_argument("knn: k must be >= 1");
+}
+
+KnnClassifier KnnClassifier::with_reference(dist::DistanceKind kind,
+                                            dist::DistanceParams params,
+                                            KnnConfig cfg) {
+  cfg.similarity = dist::is_similarity(kind);
+  return KnnClassifier(
+      [kind, params](std::span<const double> a, std::span<const double> b) {
+        return dist::compute(kind, a, b, params);
+      },
+      cfg);
+}
+
+void KnnClassifier::fit(const data::Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("knn: empty training set");
+  train_ = train;
+}
+
+int KnnClassifier::vote(std::span<const double> query,
+                        std::size_t exclude) const {
+  struct Scored {
+    double score;
+    int label;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    if (i == exclude) continue;
+    const auto& item = train_.items[i];
+    scored.push_back({fn_(query, item.values), item.label});
+  }
+  const std::size_t k = std::min(cfg_.k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(), [&](const Scored& a, const Scored& b) {
+                      return cfg_.similarity ? a.score > b.score
+                                             : a.score < b.score;
+                    });
+  std::map<int, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) ++votes[scored[i].label];
+  int best_label = scored[0].label;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+int KnnClassifier::predict(std::span<const double> query) const {
+  if (train_.empty()) throw std::logic_error("knn: fit() before predict()");
+  return vote(query, std::numeric_limits<std::size_t>::max());
+}
+
+double KnnClassifier::evaluate(const data::Dataset& test) const {
+  if (test.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& item : test.items) {
+    if (predict(item.values) == item.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double KnnClassifier::loocv() const {
+  if (train_.empty()) throw std::logic_error("knn: fit() before loocv()");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    if (vote(train_.items[i].values, i) == train_.items[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(train_.size());
+}
+
+}  // namespace mda::mining

@@ -1,0 +1,56 @@
+#pragma once
+// k-nearest-neighbour time-series classification — the canonical downstream
+// task for the accelerated distance functions (Sec. 1: vehicle
+// classification with DTW, ECG similarity with LCS, ...).
+//
+// The distance is pluggable: a digital reference (kind + params) or any
+// callable — examples plug in Accelerator::compute to classify *through the
+// analog accelerator*.
+
+#include <functional>
+#include <span>
+
+#include "data/series.hpp"
+#include "distance/registry.hpp"
+
+namespace mda::mining {
+
+/// Distance callable: smaller = more similar unless `similarity` is set.
+using DistanceFn =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+struct KnnConfig {
+  std::size_t k = 1;
+  bool similarity = false;  ///< true: larger values are better (LCS).
+};
+
+class KnnClassifier {
+ public:
+  KnnClassifier(DistanceFn fn, KnnConfig cfg = {});
+
+  /// Convenience: digital reference distance of the given kind.
+  static KnnClassifier with_reference(dist::DistanceKind kind,
+                                      dist::DistanceParams params = {},
+                                      KnnConfig cfg = {});
+
+  void fit(const data::Dataset& train);
+
+  /// Majority label among the k nearest training series.
+  [[nodiscard]] int predict(std::span<const double> query) const;
+
+  /// Classification accuracy on a test set.
+  [[nodiscard]] double evaluate(const data::Dataset& test) const;
+
+  /// Leave-one-out accuracy on the training set.
+  [[nodiscard]] double loocv() const;
+
+ private:
+  [[nodiscard]] int vote(std::span<const double> query,
+                         std::size_t exclude) const;
+
+  DistanceFn fn_;
+  KnnConfig cfg_;
+  data::Dataset train_;
+};
+
+}  // namespace mda::mining

@@ -1,0 +1,98 @@
+#include "mining/motifs.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "data/normalize.hpp"
+
+namespace mda::mining {
+namespace {
+
+std::vector<data::Series> extract_windows(const data::Series& series,
+                                          const MotifConfig& cfg,
+                                          std::vector<std::size_t>& starts) {
+  if (cfg.window == 0 || series.size() < cfg.window) {
+    throw std::invalid_argument("motifs: window longer than series");
+  }
+  if (cfg.stride == 0) throw std::invalid_argument("motifs: stride must be >= 1");
+  std::vector<data::Series> windows;
+  for (std::size_t pos = 0; pos + cfg.window <= series.size();
+       pos += cfg.stride) {
+    std::span<const double> raw(series.data() + pos, cfg.window);
+    windows.push_back(cfg.znormalize
+                          ? data::znormalize(raw)
+                          : data::Series(raw.begin(), raw.end()));
+    starts.push_back(pos);
+  }
+  return windows;
+}
+
+}  // namespace
+
+MotifResult find_motif(const data::Series& series, const DistanceFn& fn,
+                       MotifConfig cfg) {
+  if (cfg.exclusion == 0) cfg.exclusion = cfg.window;
+  std::vector<std::size_t> starts;
+  const std::vector<data::Series> windows = extract_windows(series, cfg, starts);
+
+  MotifResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      if (starts[j] - starts[i] < cfg.exclusion) continue;  // trivial match
+      ++best.pairs_evaluated;
+      const double d = fn(windows[i], windows[j]);
+      if (d < best.distance) {
+        best.distance = d;
+        best.first = starts[i];
+        best.second = starts[j];
+      }
+    }
+  }
+  if (best.distance == std::numeric_limits<double>::infinity()) {
+    throw std::invalid_argument("motifs: no admissible window pair");
+  }
+  return best;
+}
+
+std::vector<Discord> find_discords(const data::Series& series,
+                                   const DistanceFn& fn, std::size_t k,
+                                   MotifConfig cfg) {
+  if (cfg.exclusion == 0) cfg.exclusion = cfg.window;
+  std::vector<std::size_t> starts;
+  const std::vector<data::Series> windows = extract_windows(series, cfg, starts);
+
+  // Nearest non-overlapping neighbour distance per window.
+  std::vector<Discord> all(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    double nn = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < windows.size(); ++j) {
+      const std::size_t gap =
+          starts[i] > starts[j] ? starts[i] - starts[j] : starts[j] - starts[i];
+      if (gap < cfg.exclusion) continue;
+      nn = std::min(nn, fn(windows[i], windows[j]));
+    }
+    all[i] = {starts[i], nn};
+  }
+  std::sort(all.begin(), all.end(), [](const Discord& a, const Discord& b) {
+    return a.nn_distance > b.nn_distance;
+  });
+  // Keep the top k, enforcing mutual non-overlap.
+  std::vector<Discord> top;
+  for (const Discord& d : all) {
+    if (top.size() >= k) break;
+    if (d.nn_distance == std::numeric_limits<double>::infinity()) continue;
+    bool overlaps = false;
+    for (const Discord& kept : top) {
+      const std::size_t gap = kept.position > d.position
+                                  ? kept.position - d.position
+                                  : d.position - kept.position;
+      if (gap < cfg.exclusion) overlaps = true;
+    }
+    if (!overlaps) top.push_back(d);
+  }
+  return top;
+}
+
+}  // namespace mda::mining

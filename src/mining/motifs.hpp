@@ -1,0 +1,52 @@
+#pragma once
+// Motif discovery and discord (anomaly) detection — the paper's third
+// mining task family ("classification, clustering and frequency pattern
+// mining are three main data mining tasks for time series", Sec. 1).
+//
+// Both are all-pairs subsequence problems: a motif is the closest pair of
+// non-overlapping windows; a discord is the window farthest from its
+// nearest non-overlapping neighbour.  The distance is pluggable (digital
+// reference or accelerator-backed) and a Euclidean-style early-abandon
+// cascade keeps the reference implementation usable on long streams.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/series.hpp"
+#include "mining/knn.hpp"
+
+namespace mda::mining {
+
+struct MotifConfig {
+  std::size_t window = 32;
+  /// Windows closer than this (in start offset) are considered trivial
+  /// matches and skipped; defaults to one window length.
+  std::size_t exclusion = 0;
+  std::size_t stride = 1;     ///< Window start stride (1 = every offset).
+  bool znormalize = true;
+};
+
+struct MotifResult {
+  std::size_t first = 0;   ///< Start of the first motif occurrence.
+  std::size_t second = 0;  ///< Start of the second occurrence.
+  double distance = 0.0;
+  std::size_t pairs_evaluated = 0;
+};
+
+/// Top motif: the closest non-overlapping window pair under `fn`.
+MotifResult find_motif(const data::Series& series, const DistanceFn& fn,
+                       MotifConfig cfg = {});
+
+struct Discord {
+  std::size_t position = 0;
+  double nn_distance = 0.0;  ///< Distance to the nearest neighbour.
+};
+
+/// Top-k discords: windows with the LARGEST nearest-neighbour distance
+/// (classic anomaly definition).  Results are sorted most anomalous first
+/// and mutually non-overlapping.
+std::vector<Discord> find_discords(const data::Series& series,
+                                   const DistanceFn& fn, std::size_t k,
+                                   MotifConfig cfg = {});
+
+}  // namespace mda::mining

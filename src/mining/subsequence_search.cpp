@@ -1,0 +1,63 @@
+#include "mining/subsequence_search.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "data/normalize.hpp"
+#include "distance/dtw.hpp"
+#include "distance/lower_bounds.hpp"
+
+namespace mda::mining {
+
+SearchResult dtw_subsequence_search(std::span<const double> haystack,
+                                    std::span<const double> needle,
+                                    SearchConfig cfg) {
+  const std::size_t m = needle.size();
+  if (m == 0 || haystack.size() < m) {
+    throw std::invalid_argument("search: needle longer than haystack");
+  }
+  const data::Series query =
+      cfg.znormalize ? data::znormalize(needle)
+                     : data::Series(needle.begin(), needle.end());
+  const int band = cfg.band >= 0 ? cfg.band
+                                 : static_cast<int>(m);  // unconstrained
+  const dist::Envelope env = dist::make_envelope(query, band);
+
+  dist::DistanceParams params;
+  params.band = cfg.band;
+  if (cfg.lb_margin < 1.0) {
+    throw std::invalid_argument("search: lb_margin must be >= 1");
+  }
+
+  SearchResult result;
+  result.windows = haystack.size() - m + 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t pos = 0; pos + m <= haystack.size(); ++pos) {
+    const std::span<const double> raw = haystack.subspan(pos, m);
+    const data::Series window =
+        cfg.znormalize ? data::znormalize(raw)
+                       : data::Series(raw.begin(), raw.end());
+    if (cfg.use_lower_bounds) {
+      if (dist::lb_kim(window, query) >= best * cfg.lb_margin) {
+        ++result.pruned_lb_kim;
+        continue;
+      }
+      if (dist::lb_keogh(window, env) >= best * cfg.lb_margin) {
+        ++result.pruned_lb_keogh;
+        continue;
+      }
+    }
+    ++result.full_dtw_evals;
+    const double d = cfg.dtw_override ? cfg.dtw_override(window, query)
+                                      : dist::dtw(window, query, params);
+    if (d < best) {
+      best = d;
+      result.position = pos;
+    }
+  }
+  result.distance = best;
+  return result;
+}
+
+}  // namespace mda::mining

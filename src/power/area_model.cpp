@@ -1,0 +1,62 @@
+#include "power/area_model.hpp"
+
+#include <algorithm>
+
+namespace mda::power {
+
+namespace {
+constexpr double kUm2PerMm2 = 1e6;
+}
+
+double AreaModel::pe_area_um2(const core::ConfigEntry& entry) const {
+  const double raw =
+      static_cast<double>(entry.opamps_per_pe) * params_.opamp_um2 +
+      static_cast<double>(entry.comparators_per_pe) * params_.comparator_um2 +
+      static_cast<double>(entry.tgates_per_pe) * params_.tgate_um2 +
+      static_cast<double>(entry.diodes_per_pe) * params_.diode_um2 +
+      static_cast<double>(entry.memristors_per_pe) * params_.memristor_um2;
+  return raw * (1.0 + params_.routing_overhead);
+}
+
+double AreaModel::dedicated_array_mm2(const core::ConfigEntry& entry,
+                                      std::size_t n) const {
+  const std::size_t pes = entry.matrix_structure ? n * n : n;
+  return pe_area_um2(entry) * static_cast<double>(pes) / kUm2PerMm2;
+}
+
+double AreaModel::unified_fabric_mm2(
+    const std::vector<core::ConfigEntry>& entries, std::size_t n) const {
+  // Superset PE: the maximum per-category inventory across functions (the
+  // "basis primitive" extraction of Sec. 3.1), plus one configuration TG
+  // per reusable primitive to switch it in or out.
+  core::ConfigEntry superset{};
+  superset.matrix_structure = true;
+  for (const auto& entry : entries) {
+    superset.opamps_per_pe =
+        std::max(superset.opamps_per_pe, entry.opamps_per_pe);
+    superset.comparators_per_pe =
+        std::max(superset.comparators_per_pe, entry.comparators_per_pe);
+    superset.tgates_per_pe =
+        std::max(superset.tgates_per_pe, entry.tgates_per_pe);
+    superset.diodes_per_pe =
+        std::max(superset.diodes_per_pe, entry.diodes_per_pe);
+    superset.memristors_per_pe =
+        std::max(superset.memristors_per_pe, entry.memristors_per_pe);
+  }
+  superset.tgates_per_pe += superset.opamps_per_pe + superset.diodes_per_pe;
+  return pe_area_um2(superset) * static_cast<double>(n * n) / kUm2PerMm2;
+}
+
+double AreaModel::converters_mm2(int dacs, int adcs) const {
+  return (dacs * params_.dac_um2 + adcs * params_.adc_um2) / kUm2PerMm2;
+}
+
+double AreaModel::saving_factor(
+    const std::vector<core::ConfigEntry>& entries, std::size_t n) const {
+  double dedicated = 0.0;
+  for (const auto& entry : entries) dedicated += dedicated_array_mm2(entry, n);
+  const double unified = unified_fabric_mm2(entries, n);
+  return dedicated / unified;
+}
+
+}  // namespace mda::power

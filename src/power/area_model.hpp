@@ -1,0 +1,62 @@
+#pragma once
+// Chip-area model for the reconfigurability claim in the paper's abstract:
+// "common circuit structure is extracted to save chip areas".
+//
+// The unified PE carries the superset of every function's primitives and is
+// reconfigured by transmission gates; the alternative is six dedicated
+// arrays.  This model prices both options from per-device area estimates
+// (32 nm-class analog blocks) and the measured PE inventories of the
+// configuration library, yielding the area-saving factor of the unified
+// fabric.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace mda::power {
+
+/// Per-device area estimates [um^2] for a 32 nm-class analog process.
+struct AreaParams {
+  double opamp_um2 = 180.0;       ///< Compact bulk-driven op-amp.
+  double comparator_um2 = 60.0;
+  double tgate_um2 = 2.0;
+  double diode_um2 = 1.5;
+  double memristor_um2 = 0.02;    ///< 4F^2 crosspoint device.
+  double dac_um2 = 9000.0;        ///< 8-bit 1.6 GS/s converter.
+  double adc_um2 = 12000.0;       ///< 8-bit 8.8 GS/s SAR.
+  double routing_overhead = 0.25; ///< Fractional wiring/config overhead.
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(AreaParams params = {}) : params_(params) {}
+
+  /// Area of one PE with the given inventory [um^2].
+  [[nodiscard]] double pe_area_um2(const core::ConfigEntry& entry) const;
+
+  /// Area of a dedicated n x n array for one function [mm^2]
+  /// (n PEs for row-structure functions).
+  [[nodiscard]] double dedicated_array_mm2(const core::ConfigEntry& entry,
+                                           std::size_t n) const;
+
+  /// Area of the unified reconfigurable fabric [mm^2]: each PE carries the
+  /// per-category superset of all functions' primitives plus the
+  /// configuration TGs, so one array serves every function.
+  [[nodiscard]] double unified_fabric_mm2(
+      const std::vector<core::ConfigEntry>& entries, std::size_t n) const;
+
+  /// Converter area shared by both options [mm^2].
+  [[nodiscard]] double converters_mm2(int dacs, int adcs) const;
+
+  /// Area-saving factor: sum of dedicated arrays / unified fabric.
+  [[nodiscard]] double saving_factor(
+      const std::vector<core::ConfigEntry>& entries, std::size_t n) const;
+
+  [[nodiscard]] const AreaParams& params() const { return params_; }
+
+ private:
+  AreaParams params_;
+};
+
+}  // namespace mda::power

@@ -1,0 +1,40 @@
+#include "power/baselines.hpp"
+
+#include <stdexcept>
+
+namespace mda::power {
+
+const std::vector<BaselineAccelerator>& published_baselines() {
+  // Per-SEQUENCE-ELEMENT estimates (Fig. 6(a) analyses "the processing time
+  // of each element in sequences"; all compared systems are linear in the
+  // sequence length at their operating points):
+  //  * [25] Sart et al., ICDE'10: FPGA DTW stream core; from the reported
+  //    ~45x speedup over CPU on length-421 subsequences -> ~10 ns/element.
+  //  * [22] Ozsoy et al.: GPU LCS ~1 GCUPS; one anti-diagonal of a
+  //    length-40 problem per element -> ~40 ns/element.
+  //  * [9] Farivar et al.: GPU edit distance ~0.6 GCUPS -> ~60 ns/element.
+  //  * [14] Kim et al.: GPU Hausdorff, ~10^8 point pairs/s over a length-40
+  //    inner scan -> ~80 ns/element.
+  //  * [29] Vandal & Savvides: CUDA iris matching, ~44 us per ~20k-bit
+  //    template batch-normalised -> ~2 ns/bit.
+  //  * [8] Chang et al.: GPU pairwise Manhattan ~0.5 GElem/s -> ~2 ns.
+  // Power: Sec. 4.3 (FPGA from Xilinx Power Estimator; GPUs at 80% of TDP).
+  static const std::vector<BaselineAccelerator> table = {
+      {dist::DistanceKind::Dtw, "FPGA", "[25]", 10.0, 4.76},
+      {dist::DistanceKind::Lcs, "GPU", "[22]", 40.0, 240.0},
+      {dist::DistanceKind::Edit, "GPU", "[9]", 60.0, 175.0},
+      {dist::DistanceKind::Hausdorff, "GPU", "[14]", 80.0, 120.0},
+      {dist::DistanceKind::Hamming, "GPU", "[29]", 2.0, 150.0},
+      {dist::DistanceKind::Manhattan, "GPU", "[8]", 2.0, 137.0},
+  };
+  return table;
+}
+
+const BaselineAccelerator& baseline_for(dist::DistanceKind kind) {
+  for (const auto& b : published_baselines()) {
+    if (b.kind == kind) return b;
+  }
+  throw std::out_of_range("no baseline for kind");
+}
+
+}  // namespace mda::power

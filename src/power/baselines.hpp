@@ -1,0 +1,33 @@
+#pragma once
+// Published accelerator baselines used by Fig. 6(a) and the Sec. 4.3 energy
+// comparison.
+//
+// The baseline systems are closed testbeds we cannot run; per DESIGN.md we
+// substitute a calibrated table: the device power figures are the ones the
+// paper itself states in Sec. 4.3 (FPGA via Xilinx Power Estimator, GPUs at
+// 80% TDP); the per-element processing times are estimates derived from the
+// throughput numbers reported in the cited publications (noted per entry).
+
+#include <string>
+#include <vector>
+
+#include "distance/registry.hpp"
+
+namespace mda::power {
+
+struct BaselineAccelerator {
+  dist::DistanceKind kind;
+  std::string platform;   ///< "FPGA" or "GPU".
+  std::string citation;   ///< Reference tag from the paper.
+  double per_element_ns;  ///< Estimated time per DP cell / element.
+  double power_w;         ///< Device power (Sec. 4.3).
+};
+
+/// One entry per distance function, matching the comparison set of
+/// Fig. 6(a): [25] DTW, [22] LCS, [9] EdD, [14] HauD, [29] HamD, [8] MD.
+const std::vector<BaselineAccelerator>& published_baselines();
+
+/// Lookup by kind; throws std::out_of_range if missing.
+const BaselineAccelerator& baseline_for(dist::DistanceKind kind);
+
+}  // namespace mda::power

@@ -1,0 +1,40 @@
+#include "power/energy_report.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace mda::power {
+
+double energy_efficiency(double speedup, double ours_power_w,
+                         double baseline_power_w) {
+  if (ours_power_w <= 0.0) {
+    throw std::invalid_argument("energy_efficiency: power must be > 0");
+  }
+  return speedup * baseline_power_w / ours_power_w;
+}
+
+EnergyComparison compare(dist::DistanceKind kind, double ours_power_w,
+                         double ours_per_element_ns) {
+  const BaselineAccelerator& base = baseline_for(kind);
+  EnergyComparison c;
+  c.kind = kind;
+  c.ours_power_w = ours_power_w;
+  c.baseline_power_w = base.power_w;
+  c.speedup = base.per_element_ns / ours_per_element_ns;
+  c.energy_ratio = energy_efficiency(c.speedup, ours_power_w, base.power_w);
+  return c;
+}
+
+std::string render(const std::vector<EnergyComparison>& rows) {
+  util::Table t({"func", "ours (W)", "baseline (W)", "speedup", "energy-eff"});
+  for (const auto& r : rows) {
+    t.add_row({dist::kind_name(r.kind), util::Table::fmt(r.ours_power_w, 2),
+               util::Table::fmt(r.baseline_power_w, 2),
+               util::Table::fmt(r.speedup, 1) + "x",
+               util::Table::fmt(r.energy_ratio, 1) + "x"});
+  }
+  return t.str();
+}
+
+}  // namespace mda::power

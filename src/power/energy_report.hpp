@@ -1,0 +1,34 @@
+#pragma once
+// Energy-efficiency comparison (Sec. 4.3 closing paragraph): combining the
+// speedup with the power ratio gives the energy-efficiency improvement
+//   EE = speedup * (P_baseline / P_ours)
+// which the paper reports as one to three orders of magnitude (26.7x-8767x).
+
+#include <string>
+#include <vector>
+
+#include "power/baselines.hpp"
+#include "power/power_model.hpp"
+
+namespace mda::power {
+
+struct EnergyComparison {
+  dist::DistanceKind kind;
+  double ours_power_w = 0.0;
+  double baseline_power_w = 0.0;
+  double speedup = 0.0;             ///< t_baseline / t_ours.
+  double energy_ratio = 0.0;        ///< E_baseline / E_ours.
+};
+
+/// Energy ratio from speedup and the two device powers.
+double energy_efficiency(double speedup, double ours_power_w,
+                         double baseline_power_w);
+
+/// Build the full comparison row for one function.
+EnergyComparison compare(dist::DistanceKind kind, double ours_power_w,
+                         double ours_per_element_ns);
+
+/// Render rows as an aligned table string (bench output helper).
+std::string render(const std::vector<EnergyComparison>& rows);
+
+}  // namespace mda::power

@@ -1,0 +1,76 @@
+#pragma once
+// Power model of Sec. 4.3.
+//
+// The paper's arithmetic: an op-amp consumes 18 uW (a 197 uW / 0.35 um
+// design with ideal capacitance scaling to 32 nm); a DAC 32 mW per
+// 1.6 GS/s; an ADC 35 mW per 8.8 GS/s; a memristor path biased at Vcc with
+// at least one HRS device dissipates Vcc^2 / Roff = 10 uW.  The number of
+// active PEs is the full n x n array (LCS/EdD/HauD), the Sakoe-Chiba band
+// area R*(2n - R) (DTW, R = 5% n), or n (row structure: HamD/MD).
+//
+// Device counts per PE come from the actual generated netlists (the PE
+// builders report their op-amp/memristor inventory), so the model stays
+// consistent with the circuits by construction.
+
+#include <cstddef>
+
+#include "distance/registry.hpp"
+
+namespace mda::power {
+
+struct TechParams {
+  double opamp_power_w = 18e-6;        ///< Per active op-amp (32 nm).
+  double dac_power_w = 32e-3;          ///< Per DAC (8-bit, 1.6 GS/s).
+  double dac_rate_sps = 1.6e9;         ///< DAC sample rate.
+  double adc_power_w = 35e-3;          ///< Per ADC (8-bit, 8.8 GS/s).
+  double adc_rate_sps = 8.8e9;         ///< ADC sample rate.
+  double memristor_path_power_w = 10e-6;  ///< Vcc^2 / Roff (HRS path).
+};
+
+/// Per-PE circuit inventory (from the PE netlist builders).
+struct PeInventory {
+  std::size_t opamps = 0;
+  std::size_t memristor_paths = 0;  ///< Source-to-ground resistive paths.
+};
+
+struct PowerBreakdown {
+  double opamps_w = 0.0;
+  double dacs_w = 0.0;
+  double adcs_w = 0.0;
+  double memristors_w = 0.0;
+  int num_dacs = 0;
+  int num_adcs = 0;
+
+  [[nodiscard]] double total_w() const {
+    return opamps_w + dacs_w + adcs_w + memristors_w;
+  }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(TechParams tech = {}) : tech_(tech) {}
+
+  /// Number of active PEs for a function on an n x n array (band = Sakoe-
+  /// Chiba radius in elements, only used by DTW; <0 means 5% of n).
+  [[nodiscard]] std::size_t active_pes(dist::DistanceKind kind, std::size_t n,
+                                       int band = -1) const;
+
+  /// Full accelerator power for one configured function.
+  /// `input_rate_sps` / `output_rate_sps` size the converter arrays
+  /// (ceil(rate / converter_rate) units each, at least 1).
+  [[nodiscard]] PowerBreakdown accelerator_power(
+      dist::DistanceKind kind, std::size_t n, const PeInventory& pe,
+      double input_rate_sps, double output_rate_sps, int band = -1) const;
+
+  [[nodiscard]] const TechParams& tech() const { return tech_; }
+
+  /// The paper's own scaling step: power of a reference op-amp scaled from
+  /// `from_nm` to `to_nm` assuming ideal capacitance scaling (linear in
+  /// feature size).
+  static double scale_power(double power_w, double from_nm, double to_nm);
+
+ private:
+  TechParams tech_;
+};
+
+}  // namespace mda::power

@@ -1,0 +1,177 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "spice/mna.hpp"
+#include "spice/transient.hpp"
+
+namespace mda::spice {
+
+// Default small-signal behaviour: device contributes nothing (open).
+void Device::stamp_ac(AcStamper&, const StampContext&, double) {}
+
+// Default: no noise generators.
+double Device::stamp_noise(AcStamper&, const StampContext&, double, int) {
+  return 0.0;
+}
+
+double AcTrace::magnitude_db(std::size_t i) const {
+  return 20.0 * std::log10(std::max(std::abs(v[i]), 1e-30));
+}
+
+double AcTrace::phase_deg(std::size_t i) const {
+  return std::arg(v[i]) * 180.0 / std::numbers::pi;
+}
+
+double AcTrace::bandwidth_3db_hz() const {
+  if (v.empty()) return 0.0;
+  const double ref = std::abs(v.front());
+  const double corner = ref / std::sqrt(2.0);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (std::abs(v[i]) < corner) {
+      // Log-interpolate between the bracketing points.
+      const double m0 = std::abs(v[i - 1]);
+      const double m1 = std::abs(v[i]);
+      const double f0 = freq_hz[i - 1];
+      const double f1 = freq_hz[i];
+      if (m0 == m1) return f1;
+      const double t = (m0 - corner) / (m0 - m1);
+      return f0 * std::pow(f1 / f0, t);
+    }
+  }
+  return 0.0;
+}
+
+const AcTrace& AcResult::trace(const std::string& name) const {
+  for (const auto& tr : traces) {
+    if (tr.name == name) return tr;
+  }
+  throw std::out_of_range("no AC trace named '" + name + "'");
+}
+
+AcAnalysis::AcAnalysis(Netlist& netlist, Tolerances tol)
+    : netlist_(&netlist), tol_(tol) {}
+
+std::size_t AcAnalysis::probe(NodeId node, std::string name) {
+  probes_.emplace_back(node, std::move(name));
+  return probes_.size() - 1;
+}
+
+AcResult AcAnalysis::run(double f_start_hz, double f_stop_hz, int points) {
+  AcResult result;
+  if (f_start_hz <= 0.0 || f_stop_hz <= f_start_hz || points < 2) {
+    result.error = "invalid sweep parameters";
+    return result;
+  }
+  // DC operating point first (assigns branch rows as a side effect).
+  TransientSimulator dc(*netlist_, tol_);
+  const std::vector<double> x0 = dc.dc_operating_point();
+  if (x0.empty()) {
+    result.error = "DC operating point failed";
+    return result;
+  }
+  const int dim = dc.mna().num_unknowns();
+
+  StampContext op;
+  op.dc = true;
+  op.x = &x0;
+
+  result.traces.reserve(probes_.size());
+  for (const auto& [node, name] : probes_) {
+    AcTrace tr;
+    tr.node = node;
+    tr.name = name;
+    result.traces.push_back(std::move(tr));
+  }
+
+  const double ratio = std::pow(f_stop_hz / f_start_hz,
+                                1.0 / static_cast<double>(points - 1));
+  double freq = f_start_hz;
+  for (int k = 0; k < points; ++k, freq *= ratio) {
+    const double omega = 2.0 * std::numbers::pi * freq;
+    AcStamper stamper(dim);
+    for (auto& dev : netlist_->devices()) dev->stamp_ac(stamper, op, omega);
+    // gmin keeps floating nodes solvable, as in the DC analysis.
+    for (int n = 0; n < dc.mna().num_nodes(); ++n) {
+      stamper.add(n, n, {tol_.gmin, 0.0});
+    }
+    ComplexDenseLu lu;
+    if (!lu.factor(dim, stamper.matrix())) {
+      result.error = "singular AC system at f=" + std::to_string(freq);
+      return result;
+    }
+    std::vector<std::complex<double>> x = stamper.rhs();
+    lu.solve(x);
+    for (std::size_t p = 0; p < probes_.size(); ++p) {
+      const NodeId node = probes_[p].first;
+      result.traces[p].freq_hz.push_back(freq);
+      result.traces[p].v.push_back(
+          node == kGround ? std::complex<double>{0.0, 0.0}
+                          : x[static_cast<std::size_t>(node)]);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+bool ComplexDenseLu::factor(int n, const std::vector<std::complex<double>>& a) {
+  n_ = n;
+  lu_ = a;
+  perm_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = i;
+  auto at = [&](int r, int c) -> std::complex<double>& {
+    return lu_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(c)];
+  };
+  for (int k = 0; k < n; ++k) {
+    int pivot = k;
+    double best = std::abs(at(k, k));
+    for (int r = k + 1; r < n; ++r) {
+      const double v = std::abs(at(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      for (int c = 0; c < n; ++c) std::swap(at(k, c), at(pivot, c));
+      std::swap(perm_[static_cast<std::size_t>(k)],
+                perm_[static_cast<std::size_t>(pivot)]);
+    }
+    const std::complex<double> inv = 1.0 / at(k, k);
+    for (int r = k + 1; r < n; ++r) {
+      const std::complex<double> f = at(r, k) * inv;
+      at(r, k) = f;
+      if (f == std::complex<double>{0.0, 0.0}) continue;
+      for (int c = k + 1; c < n; ++c) at(r, c) -= f * at(k, c);
+    }
+  }
+  return true;
+}
+
+void ComplexDenseLu::solve(std::vector<std::complex<double>>& b) const {
+  const int n = n_;
+  std::vector<std::complex<double>> y(static_cast<std::size_t>(n));
+  auto at = [&](int r, int c) {
+    return lu_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(c)];
+  };
+  for (int i = 0; i < n; ++i) {
+    std::complex<double> acc =
+        b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+    for (int j = 0; j < i; ++j) acc -= at(i, j) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    std::complex<double> acc = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      acc -= at(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = acc / at(i, i);
+  }
+}
+
+}  // namespace mda::spice

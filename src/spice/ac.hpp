@@ -1,0 +1,115 @@
+#pragma once
+// AC small-signal analysis.
+//
+// Linearises the circuit at its DC operating point and solves the complex
+// system (G(x0) + jwC) X = B over a frequency sweep.  Used to characterise
+// the analog blocks directly against Table 1 (closed-loop bandwidth from
+// the op-amp GBW, RC poles from the 20 fF parasitics) — the frequency-
+// domain view of the settling times the accelerator's evaluation measures
+// in the time domain.
+//
+// Devices participate through Device::stamp_ac(); the default treats the
+// device as absent (open), which is correct only for devices with no linear
+// small-signal behaviour, so every shipped device overrides it.
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/types.hpp"
+
+namespace mda::spice {
+
+/// Collects complex matrix/RHS contributions for one frequency point.
+class AcStamper {
+ public:
+  AcStamper(int dimension)
+      : dim_(dimension),
+        matrix_(static_cast<std::size_t>(dimension) *
+                    static_cast<std::size_t>(dimension),
+                {0.0, 0.0}),
+        rhs_(static_cast<std::size_t>(dimension), {0.0, 0.0}) {}
+
+  void add(int row, int col, std::complex<double> v) {
+    if (row < 0 || col < 0) return;
+    matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(dim_) +
+            static_cast<std::size_t>(col)] += v;
+  }
+
+  void conductance(NodeId a, NodeId b, std::complex<double> g) {
+    add(a, a, g);
+    add(b, b, g);
+    add(a, b, -g);
+    add(b, a, -g);
+  }
+
+  void inject(int row, std::complex<double> v) {
+    if (row < 0) return;
+    rhs_[static_cast<std::size_t>(row)] += v;
+  }
+
+  [[nodiscard]] const std::vector<std::complex<double>>& matrix() const {
+    return matrix_;
+  }
+  [[nodiscard]] const std::vector<std::complex<double>>& rhs() const {
+    return rhs_;
+  }
+  [[nodiscard]] int dimension() const { return dim_; }
+
+ private:
+  int dim_;
+  std::vector<std::complex<double>> matrix_;
+  std::vector<std::complex<double>> rhs_;
+};
+
+/// Result of a sweep: complex node voltage per frequency for each probe.
+struct AcTrace {
+  NodeId node = kGround;
+  std::string name;
+  std::vector<double> freq_hz;
+  std::vector<std::complex<double>> v;
+
+  [[nodiscard]] double magnitude_db(std::size_t i) const;
+  [[nodiscard]] double phase_deg(std::size_t i) const;
+  /// First frequency where |V| drops below |V(f0)| - 3 dB (0 if never).
+  [[nodiscard]] double bandwidth_3db_hz() const;
+};
+
+struct AcResult {
+  bool ok = false;
+  std::string error;
+  std::vector<AcTrace> traces;
+
+  [[nodiscard]] const AcTrace& trace(const std::string& name) const;
+};
+
+class AcAnalysis {
+ public:
+  explicit AcAnalysis(Netlist& netlist, Tolerances tol = {});
+
+  std::size_t probe(NodeId node, std::string name);
+
+  /// Logarithmic sweep from f_start to f_stop with `points` per sweep.
+  /// AC stimulus comes from sources with a nonzero ac_magnitude.
+  AcResult run(double f_start_hz, double f_stop_hz, int points);
+
+ private:
+  Netlist* netlist_;
+  Tolerances tol_;
+  std::vector<std::pair<NodeId, std::string>> probes_;
+};
+
+/// Dense complex LU with partial pivoting (AC systems are block-sized).
+class ComplexDenseLu {
+ public:
+  bool factor(int n, const std::vector<std::complex<double>>& a);
+  void solve(std::vector<std::complex<double>>& b) const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::complex<double>> lu_;
+  std::vector<int> perm_;
+};
+
+}  // namespace mda::spice

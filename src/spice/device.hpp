@@ -1,0 +1,132 @@
+#pragma once
+// Device interface for the MNA simulator.
+//
+// Each Newton iteration, every device stamps its linearisation around the
+// current iterate into the system matrix and right-hand side.  KCL rows use
+// the convention "sum of currents leaving the node through devices equals
+// the stamped RHS injection"; a two-terminal conductance G between nodes a,b
+// therefore stamps +G on the diagonals and -G off-diagonal.  Devices that
+// introduce a branch current (voltage sources, op-amp outputs) are assigned
+// one extra unknown row each by the MNA setup.
+
+#include <string>
+#include <vector>
+
+#include "spice/types.hpp"
+
+namespace mda::spice {
+
+/// Companion-model integration method for reactive devices.
+enum class Integration {
+  BackwardEuler,  ///< L-stable, damps ringing; the robust default.
+  Trapezoidal,    ///< 2nd-order accurate, energy preserving.
+};
+
+/// Everything a device needs to linearise itself at the current iterate.
+struct StampContext {
+  double t = 0.0;      ///< Current simulation time [s].
+  double dt = 0.0;     ///< Timestep [s]; 0 for the DC operating point.
+  bool dc = true;      ///< True for the DC operating point solve.
+  Integration method = Integration::BackwardEuler;
+  const std::vector<double>* x = nullptr;  ///< Current iterate (V then I).
+  double source_scale = 1.0;  ///< Source-stepping homotopy factor in [0,1].
+
+  /// Voltage of a node at the current iterate (0 for ground).
+  [[nodiscard]] double v(NodeId n) const {
+    return n == kGround ? 0.0 : (*x)[static_cast<std::size_t>(n)];
+  }
+  /// Value of unknown `row` (nodes and branch currents share one vector).
+  [[nodiscard]] double unknown(int row) const {
+    return row < 0 ? 0.0 : (*x)[static_cast<std::size_t>(row)];
+  }
+};
+
+/// Collects matrix/RHS contributions.  Ground rows/columns are discarded.
+class Stamper {
+ public:
+  Stamper(std::vector<int>& rows, std::vector<int>& cols,
+          std::vector<double>& vals, std::vector<double>& rhs)
+      : rows_(rows), cols_(cols), vals_(vals), rhs_(rhs) {}
+
+  /// Raw matrix entry A[row][col] += g (row/col may be node or branch index;
+  /// negative indices are ground and ignored).
+  void add(int row, int col, double g) {
+    if (row < 0 || col < 0 || g == 0.0) return;
+    rows_.push_back(row);
+    cols_.push_back(col);
+    vals_.push_back(g);
+  }
+
+  /// Conductance g between nodes a and b (standard 4-entry stamp).
+  void conductance(NodeId a, NodeId b, double g) {
+    add(a, a, g);
+    add(b, b, g);
+    add(a, b, -g);
+    add(b, a, -g);
+  }
+
+  /// Current injection `i` INTO node n (RHS contribution).
+  void inject(int row, double i) {
+    if (row < 0) return;
+    rhs_[static_cast<std::size_t>(row)] += i;
+  }
+
+ private:
+  std::vector<int>& rows_;
+  std::vector<int>& cols_;
+  std::vector<double>& vals_;
+  std::vector<double>& rhs_;
+};
+
+class AcStamper;
+
+/// Abstract circuit element.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Number of extra MNA unknowns (branch currents) this device needs.
+  [[nodiscard]] virtual int num_branches() const { return 0; }
+
+  /// Called once by MNA setup with the absolute row index of the device's
+  /// first branch unknown (== node_count + offset).
+  void assign_branch_row(int row) { branch_row_ = row; }
+  [[nodiscard]] int branch_row() const { return branch_row_; }
+
+  /// True if the device's stamp depends on the iterate (forces Newton loops).
+  [[nodiscard]] virtual bool nonlinear() const { return false; }
+
+  /// Stamp the linearisation at ctx.x into S.
+  virtual void stamp(Stamper& s, const StampContext& ctx) = 0;
+
+  /// Small-signal stamp at angular frequency `omega`, linearised at the DC
+  /// operating point carried in `op`.  The default stamps nothing (open);
+  /// every shipped device overrides this for AC analysis.
+  virtual void stamp_ac(AcStamper& s, const StampContext& op, double omega);
+
+  /// Number of independent noise generators in this device (default none).
+  [[nodiscard]] virtual int num_noise_sources() const { return 0; }
+
+  /// Inject the UNIT excitation of noise generator `k` into the AC
+  /// right-hand side (matrix entries must not be touched) and return the
+  /// generator's power spectral density (A^2/Hz for current generators,
+  /// already folded through the device transfer for voltage generators).
+  virtual double stamp_noise(AcStamper& s, const StampContext& op,
+                             double omega, int k);
+
+  /// Called when a timestep is accepted; devices with memory (capacitors,
+  /// op-amp lag, memristor state) commit their state here.
+  virtual void accept_step(const StampContext& /*ctx*/) {}
+
+  /// Reset internal state to t = 0 conditions (before a new analysis).
+  virtual void reset_state() {}
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+ private:
+  int branch_row_ = -1;
+  std::string label_;
+};
+
+}  // namespace mda::spice

@@ -1,0 +1,65 @@
+#include "spice/mna.hpp"
+
+#include "spice/dense.hpp"
+#include "spice/sparse.hpp"
+
+namespace mda::spice {
+
+namespace {
+// Below this size a dense solve is faster than sparse assembly overhead.
+constexpr int kDenseThreshold = 80;
+}  // namespace
+
+MnaSystem::MnaSystem(Netlist& netlist, Tolerances tol)
+    : netlist_(&netlist), tol_(tol) {
+  num_nodes_ = netlist.num_nodes();
+  int branch = num_nodes_;
+  for (auto& dev : netlist.devices()) {
+    const int nb = dev->num_branches();
+    if (nb > 0) {
+      dev->assign_branch_row(branch);
+      branch += nb;
+    }
+    if (dev->nonlinear()) has_nonlinear_ = true;
+  }
+  num_unknowns_ = branch;
+}
+
+bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
+                                 std::vector<double>& x_out) {
+  rows_.clear();
+  cols_.clear();
+  vals_.clear();
+  rhs_.assign(static_cast<std::size_t>(num_unknowns_), 0.0);
+  Stamper stamper(rows_, cols_, vals_, rhs_);
+  for (auto& dev : netlist_->devices()) dev->stamp(stamper, ctx);
+  // gmin to ground on every node keeps floating subcircuits solvable and
+  // implements gmin stepping when gmin_extra > 0.
+  const double g = tol_.gmin + gmin_extra;
+  for (int n = 0; n < num_nodes_; ++n) stamper.add(n, n, g);
+
+  x_out = rhs_;
+  if (num_unknowns_ <= kDenseThreshold) {
+    std::vector<double> dense(
+        static_cast<std::size_t>(num_unknowns_) *
+            static_cast<std::size_t>(num_unknowns_),
+        0.0);
+    for (std::size_t k = 0; k < vals_.size(); ++k) {
+      dense[static_cast<std::size_t>(rows_[k]) *
+                static_cast<std::size_t>(num_unknowns_) +
+            static_cast<std::size_t>(cols_[k])] += vals_[k];
+    }
+    DenseLu lu;
+    if (!lu.factor(num_unknowns_, dense)) return false;
+    lu.solve(x_out);
+    return true;
+  }
+  const CscMatrix a =
+      CscMatrix::from_triplets(num_unknowns_, rows_, cols_, vals_);
+  SparseLu lu;
+  if (!lu.factor(a)) return false;
+  lu.solve(x_out);
+  return true;
+}
+
+}  // namespace mda::spice

@@ -1,0 +1,47 @@
+#pragma once
+// Modified nodal analysis: maps a Netlist onto a linear system
+//   J * x = rhs,   x = [node voltages | branch currents]
+// and solves one linearised step (one Newton iteration) at a given iterate.
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/types.hpp"
+
+namespace mda::spice {
+
+class MnaSystem {
+ public:
+  /// Bind to a netlist.  Assigns branch rows to devices.  The netlist must
+  /// outlive the MnaSystem and must not gain devices afterwards.
+  explicit MnaSystem(Netlist& netlist, Tolerances tol = {});
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int num_unknowns() const { return num_unknowns_; }
+  [[nodiscard]] bool has_nonlinear_devices() const { return has_nonlinear_; }
+  [[nodiscard]] const Tolerances& tolerances() const { return tol_; }
+  [[nodiscard]] Netlist& netlist() { return *netlist_; }
+
+  /// Assemble the linearised system at ctx.x and solve it.  `gmin_extra`
+  /// adds an extra conductance to ground on every node row (gmin stepping).
+  /// Returns false if the matrix was singular.
+  bool solve_linearized(const StampContext& ctx, double gmin_extra,
+                        std::vector<double>& x_out);
+
+  /// True if unknown index `i` is a node voltage (false: branch current).
+  [[nodiscard]] bool is_voltage_unknown(int i) const { return i < num_nodes_; }
+
+ private:
+  Netlist* netlist_;
+  Tolerances tol_;
+  int num_nodes_ = 0;
+  int num_unknowns_ = 0;
+  bool has_nonlinear_ = false;
+  // Assembly scratch (reused across iterations).
+  std::vector<int> rows_;
+  std::vector<int> cols_;
+  std::vector<double> vals_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace mda::spice

@@ -1,0 +1,46 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spice/primitives.hpp"
+
+namespace mda::spice {
+
+NodeId Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd") return kGround;
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  name_to_id_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::fresh_node(const std::string& hint) {
+  return node(hint + "#" + std::to_string(fresh_counter_++));
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  static const std::string ground = "0";
+  if (id == kGround) return ground;
+  return node_names_.at(static_cast<std::size_t>(id));
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd") return kGround;
+  auto it = name_to_id_.find(name);
+  return it == name_to_id_.end() ? kGround - 2 : it->second;
+}
+
+void Netlist::add_parasitics(double c, const std::vector<NodeId>& skip) {
+  if (c <= 0.0) return;
+  const int n = num_nodes();
+  for (NodeId id = parasitic_watermark_; id < n; ++id) {
+    if (std::find(skip.begin(), skip.end(), id) != skip.end()) continue;
+    add<Capacitor>(id, kGround, c).set_label("cpar:" + node_name(id));
+  }
+  parasitic_watermark_ = n;
+}
+
+}  // namespace mda::spice

@@ -1,0 +1,79 @@
+#pragma once
+// Netlist: owns devices and the node name registry.
+//
+// Circuits are built programmatically (block and PE generators in
+// src/blocks and src/core); hierarchical node names ("pe_2_3/abs/out") keep
+// large generated netlists debuggable.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "spice/device.hpp"
+#include "spice/types.hpp"
+
+namespace mda::spice {
+
+class Netlist {
+ public:
+  Netlist() = default;
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
+  /// Create (or look up) a named node.  The name "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+
+  /// Create a fresh anonymous node with a unique generated name.
+  NodeId fresh_node(const std::string& hint = "n");
+
+  /// Number of non-ground nodes.
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(node_names_.size());
+  }
+
+  /// Name of a node (for diagnostics).
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  /// Look up an existing node id by name; returns kGround - 2 (= -3) if the
+  /// name is unknown so accidental use trips the MNA bounds checks.
+  [[nodiscard]] NodeId find_node(const std::string& name) const;
+
+  /// Construct and register a device.  Returns a reference retained by the
+  /// netlist (stable: devices are never removed).
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<Device>>& devices() {
+    return devices_;
+  }
+
+  /// Add a parasitic capacitance `c` from every currently existing non-ground
+  /// node to ground (the paper attaches 20 fF to each circuit net).  Nodes in
+  /// `skip` (e.g. ideal source nodes) are excluded.  Safe to call once after
+  /// construction; calling again only covers nodes created since.
+  void add_parasitics(double c, const std::vector<NodeId>& skip = {});
+
+  /// Total device count (diagnostics / area reporting).
+  [[nodiscard]] std::size_t num_devices() const { return devices_.size(); }
+
+ private:
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  std::vector<std::string> node_names_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  int parasitic_watermark_ = 0;  ///< Nodes below this already have parasitics.
+  int fresh_counter_ = 0;
+};
+
+}  // namespace mda::spice

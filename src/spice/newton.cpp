@@ -1,0 +1,117 @@
+#include "spice/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace mda::spice {
+
+NewtonResult NewtonSolver::iterate(std::vector<double>& x, double t, double dt,
+                                   bool dc, Integration method,
+                                   double gmin_extra, double source_scale) {
+  const Tolerances& tol = mna_->tolerances();
+  NewtonResult res;
+  std::vector<double> x_new;
+  StampContext ctx;
+  ctx.t = t;
+  ctx.dt = dt;
+  ctx.dc = dc;
+  ctx.method = method;
+  ctx.x = &x;
+  ctx.source_scale = source_scale;
+
+  const bool needs_iterations = mna_->has_nonlinear_devices();
+  // Damping applies only to nonlinear solves (a linear solve lands exactly);
+  // the limit shrinks periodically to break saturation-induced oscillation
+  // (high-gain op-amp stages flipping rail to rail between iterations).
+  double step_limit = tol.v_step_limit;
+  for (int it = 0; it < tol.max_newton_iters; ++it) {
+    if (!mna_->solve_linearized(ctx, gmin_extra, x_new)) {
+      res.converged = false;
+      res.iterations = it + 1;
+      return res;
+    }
+    if (needs_iterations && it > 0 && it % 25 == 0) {
+      step_limit = std::max(step_limit * 0.5, 1e-4);
+    }
+    double max_delta = 0.0;
+    bool converged = true;
+    for (int i = 0; i < mna_->num_unknowns(); ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      double delta = x_new[ui] - x[ui];
+      if (needs_iterations && mna_->is_voltage_unknown(i)) {
+        delta = std::clamp(delta, -step_limit, step_limit);
+      }
+      const double updated = x[ui] + delta;
+      const double atol = mna_->is_voltage_unknown(i) ? tol.vntol : tol.abstol;
+      const double limit =
+          atol + tol.reltol * std::max(std::abs(updated), std::abs(x[ui]));
+      if (std::abs(delta) > limit) converged = false;
+      max_delta = std::max(max_delta, std::abs(delta));
+      x[ui] = updated;
+    }
+    res.iterations = it + 1;
+    res.max_delta = max_delta;
+    if (!needs_iterations || converged) {
+      // Linear circuits converge in a single solve; nonlinear ones need the
+      // stamp to have been evaluated at (numerically) the final iterate, so
+      // require at least two passes.
+      if (!needs_iterations || it >= 1) {
+        res.converged = true;
+        return res;
+      }
+    }
+  }
+  res.converged = false;
+  return res;
+}
+
+NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
+                                 bool dc, Integration method) {
+  NewtonResult res = iterate(x, t, dt, dc, method, 0.0, 1.0);
+  if (res.converged) return res;
+
+  // gmin stepping: solve with a large artificial conductance to ground and
+  // progressively remove it.
+  util::log_debug() << "Newton failed at t=" << t << "; trying gmin stepping";
+  std::vector<double> x_try = x;
+  bool ok = true;
+  for (double gmin = 1e-2; gmin >= 1e-13; gmin /= 10.0) {
+    NewtonResult r = iterate(x_try, t, dt, dc, method, gmin, 1.0);
+    if (!r.converged) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    NewtonResult r = iterate(x_try, t, dt, dc, method, 0.0, 1.0);
+    if (r.converged) {
+      x = x_try;
+      return r;
+    }
+  }
+
+  // Source stepping homotopy as a last resort.
+  util::log_debug() << "gmin stepping failed at t=" << t
+                    << "; trying source stepping";
+  x_try.assign(x.size(), 0.0);
+  ok = true;
+  for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+    NewtonResult r =
+        iterate(x_try, t, dt, dc, method, 0.0, std::min(scale, 1.0));
+    if (!r.converged) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    x = x_try;
+    NewtonResult r;
+    r.converged = true;
+    return r;
+  }
+  return res;
+}
+
+}  // namespace mda::spice

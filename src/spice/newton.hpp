@@ -1,0 +1,37 @@
+#pragma once
+// Newton-Raphson solver over one MNA solve point (DC operating point or one
+// transient timestep), with per-iteration voltage damping and gmin / source
+// stepping fallbacks for hard nonlinear cases.
+
+#include <vector>
+
+#include "spice/mna.hpp"
+
+namespace mda::spice {
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double max_delta = 0.0;  ///< Largest unknown change at the last iteration.
+};
+
+class NewtonSolver {
+ public:
+  explicit NewtonSolver(MnaSystem& mna) : mna_(&mna) {}
+
+  /// Solve at the given time point starting from `x` (updated in place).
+  /// `t`/`dt`/`dc` describe the point; devices read companion state
+  /// themselves.  Applies gmin stepping, then source stepping, if the plain
+  /// iteration fails.
+  NewtonResult solve(std::vector<double>& x, double t, double dt, bool dc,
+                     Integration method = Integration::BackwardEuler);
+
+ private:
+  NewtonResult iterate(std::vector<double>& x, double t, double dt, bool dc,
+                       Integration method, double gmin_extra,
+                       double source_scale);
+
+  MnaSystem* mna_;
+};
+
+}  // namespace mda::spice

@@ -1,0 +1,168 @@
+#include "spice/primitives.hpp"
+
+#include <complex>
+#include <stdexcept>
+
+#include "spice/ac.hpp"
+
+namespace mda::spice {
+
+Resistor::Resistor(NodeId a, NodeId b, double ohms) : a_(a), b_(b), ohms_(ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("Resistor: ohms must be > 0");
+}
+
+void Resistor::stamp(Stamper& s, const StampContext& /*ctx*/) {
+  s.conductance(a_, b_, 1.0 / ohms_);
+}
+
+void Resistor::stamp_ac(AcStamper& s, const StampContext&, double) {
+  s.conductance(a_, b_, {1.0 / ohms_, 0.0});
+}
+
+double Resistor::stamp_noise(AcStamper& s, const StampContext&, double,
+                             int /*k*/) {
+  // Thermal (Johnson) current noise across the terminals: S_i = 4kT/R.
+  s.inject(a_, {1.0, 0.0});
+  s.inject(b_, {-1.0, 0.0});
+  constexpr double kBoltzmann = 1.380649e-23;
+  constexpr double kTemperature = 300.0;
+  return 4.0 * kBoltzmann * kTemperature / ohms_;
+}
+
+void Resistor::set_resistance(double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("Resistor: ohms must be > 0");
+  ohms_ = ohms;
+}
+
+Capacitor::Capacitor(NodeId a, NodeId b, double farads)
+    : a_(a), b_(b), farads_(farads) {
+  if (farads < 0.0) throw std::invalid_argument("Capacitor: farads must be >= 0");
+}
+
+void Capacitor::stamp(Stamper& s, const StampContext& ctx) {
+  if (ctx.dc || ctx.dt <= 0.0 || farads_ == 0.0) return;  // open in DC
+  if (ctx.method == Integration::Trapezoidal) {
+    // i_n = (2C/dt)(v_n - v_prev) - i_prev.
+    const double g = 2.0 * farads_ / ctx.dt;
+    s.conductance(a_, b_, g);
+    const double ieq = g * v_prev_ + i_prev_;
+    s.inject(a_, ieq);
+    s.inject(b_, -ieq);
+    return;
+  }
+  // Backward Euler: i = (C/dt) * (v - v_prev)  ->  G = C/dt, Ieq into a.
+  const double g = farads_ / ctx.dt;
+  s.conductance(a_, b_, g);
+  s.inject(a_, g * v_prev_);
+  s.inject(b_, -g * v_prev_);
+}
+
+void Capacitor::stamp_ac(AcStamper& s, const StampContext&, double omega) {
+  s.conductance(a_, b_, {0.0, omega * farads_});
+}
+
+void Capacitor::accept_step(const StampContext& ctx) {
+  const double v = ctx.v(a_) - ctx.v(b_);
+  if (!ctx.dc && ctx.dt > 0.0) {
+    i_prev_ = ctx.method == Integration::Trapezoidal
+                  ? 2.0 * farads_ / ctx.dt * (v - v_prev_) - i_prev_
+                  : farads_ / ctx.dt * (v - v_prev_);
+  } else {
+    i_prev_ = 0.0;
+  }
+  v_prev_ = v;
+}
+
+void Capacitor::reset_state() {
+  v_prev_ = 0.0;
+  i_prev_ = 0.0;
+}
+
+VSource::VSource(NodeId a, NodeId b, Waveform w, double series_ohms)
+    : a_(a), b_(b), wave_(std::move(w)), series_ohms_(series_ohms) {}
+
+void VSource::stamp(Stamper& s, const StampContext& ctx) {
+  const int b_row = branch_row();
+  // KCL: current leaves node a into the branch, enters node b.
+  s.add(a_, b_row, 1.0);
+  s.add(b_, b_row, -1.0);
+  // Branch equation: V(a) - V(b) - Rs*i = E(t).
+  s.add(b_row, a_, 1.0);
+  s.add(b_row, b_, -1.0);
+  s.add(b_row, b_row, -series_ohms_);
+  const double e = ctx.dc ? wave_.initial() : wave_.at(ctx.t);
+  s.inject(b_row, e * ctx.source_scale);
+}
+
+void VSource::stamp_ac(AcStamper& s, const StampContext&, double) {
+  const int b_row = branch_row();
+  s.add(a_, b_row, {1.0, 0.0});
+  s.add(b_, b_row, {-1.0, 0.0});
+  s.add(b_row, a_, {1.0, 0.0});
+  s.add(b_row, b_, {-1.0, 0.0});
+  s.add(b_row, b_row, {-series_ohms_, 0.0});
+  s.inject(b_row, {ac_magnitude_, 0.0});
+}
+
+Inductor::Inductor(NodeId a, NodeId b, double henries)
+    : a_(a), b_(b), henries_(henries) {
+  if (henries <= 0.0) throw std::invalid_argument("Inductor: henries must be > 0");
+}
+
+void Inductor::stamp(Stamper& s, const StampContext& ctx) {
+  const int b_row = branch_row();
+  s.add(a_, b_row, 1.0);
+  s.add(b_, b_row, -1.0);
+  s.add(b_row, a_, 1.0);
+  s.add(b_row, b_, -1.0);
+  if (ctx.dc || ctx.dt <= 0.0) {
+    // Short in DC: V(a) - V(b) = 0 (current free).
+    return;
+  }
+  if (ctx.method == Integration::Trapezoidal) {
+    // v_n = (2L/dt)(i_n - i_prev) - v_prev.
+    const double r = 2.0 * henries_ / ctx.dt;
+    s.add(b_row, b_row, -r);
+    s.inject(b_row, -r * i_prev_ - v_prev_);
+    return;
+  }
+  // Backward Euler: v_n = (L/dt)(i_n - i_prev).
+  const double r = henries_ / ctx.dt;
+  s.add(b_row, b_row, -r);
+  s.inject(b_row, -r * i_prev_);
+}
+
+void Inductor::stamp_ac(AcStamper& s, const StampContext&, double omega) {
+  const int b_row = branch_row();
+  s.add(a_, b_row, {1.0, 0.0});
+  s.add(b_, b_row, {-1.0, 0.0});
+  s.add(b_row, a_, {1.0, 0.0});
+  s.add(b_row, b_, {-1.0, 0.0});
+  s.add(b_row, b_row, {0.0, -omega * henries_});
+}
+
+void Inductor::accept_step(const StampContext& ctx) {
+  i_prev_ = ctx.unknown(branch_row());
+  v_prev_ = ctx.v(a_) - ctx.v(b_);
+}
+
+void Inductor::reset_state() {
+  i_prev_ = 0.0;
+  v_prev_ = 0.0;
+}
+
+ISource::ISource(NodeId a, NodeId b, Waveform w)
+    : a_(a), b_(b), wave_(std::move(w)) {}
+
+void ISource::stamp(Stamper& s, const StampContext& ctx) {
+  const double i = (ctx.dc ? wave_.initial() : wave_.at(ctx.t)) * ctx.source_scale;
+  s.inject(a_, i);
+  s.inject(b_, -i);
+}
+
+void ISource::stamp_ac(AcStamper& s, const StampContext&, double) {
+  s.inject(a_, {ac_magnitude_, 0.0});
+  s.inject(b_, {-ac_magnitude_, 0.0});
+}
+
+}  // namespace mda::spice

@@ -1,0 +1,125 @@
+#pragma once
+// Linear primitive devices: resistor, capacitor, independent sources.
+// Behavioral devices (diode, op-amp, comparator, transmission gate,
+// memristor) live in src/devices.
+
+#include "spice/device.hpp"
+#include "spice/waveform.hpp"
+
+namespace mda::spice {
+
+/// Ideal linear resistor.
+class Resistor : public Device {
+ public:
+  Resistor(NodeId a, NodeId b, double ohms);
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void stamp_ac(AcStamper& s, const StampContext& op, double omega) override;
+  [[nodiscard]] int num_noise_sources() const override { return 1; }
+  double stamp_noise(AcStamper& s, const StampContext& op, double omega,
+                     int k) override;
+
+  [[nodiscard]] double resistance() const { return ohms_; }
+  void set_resistance(double ohms);
+
+  [[nodiscard]] NodeId a() const { return a_; }
+  [[nodiscard]] NodeId b() const { return b_; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double ohms_;
+};
+
+/// Linear capacitor; backward-Euler or trapezoidal companion model per the
+/// analysis' Integration setting.  Open in DC.
+class Capacitor : public Device {
+ public:
+  Capacitor(NodeId a, NodeId b, double farads);
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void stamp_ac(AcStamper& s, const StampContext& op, double omega) override;
+  void accept_step(const StampContext& ctx) override;
+  void reset_state() override;
+
+  [[nodiscard]] double capacitance() const { return farads_; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double farads_;
+  double v_prev_ = 0.0;  ///< Voltage across at the last accepted step.
+  double i_prev_ = 0.0;  ///< Current at the last accepted step (trapezoidal).
+};
+
+/// Linear inductor (one branch unknown).  Short in DC.
+class Inductor : public Device {
+ public:
+  Inductor(NodeId a, NodeId b, double henries);
+
+  [[nodiscard]] int num_branches() const override { return 1; }
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void stamp_ac(AcStamper& s, const StampContext& op, double omega) override;
+  void accept_step(const StampContext& ctx) override;
+  void reset_state() override;
+
+  [[nodiscard]] double inductance() const { return henries_; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double henries_;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+};
+
+/// Independent voltage source with optional series resistance.
+/// Uses one branch unknown (the current delivered from node a to node b
+/// through the external circuit).
+class VSource : public Device {
+ public:
+  VSource(NodeId a, NodeId b, Waveform w, double series_ohms = 0.0);
+
+  [[nodiscard]] int num_branches() const override { return 1; }
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void stamp_ac(AcStamper& s, const StampContext& op, double omega) override;
+
+  /// AC stimulus amplitude (0 = quiet source in AC analysis).
+  void set_ac_magnitude(double mag) { ac_magnitude_ = mag; }
+  [[nodiscard]] double ac_magnitude() const { return ac_magnitude_; }
+
+  void set_waveform(Waveform w) { wave_ = std::move(w); }
+  [[nodiscard]] const Waveform& waveform() const { return wave_; }
+
+  /// Branch current at the given solution vector (positive = current flowing
+  /// out of terminal a into the circuit).
+  [[nodiscard]] double current(const std::vector<double>& x) const {
+    return x[static_cast<std::size_t>(branch_row())];
+  }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  Waveform wave_;
+  double series_ohms_;
+  double ac_magnitude_ = 0.0;
+};
+
+/// Independent current source: injects i(t) into node a, out of node b.
+class ISource : public Device {
+ public:
+  ISource(NodeId a, NodeId b, Waveform w);
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void stamp_ac(AcStamper& s, const StampContext& op, double omega) override;
+
+  void set_ac_magnitude(double mag) { ac_magnitude_ = mag; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  Waveform wave_;
+  double ac_magnitude_ = 0.0;
+};
+
+}  // namespace mda::spice

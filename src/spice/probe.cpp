@@ -1,0 +1,41 @@
+#include "spice/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mda::spice {
+
+double Trace::at(double time) const {
+  if (t.empty()) return 0.0;
+  if (time <= t.front()) return v.front();
+  if (time >= t.back()) return v.back();
+  const auto it = std::lower_bound(t.begin(), t.end(), time);
+  const auto hi = static_cast<std::size_t>(it - t.begin());
+  const std::size_t lo = hi - 1;
+  const double span = t[hi] - t[lo];
+  if (span <= 0.0) return v[hi];
+  const double frac = (time - t[lo]) / span;
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double settling_time(const Trace& trace, double rel_tol, double abs_floor) {
+  if (trace.empty()) return 0.0;
+  const double final = trace.final_value();
+  const double band = rel_tol * std::max(std::abs(final), abs_floor);
+  // Scan backwards for the last sample outside the band.
+  for (std::size_t i = trace.v.size(); i-- > 0;) {
+    if (std::abs(trace.v[i] - final) > band) {
+      // Settles between sample i and i+1; interpolate the crossing.
+      if (i + 1 >= trace.v.size()) return trace.t.back();
+      const double v0 = trace.v[i], v1 = trace.v[i + 1];
+      const double t0 = trace.t[i], t1 = trace.t[i + 1];
+      const double target = final + (v0 > final ? band : -band);
+      if (v1 == v0) return t1;
+      const double frac = std::clamp((target - v0) / (v1 - v0), 0.0, 1.0);
+      return t0 + frac * (t1 - t0);
+    }
+  }
+  return trace.t.front();  // settled from the very first sample
+}
+
+}  // namespace mda::spice

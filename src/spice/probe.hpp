@@ -1,0 +1,35 @@
+#pragma once
+// Waveform traces and the measurements the paper's evaluation uses:
+// final value and convergence (settling) time — "the interval between the
+// rising edge of the input and the timestamp when the output is within 0.1%
+// of the final value" (Sec. 4.2).
+
+#include <string>
+#include <vector>
+
+#include "spice/types.hpp"
+
+namespace mda::spice {
+
+/// A sampled waveform of one node voltage.
+struct Trace {
+  NodeId node = kGround;
+  std::string name;
+  std::vector<double> t;
+  std::vector<double> v;
+
+  [[nodiscard]] bool empty() const { return t.empty(); }
+  [[nodiscard]] double final_value() const { return v.empty() ? 0.0 : v.back(); }
+
+  /// Linear interpolation at time `time` (clamped to the trace range).
+  [[nodiscard]] double at(double time) const;
+};
+
+/// First time after which the trace stays within `rel_tol` of its final
+/// value.  `abs_floor` guards against final values near zero (tolerance is
+/// rel_tol * max(|final|, abs_floor)).  Returns 0 for an empty trace and the
+/// last sample time if the trace never settles.
+double settling_time(const Trace& trace, double rel_tol = 1e-3,
+                     double abs_floor = 1e-3);
+
+}  // namespace mda::spice

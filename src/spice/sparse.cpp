@@ -1,0 +1,249 @@
+#include "spice/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mda::spice {
+
+CscMatrix CscMatrix::from_triplets(int n, const std::vector<int>& rows,
+                                   const std::vector<int>& cols,
+                                   const std::vector<double>& vals) {
+  if (rows.size() != cols.size() || rows.size() != vals.size()) {
+    throw std::invalid_argument("from_triplets: size mismatch");
+  }
+  CscMatrix m;
+  m.n = n;
+  m.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  const std::size_t nnz_in = vals.size();
+  // Count entries per column.
+  for (std::size_t k = 0; k < nnz_in; ++k) {
+    ++m.col_ptr[static_cast<std::size_t>(cols[k]) + 1];
+  }
+  for (int c = 0; c < n; ++c) {
+    m.col_ptr[static_cast<std::size_t>(c) + 1] +=
+        m.col_ptr[static_cast<std::size_t>(c)];
+  }
+  m.row_idx.resize(nnz_in);
+  m.values.resize(nnz_in);
+  std::vector<int> next(m.col_ptr.begin(), m.col_ptr.end() - 1);
+  for (std::size_t k = 0; k < nnz_in; ++k) {
+    const int c = cols[k];
+    const int dst = next[static_cast<std::size_t>(c)]++;
+    m.row_idx[static_cast<std::size_t>(dst)] = rows[k];
+    m.values[static_cast<std::size_t>(dst)] = vals[k];
+  }
+  // Sort each column by row and sum duplicates in place.
+  std::vector<int> order;
+  CscMatrix out;
+  out.n = n;
+  out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.row_idx.reserve(nnz_in);
+  out.values.reserve(nnz_in);
+  for (int c = 0; c < n; ++c) {
+    const int begin = m.col_ptr[static_cast<std::size_t>(c)];
+    const int end = m.col_ptr[static_cast<std::size_t>(c) + 1];
+    order.resize(static_cast<std::size_t>(end - begin));
+    for (int k = begin; k < end; ++k) {
+      order[static_cast<std::size_t>(k - begin)] = k;
+    }
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      return m.row_idx[static_cast<std::size_t>(x)] <
+             m.row_idx[static_cast<std::size_t>(y)];
+    });
+    int last_row = -1;
+    for (int k : order) {
+      const int r = m.row_idx[static_cast<std::size_t>(k)];
+      const double v = m.values[static_cast<std::size_t>(k)];
+      if (r == last_row) {
+        out.values.back() += v;
+      } else {
+        out.row_idx.push_back(r);
+        out.values.push_back(v);
+        last_row = r;
+      }
+    }
+    out.col_ptr[static_cast<std::size_t>(c) + 1] =
+        static_cast<int>(out.row_idx.size());
+  }
+  return out;
+}
+
+void CscMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+  y.assign(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    const double xc = x[static_cast<std::size_t>(c)];
+    if (xc == 0.0) continue;
+    for (int k = col_ptr[static_cast<std::size_t>(c)];
+         k < col_ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+      y[static_cast<std::size_t>(row_idx[static_cast<std::size_t>(k)])] +=
+          values[static_cast<std::size_t>(k)] * xc;
+    }
+  }
+}
+
+bool SparseLu::factor(const CscMatrix& a) {
+  n_ = a.n;
+  const int n = n_;
+  l_colptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  u_colptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  l_rowidx_.clear();
+  l_values_.clear();
+  u_rowidx_.clear();
+  u_values_.clear();
+  perm_.assign(static_cast<std::size_t>(n), -1);
+  pinv_.assign(static_cast<std::size_t>(n), -1);
+
+  // Dense work vector (values by original row index) and visit marks.
+  std::vector<double> work(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  std::vector<int> pattern;      // reach set, in reverse topological order
+  std::vector<int> stack_node;   // DFS stacks
+  std::vector<int> stack_edge;
+  pattern.reserve(static_cast<std::size_t>(n));
+
+  for (int j = 0; j < n; ++j) {
+    // --- Symbolic: reachability of A(:,j) through the L structure. ---
+    pattern.clear();
+    for (int k = a.col_ptr[static_cast<std::size_t>(j)];
+         k < a.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      int r = a.row_idx[static_cast<std::size_t>(k)];
+      if (mark[static_cast<std::size_t>(r)] == j) continue;
+      // Depth-first search from r following columns of L already computed.
+      stack_node.clear();
+      stack_edge.clear();
+      stack_node.push_back(r);
+      const int piv0 = pinv_[static_cast<std::size_t>(r)];
+      stack_edge.push_back(piv0 >= 0 ? l_colptr_[static_cast<std::size_t>(piv0)]
+                                     : -1);
+      mark[static_cast<std::size_t>(r)] = j;
+      while (!stack_node.empty()) {
+        const int node = stack_node.back();
+        int& edge = stack_edge.back();
+        const int piv = pinv_[static_cast<std::size_t>(node)];
+        bool descended = false;
+        if (piv >= 0) {
+          const int end = l_colptr_[static_cast<std::size_t>(piv) + 1];
+          while (edge < end) {
+            const int child = l_rowidx_[static_cast<std::size_t>(edge)];
+            ++edge;
+            if (mark[static_cast<std::size_t>(child)] != j) {
+              mark[static_cast<std::size_t>(child)] = j;
+              stack_node.push_back(child);
+              const int cpiv = pinv_[static_cast<std::size_t>(child)];
+              stack_edge.push_back(
+                  cpiv >= 0 ? l_colptr_[static_cast<std::size_t>(cpiv)] : -1);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          pattern.push_back(node);  // post-order => reverse topological
+          stack_node.pop_back();
+          stack_edge.pop_back();
+        }
+      }
+    }
+
+    // --- Numeric: sparse triangular solve x = L \ A(:,j). ---
+    for (int r : pattern) work[static_cast<std::size_t>(r)] = 0.0;
+    for (int k = a.col_ptr[static_cast<std::size_t>(j)];
+         k < a.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      work[static_cast<std::size_t>(a.row_idx[static_cast<std::size_t>(k)])] =
+          a.values[static_cast<std::size_t>(k)];
+    }
+    // Process in topological order (reverse of post-order list).
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+      const int r = *it;
+      const int piv = pinv_[static_cast<std::size_t>(r)];
+      if (piv < 0) continue;  // row not yet pivotal: stays in L part
+      const double xr = work[static_cast<std::size_t>(r)];
+      if (xr == 0.0) continue;
+      for (int k = l_colptr_[static_cast<std::size_t>(piv)];
+           k < l_colptr_[static_cast<std::size_t>(piv) + 1]; ++k) {
+        work[static_cast<std::size_t>(l_rowidx_[static_cast<std::size_t>(k)])] -=
+            l_values_[static_cast<std::size_t>(k)] * xr;
+      }
+    }
+
+    // --- Pivot: largest magnitude among not-yet-pivotal rows. ---
+    int pivot_row = -1;
+    double pivot_abs = 0.0;
+    for (int r : pattern) {
+      if (pinv_[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = std::abs(work[static_cast<std::size_t>(r)]);
+      if (v > pivot_abs) {
+        pivot_abs = v;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row < 0 || pivot_abs < 1e-300) return false;  // singular
+
+    perm_[static_cast<std::size_t>(j)] = pivot_row;
+    pinv_[static_cast<std::size_t>(pivot_row)] = j;
+    const double pivot_val = work[static_cast<std::size_t>(pivot_row)];
+
+    // --- Store U(:,j) (pivotal rows) and L(:,j) (non-pivotal / pivot_row). ---
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+      const int r = *it;
+      const double v = work[static_cast<std::size_t>(r)];
+      const int piv = pinv_[static_cast<std::size_t>(r)];
+      if (r == pivot_row) continue;
+      if (piv >= 0 && piv < j) {
+        if (v != 0.0) {
+          u_rowidx_.push_back(piv);
+          u_values_.push_back(v);
+        }
+      } else if (v != 0.0) {
+        l_rowidx_.push_back(r);
+        l_values_.push_back(v / pivot_val);
+      }
+    }
+    // Diagonal of U last in the column (handy for back-substitution).
+    u_rowidx_.push_back(j);
+    u_values_.push_back(pivot_val);
+    l_colptr_[static_cast<std::size_t>(j) + 1] =
+        static_cast<int>(l_rowidx_.size());
+    u_colptr_[static_cast<std::size_t>(j) + 1] =
+        static_cast<int>(u_rowidx_.size());
+  }
+  return true;
+}
+
+void SparseLu::solve(std::vector<double>& b) const {
+  const int n = n_;
+  // Forward solve L y = P b, where rows of L are in original indices and the
+  // pivotal order is perm_.  y is indexed by pivot position.
+  std::vector<double> y(static_cast<std::size_t>(n));
+  // Work in "original row" space: w starts as b; eliminate in pivot order.
+  std::vector<double> w = b;
+  for (int j = 0; j < n; ++j) {
+    const int prow = perm_[static_cast<std::size_t>(j)];
+    const double yj = w[static_cast<std::size_t>(prow)];
+    y[static_cast<std::size_t>(j)] = yj;
+    if (yj == 0.0) continue;
+    for (int k = l_colptr_[static_cast<std::size_t>(j)];
+         k < l_colptr_[static_cast<std::size_t>(j) + 1]; ++k) {
+      w[static_cast<std::size_t>(l_rowidx_[static_cast<std::size_t>(k)])] -=
+          l_values_[static_cast<std::size_t>(k)] * yj;
+    }
+  }
+  // Backward solve U x = y (U stored columnwise with diagonal last).
+  std::vector<double>& x = b;
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int j = n - 1; j >= 0; --j) {
+    const int last = u_colptr_[static_cast<std::size_t>(j) + 1] - 1;
+    const double diag = u_values_[static_cast<std::size_t>(last)];
+    const double xj = y[static_cast<std::size_t>(j)] / diag;
+    x[static_cast<std::size_t>(j)] = xj;
+    if (xj == 0.0) continue;
+    for (int k = u_colptr_[static_cast<std::size_t>(j)]; k < last; ++k) {
+      y[static_cast<std::size_t>(u_rowidx_[static_cast<std::size_t>(k)])] -=
+          u_values_[static_cast<std::size_t>(k)] * xj;
+    }
+  }
+}
+
+}  // namespace mda::spice

@@ -1,0 +1,55 @@
+#pragma once
+// Sparse linear algebra for MNA: triplet assembly, CSC conversion, and a
+// left-looking (Gilbert-Peierls) LU factorisation with partial pivoting.
+//
+// Circuit matrices are extremely sparse (a handful of entries per row) and
+// moderately sized (up to ~10^5 unknowns for full-array netlists), which this
+// implementation handles comfortably without external dependencies.
+
+#include <cstddef>
+#include <vector>
+
+namespace mda::spice {
+
+/// Compressed sparse column matrix.
+struct CscMatrix {
+  int n = 0;                  ///< Square dimension.
+  std::vector<int> col_ptr;   ///< Size n+1.
+  std::vector<int> row_idx;   ///< Size nnz.
+  std::vector<double> values; ///< Size nnz.
+
+  /// Build from triplets, summing duplicates.
+  static CscMatrix from_triplets(int n, const std::vector<int>& rows,
+                                 const std::vector<int>& cols,
+                                 const std::vector<double>& vals);
+
+  /// y = A * x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+};
+
+/// Sparse LU with partial pivoting (Gilbert-Peierls).  Factor once, solve
+/// many right-hand sides.
+class SparseLu {
+ public:
+  /// Factor A.  Returns false if the matrix is numerically singular.
+  bool factor(const CscMatrix& a);
+
+  /// Solve A x = b (b is overwritten with x).  Requires a prior successful
+  /// factor().
+  void solve(std::vector<double>& b) const;
+
+  [[nodiscard]] int dimension() const { return n_; }
+
+ private:
+  int n_ = 0;
+  // L is unit-lower-triangular, U upper-triangular, both in CSC over the
+  // pivoted row ordering; perm_[k] = original row chosen as pivot k.
+  std::vector<int> l_colptr_, l_rowidx_;
+  std::vector<double> l_values_;
+  std::vector<int> u_colptr_, u_rowidx_;
+  std::vector<double> u_values_;
+  std::vector<int> perm_;   ///< pivot position -> original row
+  std::vector<int> pinv_;   ///< original row -> pivot position (or -1)
+};
+
+}  // namespace mda::spice

@@ -1,0 +1,22 @@
+#pragma once
+// Fundamental identifiers and tolerances shared across the circuit simulator.
+
+namespace mda::spice {
+
+/// Circuit node identifier.  `kGround` is the reference node and is never an
+/// MNA unknown; all other nodes are dense indices [0, N).
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+/// Simulator tolerances (SPICE-like defaults, tuned for the millivolt-scale
+/// signals used by the accelerator).
+struct Tolerances {
+  double reltol = 1e-6;       ///< Relative Newton convergence tolerance.
+  double vntol = 1e-9;        ///< Absolute tolerance on node voltages [V].
+  double abstol = 1e-12;      ///< Absolute tolerance on branch currents [A].
+  double gmin = 1e-12;        ///< Minimum conductance to ground per node [S].
+  int max_newton_iters = 400; ///< Iteration cap per solve.
+  double v_step_limit = 0.5;  ///< Max per-iteration voltage update [V].
+};
+
+}  // namespace mda::spice

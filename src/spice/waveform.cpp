@@ -1,0 +1,108 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mda::spice {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::Dc;
+  w.p_[0] = value;
+  return w;
+}
+
+Waveform Waveform::step(double initial, double final, double t_edge,
+                        double rise) {
+  Waveform w;
+  w.kind_ = Kind::Step;
+  w.p_[0] = initial;
+  w.p_[1] = final;
+  w.p_[2] = t_edge;
+  w.p_[3] = rise;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  Waveform w;
+  w.kind_ = Kind::Pwl;
+  std::sort(points.begin(), points.end());
+  w.points_ = std::move(points);
+  return w;
+}
+
+Waveform Waveform::pulse(double low, double high, double delay, double width,
+                         double period, double rise, double fall) {
+  Waveform w;
+  w.kind_ = Kind::Pulse;
+  w.p_[0] = low;
+  w.p_[1] = high;
+  w.p_[2] = delay;
+  w.p_[3] = width;
+  w.p_[4] = period;
+  w.p_[5] = rise;
+  w.p_[6] = fall;
+  return w;
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double freq,
+                        double delay) {
+  Waveform w;
+  w.kind_ = Kind::Sine;
+  w.p_[0] = offset;
+  w.p_[1] = amplitude;
+  w.p_[2] = freq;
+  w.p_[3] = delay;
+  return w;
+}
+
+double Waveform::at(double t) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return p_[0];
+    case Kind::Step: {
+      const double t0 = p_[2];
+      const double rise = p_[3];
+      if (t < t0) return p_[0];
+      if (rise <= 0.0 || t >= t0 + rise) return p_[1];
+      return p_[0] + (p_[1] - p_[0]) * (t - t0) / rise;
+    }
+    case Kind::Pwl: {
+      if (points_.empty()) return 0.0;
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const auto& [t0, v0] = points_[i - 1];
+          const auto& [t1, v1] = points_[i];
+          if (t1 == t0) return v1;
+          return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+        }
+      }
+      return points_.back().second;
+    }
+    case Kind::Pulse: {
+      const double low = p_[0], high = p_[1], delay = p_[2];
+      const double width = p_[3], period = p_[4];
+      const double rise = std::max(p_[5], 0.0), fall = std::max(p_[6], 0.0);
+      if (t < delay) return low;
+      double tp = t - delay;
+      if (period > 0.0) tp = std::fmod(tp, period);
+      if (tp < rise) return rise > 0 ? low + (high - low) * tp / rise : high;
+      if (tp < rise + width) return high;
+      if (tp < rise + width + fall) {
+        return high - (high - low) * (tp - rise - width) / fall;
+      }
+      return low;
+    }
+    case Kind::Sine: {
+      if (t < p_[3]) return p_[0];
+      return p_[0] +
+             p_[1] * std::sin(2.0 * std::numbers::pi * p_[2] * (t - p_[3]));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace mda::spice

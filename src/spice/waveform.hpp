@@ -1,0 +1,45 @@
+#pragma once
+// Time-dependent source values.  The accelerator applies inputs as voltage
+// steps ("rising edge of the input", Sec. 4.2), so Step is the workhorse;
+// PWL/Pulse/Sine support device characterisation tests.
+
+#include <vector>
+
+namespace mda::spice {
+
+/// Value of an independent source as a function of time.
+class Waveform {
+ public:
+  /// Constant value for all t.
+  static Waveform dc(double value);
+
+  /// `initial` for t < t_edge, then a linear ramp of `rise` seconds to
+  /// `final`.  rise == 0 gives an ideal step.
+  static Waveform step(double initial, double final, double t_edge,
+                       double rise = 0.0);
+
+  /// Piecewise-linear through (t, v) points; clamped outside the range.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Periodic pulse train.
+  static Waveform pulse(double low, double high, double delay, double width,
+                        double period, double rise = 0.0, double fall = 0.0);
+
+  /// offset + amplitude * sin(2*pi*freq*(t - delay)).
+  static Waveform sine(double offset, double amplitude, double freq,
+                       double delay = 0.0);
+
+  /// Evaluate at time t.
+  [[nodiscard]] double at(double t) const;
+
+  /// Value just before t = 0 (used for the DC operating point).
+  [[nodiscard]] double initial() const { return at(-1e-18); }
+
+ private:
+  enum class Kind { Dc, Step, Pwl, Pulse, Sine };
+  Kind kind_ = Kind::Dc;
+  double p_[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace mda::spice

@@ -1,0 +1,89 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mda::util {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      out << escape(cells[i]);
+    }
+    out << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> split_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == delim) {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+std::optional<std::vector<std::vector<double>>> read_numeric(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    for (char& ch : line) {
+      if (ch == ',' || ch == '\t' || ch == ';') ch = ' ';
+    }
+    std::istringstream ss(line);
+    std::vector<double> row;
+    double v = 0.0;
+    while (ss >> v) row.push_back(v);
+    if (!row.empty()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace mda::util

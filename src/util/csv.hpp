@@ -1,0 +1,26 @@
+#pragma once
+// Minimal CSV writer/reader used by benches (machine-readable experiment
+// outputs alongside the printed tables) and by the UCR dataset loader.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mda::util {
+
+/// Write rows of cells as an RFC-4180-ish CSV file.  Cells containing commas,
+/// quotes or newlines are quoted.  Returns false on I/O failure.
+bool write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Parse one delimited line into cells (handles quoted cells).
+std::vector<std::string> split_line(const std::string& line, char delim = ',');
+
+/// Read a whitespace- or comma-delimited numeric file: each line becomes a
+/// vector of doubles; non-numeric lines are skipped.  Returns nullopt if the
+/// file cannot be opened.
+std::optional<std::vector<std::vector<double>>> read_numeric(
+    const std::string& path);
+
+}  // namespace mda::util

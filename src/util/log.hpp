@@ -1,0 +1,43 @@
+#pragma once
+// Tiny leveled logger.  The simulator logs convergence diagnostics at Debug;
+// benches and examples log at Info.  Global level is process-wide.
+
+#include <sstream>
+#include <string>
+
+namespace mda::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set/get the global log level (default Warn, so library code is quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message if `level` passes the global filter.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    ss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+
+}  // namespace mda::util

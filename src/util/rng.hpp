@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic random number generation utilities.
+//
+// All stochastic behaviour in the library (synthetic datasets, process
+// variation sampling, stochastic memristor switching) flows through Rng so
+// that experiments are reproducible from a single seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace mda::util {
+
+/// Small, fast, seedable PRNG (xoshiro256**).  We deliberately avoid
+/// std::mt19937 in public interfaces so results are stable across standard
+/// library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::size_t index(std::size_t n);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Sample from an exponential distribution with the given rate (1/mean).
+  double exponential(double rate);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (for parallel reproducibility).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mda::util

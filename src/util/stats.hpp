@@ -1,0 +1,49 @@
+#pragma once
+// Lightweight descriptive statistics used by benches and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mda::util {
+
+/// Summary of a sample: count, mean, stddev (population), min, max, median.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute a Summary over the given values.  Empty input yields all zeros.
+Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean (0 for empty input).
+double mean(std::span<const double> values);
+
+/// Population standard deviation (0 for empty input).
+double stddev(std::span<const double> values);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// Pearson correlation coefficient of two equally sized samples.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Relative error |measured - expected| / max(|expected|, eps).
+double relative_error(double measured, double expected, double eps = 1e-12);
+
+/// Geometric mean of strictly positive values (0 if any value <= 0).
+double geometric_mean(std::span<const double> values);
+
+}  // namespace mda::util

@@ -1,0 +1,36 @@
+#pragma once
+// ASCII table printer for bench/report output.  Benches reproduce the paper's
+// tables/figures as printed rows; Table renders them consistently.
+
+#include <string>
+#include <vector>
+
+namespace mda::util {
+
+/// Column-aligned ASCII table.  Usage:
+///   Table t({"len", "time(ns)", "err"});
+///   t.add_row({"10", "4.2", "0.001"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Format helper: fixed-point with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Format helper: scientific notation.
+  static std::string sci(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mda::util

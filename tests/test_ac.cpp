@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/factory.hpp"
+#include "blocks/subtractor.hpp"
+#include "devices/opamp.hpp"
+#include "spice/ac.hpp"
+#include "spice/primitives.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+
+TEST(Ac, RcLowPassPole) {
+  // 100k * 20fF -> f_3dB = 1/(2 pi RC) ~ 79.6 MHz.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  auto& src = net.add<VSource>(in, kGround, Waveform::dc(0.0));
+  src.set_ac_magnitude(1.0);
+  net.add<Resistor>(in, out, 100e3);
+  net.add<Capacitor>(out, kGround, 20e-15);
+  AcAnalysis ac(net);
+  ac.probe(out, "out");
+  const AcResult r = ac.run(1e6, 1e10, 200);
+  ASSERT_TRUE(r.ok) << r.error;
+  const AcTrace& tr = r.trace("out");
+  EXPECT_NEAR(std::abs(tr.v.front()), 1.0, 1e-3);  // passband
+  const double f3 = tr.bandwidth_3db_hz();
+  EXPECT_NEAR(f3, 1.0 / (2.0 * std::numbers::pi * 100e3 * 20e-15), f3 * 0.05);
+  // Phase approaches -90 degrees well above the pole.
+  EXPECT_LT(tr.phase_deg(tr.v.size() - 1), -80.0);
+}
+
+TEST(Ac, RcHighFrequencyRolloff20dBPerDecade) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  auto& src = net.add<VSource>(in, kGround, Waveform::dc(0.0));
+  src.set_ac_magnitude(1.0);
+  net.add<Resistor>(in, out, 100e3);
+  net.add<Capacitor>(out, kGround, 20e-15);
+  AcAnalysis ac(net);
+  ac.probe(out, "out");
+  const AcResult r = ac.run(1e9, 1e11, 3);  // 1G, 10G, 100G (decades)
+  ASSERT_TRUE(r.ok);
+  const AcTrace& tr = r.trace("out");
+  const double roll1 = tr.magnitude_db(0) - tr.magnitude_db(1);
+  const double roll2 = tr.magnitude_db(1) - tr.magnitude_db(2);
+  EXPECT_NEAR(roll1, 20.0, 1.5);
+  EXPECT_NEAR(roll2, 20.0, 0.5);
+}
+
+TEST(Ac, UnityFollowerBandwidthNearGbw) {
+  // Closed-loop unity follower: f_3dB ~ GBW = 50 GHz (Table 1).
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  auto& src = net.add<VSource>(in, kGround, Waveform::dc(0.0));
+  src.set_ac_magnitude(1.0);
+  net.add<dev::OpAmp>(in, out, out);
+  AcAnalysis ac(net);
+  ac.probe(out, "out");
+  const AcResult r = ac.run(1e7, 1e12, 250);
+  ASSERT_TRUE(r.ok) << r.error;
+  const double f3 = r.trace("out").bandwidth_3db_hz();
+  EXPECT_GT(f3, 25e9);
+  EXPECT_LT(f3, 100e9);
+}
+
+TEST(Ac, InvertingAmpBandwidthScalesWithNoiseGain) {
+  // Gain -4 inverting amp: noise gain 5 -> f_3dB ~ GBW / 5 = 10 GHz.
+  auto bandwidth = [](double rf_over_ri) {
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId inn = net.node("inn");
+    const NodeId out = net.node("out");
+    auto& src = net.add<VSource>(in, kGround, Waveform::dc(0.0));
+    src.set_ac_magnitude(1.0);
+    net.add<Resistor>(in, inn, 10e3);
+    net.add<Resistor>(out, inn, rf_over_ri * 10e3);
+    net.add<dev::OpAmp>(kGround, inn, out);
+    AcAnalysis ac(net);
+    ac.probe(out, "out");
+    const AcResult r = ac.run(1e7, 1e12, 250);
+    EXPECT_TRUE(r.ok);
+    return r.trace("out").bandwidth_3db_hz();
+  };
+  const double bw1 = bandwidth(1.0);   // noise gain 2
+  const double bw4 = bandwidth(4.0);   // noise gain 5
+  EXPECT_NEAR(bw1 / bw4, 5.0 / 2.0, 0.4);
+}
+
+TEST(Ac, DiffAmpBlockPassbandGain) {
+  Netlist net;
+  blocks::BlockFactory f(net, blocks::AnalogEnv{});
+  const NodeId in = net.node("sig");
+  auto& src = net.add<VSource>(in, kGround, Waveform::dc(0.0));
+  src.set_ac_magnitude(0.01);
+  const auto h = blocks::make_diff_amp(f, in, kGround, 2.0, "da");
+  f.finalize_parasitics();
+  AcAnalysis ac(net);
+  ac.probe(h.out, "out");
+  const AcResult r = ac.run(1e4, 1e10, 120);
+  ASSERT_TRUE(r.ok) << r.error;
+  const AcTrace& tr = r.trace("out");
+  EXPECT_NEAR(std::abs(tr.v.front()), 0.02, 0.02 * 0.01);  // gain 2 passband
+  // The parasitic-loaded memristor network rolls off around a few GHz —
+  // far below the op-amp's 50 GHz GBW.
+  const double f3 = tr.bandwidth_3db_hz();
+  EXPECT_GT(f3, 1e8);
+  EXPECT_LT(f3, 1e10);
+}
+
+TEST(Ac, InvalidSweepRejected) {
+  Netlist net;
+  net.add<VSource>(net.node("a"), kGround, Waveform::dc(1.0));
+  AcAnalysis ac(net);
+  EXPECT_FALSE(ac.run(0.0, 1e9, 10).ok);
+  EXPECT_FALSE(ac.run(1e9, 1e6, 10).ok);
+  EXPECT_FALSE(ac.run(1e6, 1e9, 1).ok);
+}
+
+TEST(Ac, QuietSourceGivesZeroResponse) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::dc(0.5));  // DC bias, no AC
+  net.add<Resistor>(in, out, 1e3);
+  net.add<Resistor>(out, kGround, 1e3);
+  AcAnalysis ac(net);
+  ac.probe(out, "out");
+  const AcResult r = ac.run(1e6, 1e9, 10);
+  ASSERT_TRUE(r.ok);
+  for (const auto& v : r.trace("out").v) EXPECT_LT(std::abs(v), 1e-12);
+}
+
+}  // namespace

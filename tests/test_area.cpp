@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "power/area_model.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::power;
+
+core::ConfigEntry entry_with(std::size_t opamps, std::size_t comparators,
+                             std::size_t tgates, std::size_t diodes,
+                             std::size_t memristors, bool matrix) {
+  core::ConfigEntry e{};
+  e.opamps_per_pe = opamps;
+  e.comparators_per_pe = comparators;
+  e.tgates_per_pe = tgates;
+  e.diodes_per_pe = diodes;
+  e.memristors_per_pe = memristors;
+  e.matrix_structure = matrix;
+  return e;
+}
+
+TEST(AreaModel, PeAreaIsWeightedSumWithOverhead) {
+  AreaParams p;
+  p.routing_overhead = 0.0;
+  AreaModel plain(p);
+  const auto e = entry_with(2, 1, 3, 4, 10, true);
+  const double expected = 2 * p.opamp_um2 + 1 * p.comparator_um2 +
+                          3 * p.tgate_um2 + 4 * p.diode_um2 +
+                          10 * p.memristor_um2;
+  EXPECT_DOUBLE_EQ(plain.pe_area_um2(e), expected);
+  AreaModel with_overhead;  // default 25%
+  EXPECT_NEAR(with_overhead.pe_area_um2(e), expected * 1.25, 1e-9);
+}
+
+TEST(AreaModel, RowStructureUsesLinearPeCount) {
+  AreaModel area;
+  const auto matrix = entry_with(3, 0, 0, 2, 9, true);
+  auto row = matrix;
+  row.matrix_structure = false;
+  EXPECT_NEAR(area.dedicated_array_mm2(matrix, 64),
+              64.0 * area.dedicated_array_mm2(row, 64), 1e-12);
+}
+
+TEST(AreaModel, UnifiedFabricBeatsSixDedicatedArrays) {
+  // With the real configuration-library inventories, one superset fabric
+  // must be substantially smaller than six dedicated arrays — the paper's
+  // area-saving argument.
+  AreaModel area;
+  const auto& lib = core::configuration_library();
+  const double factor = area.saving_factor(lib, 128);
+  EXPECT_GT(factor, 1.5);
+  EXPECT_LT(factor, 6.0);  // cannot beat the sum by more than the count
+}
+
+TEST(AreaModel, UnifiedIsSupersetOfLargestFunction) {
+  // The unified fabric can never be smaller than the biggest single
+  // dedicated matrix array (it contains that PE plus extras).
+  AreaModel area;
+  const auto& lib = core::configuration_library();
+  double biggest = 0.0;
+  for (const auto& entry : lib) {
+    if (entry.matrix_structure) {
+      biggest = std::max(biggest, area.dedicated_array_mm2(entry, 128));
+    }
+  }
+  EXPECT_GE(area.unified_fabric_mm2(lib, 128), biggest);
+}
+
+TEST(AreaModel, ConverterArea) {
+  AreaModel area;
+  EXPECT_NEAR(area.converters_mm2(4, 1), (4 * 9000.0 + 12000.0) / 1e6, 1e-12);
+}
+
+}  // namespace

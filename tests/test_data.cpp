@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "data/ucr_loader.hpp"
+#include "distance/manhattan.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::data;
+
+TEST(Normalize, ZnormalizeMoments) {
+  Series s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Series z = znormalize(s);
+  EXPECT_NEAR(util::mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(util::stddev(z), 1.0, 1e-9);
+}
+
+TEST(Normalize, ConstantSeriesBecomesZeros) {
+  Series s = {3.0, 3.0, 3.0};
+  const Series z = znormalize(s);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Normalize, ResampleEndpoints) {
+  Series s = {0.0, 1.0, 2.0, 3.0};
+  for (std::size_t len : {2u, 4u, 7u, 40u}) {
+    const Series r = resample(s, len);
+    ASSERT_EQ(r.size(), len);
+    EXPECT_DOUBLE_EQ(r.front(), 0.0);
+    EXPECT_DOUBLE_EQ(r.back(), 3.0);
+  }
+}
+
+TEST(Normalize, ResampleLinearInterior) {
+  Series s = {0.0, 2.0};
+  const Series r = resample(s, 5);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+}
+
+TEST(Normalize, ResampleDegenerateInputs) {
+  EXPECT_THROW(resample(Series{1.0}, 0), std::invalid_argument);
+  const Series single = resample(Series{5.0}, 4);
+  for (double v : single) EXPECT_DOUBLE_EQ(v, 5.0);
+  const Series empty = resample(Series{}, 3);
+  for (double v : empty) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Normalize, ClampRange) {
+  Series s = {-4.0, 2.0, 8.0};
+  const Series c = clamp_range(s, 2.0);
+  double peak = 0.0;
+  for (double v : c) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 2.0, 1e-12);
+  // Already-in-range input untouched.
+  Series t = {-0.5, 0.5};
+  EXPECT_EQ(clamp_range(t, 2.0), t);
+}
+
+TEST(Normalize, PrepareAppliesBoth) {
+  Dataset ds;
+  ds.items.push_back({1, {1.0, 2.0, 3.0, 4.0}});
+  ds.items.push_back({2, {9.0, 8.0, 7.0, 6.0}});
+  const Dataset out = prepare(ds, 10);
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& item : out.items) EXPECT_EQ(item.values.size(), 10u);
+}
+
+TEST(Dataset, LabelsAndIndices) {
+  Dataset ds;
+  ds.items.push_back({2, {1.0}});
+  ds.items.push_back({1, {2.0}});
+  ds.items.push_back({2, {3.0}});
+  EXPECT_EQ(ds.labels(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(ds.indices_of(2), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(ds.common_length(), 1u);
+  ds.items.push_back({3, {1.0, 2.0}});
+  EXPECT_EQ(ds.common_length(), 0u);
+}
+
+class SurrogateSuite : public ::testing::TestWithParam<SurrogateKind> {};
+
+TEST_P(SurrogateSuite, DeterministicAndWellFormed) {
+  const SurrogateKind kind = GetParam();
+  const Dataset a = make_surrogate(kind, 7);
+  const Dataset b = make_surrogate(kind, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i].label, b.items[i].label);
+    EXPECT_EQ(a.items[i].values, b.items[i].values);
+  }
+  const std::size_t expected_classes = kind == SurrogateKind::Beef ? 5u : 6u;
+  EXPECT_EQ(a.labels().size(), expected_classes);
+  EXPECT_EQ(a.common_length(), 128u);
+}
+
+TEST_P(SurrogateSuite, ClassesAreSeparable) {
+  // Same-class pairs must be closer (MD after z-norm) than different-class
+  // pairs on average — the property the paper's experiments need.
+  const Dataset ds = prepare(make_surrogate(GetParam(), 7), 64);
+  double same = 0.0, diff = 0.0;
+  int same_n = 0, diff_n = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.size(); ++j) {
+      const double d =
+          mda::dist::manhattan(ds.items[i].values, ds.items[j].values, {});
+      if (ds.items[i].label == ds.items[j].label) {
+        same += d;
+        ++same_n;
+      } else {
+        diff += d;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, 0.7 * diff / diff_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SurrogateSuite,
+                         ::testing::Values(SurrogateKind::Beef,
+                                           SurrogateKind::Symbols,
+                                           SurrogateKind::OsuLeaf));
+
+TEST(Surrogate, NameMapping) {
+  EXPECT_EQ(surrogate_from_name("Beef"), SurrogateKind::Beef);
+  EXPECT_EQ(surrogate_from_name("OSULeaf"), SurrogateKind::OsuLeaf);
+  EXPECT_EQ(surrogate_name(SurrogateKind::Symbols), "Symbols");
+  EXPECT_THROW(surrogate_from_name("Coffee"), std::invalid_argument);
+}
+
+TEST(UcrLoader, ParsesTabSeparatedFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "mda_ucr";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "Tiny_TRAIN.tsv";
+  {
+    std::ofstream out(path);
+    out << "1\t0.5\t0.6\t0.7\n2\t-0.5\t-0.6\t-0.7\n";
+  }
+  const auto ds = load_ucr_file(path.string(), "Tiny");
+  ASSERT_TRUE(ds.has_value());
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->items[0].label, 1);
+  EXPECT_EQ(ds->items[1].label, 2);
+  EXPECT_EQ(ds->items[0].values.size(), 3u);
+  EXPECT_DOUBLE_EQ(ds->items[1].values[2], -0.7);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UcrLoader, SaveRoundTrip) {
+  Dataset ds;
+  ds.name = "RoundTrip";
+  ds.items.push_back({1, {0.25, -1.5, 3.125}});
+  ds.items.push_back({2, {9.0, 8.5}});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mda_roundtrip.tsv").string();
+  ASSERT_TRUE(save_ucr_file(ds, path));
+  const auto back = load_ucr_file(path, "RoundTrip");
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->items[0].label, 1);
+  EXPECT_EQ(back->items[0].values, ds.items[0].values);
+  EXPECT_EQ(back->items[1].values, ds.items[1].values);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(save_ucr_file(ds, "/nonexistent_dir/x.tsv"));
+}
+
+TEST(UcrLoader, FallsBackToSurrogate) {
+  const Dataset ds = load_ucr_or_surrogate("/nonexistent_dir", "Beef");
+  EXPECT_EQ(ds.name, "Beef");
+  EXPECT_FALSE(ds.empty());
+}
+
+TEST(Split, StratifiedPreservesClassesAndSizes) {
+  const Dataset ds = make_surrogate(SurrogateKind::Symbols, 7);
+  const Split split = stratified_split(ds, 0.75, 5);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+  // Every class appears on both sides (12 per class, 9/3 split).
+  EXPECT_EQ(split.train.labels(), ds.labels());
+  EXPECT_EQ(split.test.labels(), ds.labels());
+  for (int label : ds.labels()) {
+    EXPECT_EQ(split.train.indices_of(label).size(), 9u);
+    EXPECT_EQ(split.test.indices_of(label).size(), 3u);
+  }
+}
+
+TEST(Split, DeterministicAndValidated) {
+  const Dataset ds = make_surrogate(SurrogateKind::Beef, 7);
+  const Split a = stratified_split(ds, 0.5, 11);
+  const Split b = stratified_split(ds, 0.5, 11);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.items[i].values, b.train.items[i].values);
+  }
+  EXPECT_THROW(stratified_split(ds, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_split(ds, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Ecg, AnomalyChangesMorphology) {
+  const Series normal = make_ecg(512, 1.2, false, 3);
+  const Series anomalous = make_ecg(512, 1.2, true, 3);
+  ASSERT_EQ(normal.size(), anomalous.size());
+  double delta = 0.0;
+  for (std::size_t i = 0; i < normal.size(); ++i) {
+    delta += std::abs(normal[i] - anomalous[i]);
+  }
+  EXPECT_GT(delta / normal.size(), 0.01);
+}
+
+TEST(Vehicle, ClassesHaveDistinctSpeeds) {
+  const Series car = make_vehicle_profile(0, 128, 5);
+  const Series bus = make_vehicle_profile(1, 128, 5);
+  EXPECT_GT(util::mean(car), util::mean(bus));
+  EXPECT_THROW(make_vehicle_profile(9, 16, 1), std::invalid_argument);
+}
+
+TEST(Iris, ProbeFlipFraction) {
+  const auto code = make_iris_code(4096, 11);
+  const auto genuine = make_iris_probe(code, 0.05, 12);
+  const auto imposter = make_iris_probe(code, 0.5, 13);
+  std::size_t dg = 0, di = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    dg += code[i] != genuine[i] ? 1 : 0;
+    di += code[i] != imposter[i] ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(dg) / code.size(), 0.05, 0.02);
+  EXPECT_NEAR(static_cast<double>(di) / code.size(), 0.5, 0.03);
+}
+
+}  // namespace

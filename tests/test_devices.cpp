@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/comparator.hpp"
+#include "devices/diode.hpp"
+#include "devices/opamp.hpp"
+#include "devices/transmission_gate.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+
+TEST(Diode, CharacteristicMonotoneAndAsymmetric) {
+  dev::Diode d(0, 1);
+  EXPECT_NEAR(d.current(0.1), 0.1, 1e-4);       // forward: ~1 ohm
+  EXPECT_NEAR(d.current(-0.1), -1e-10, 1e-9);   // reverse: leakage only
+  EXPECT_GT(d.conductance(0.1), 0.99);
+  EXPECT_LT(d.conductance(-0.1), 1e-8);
+  // Monotone current.
+  double prev = d.current(-0.2);
+  for (double v = -0.19; v <= 0.2; v += 0.01) {
+    const double cur = d.current(v);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Diode, HalfWaveRectifierDc) {
+  // Forward: source 0.5V through diode into load -> load ~0.5V (0 threshold).
+  for (double vin : {0.5, -0.5}) {
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId out = net.node("out");
+    net.add<VSource>(in, kGround, Waveform::dc(vin));
+    net.add<dev::Diode>(in, out);
+    net.add<Resistor>(out, kGround, 100e3);
+    TransientSimulator sim(net);
+    const auto x = sim.dc_operating_point();
+    ASSERT_FALSE(x.empty());
+    const double vout = x[static_cast<std::size_t>(out)];
+    if (vin > 0) {
+      EXPECT_NEAR(vout, vin, 1e-4);
+    } else {
+      EXPECT_NEAR(vout, 0.0, 1e-4);
+    }
+  }
+}
+
+TEST(OpAmp, TauFromGbw) {
+  dev::OpAmpParams p;
+  // tau = A0 / (2 pi GBW) = 1e4 / (2 pi 5e10).
+  EXPECT_NEAR(p.tau(), 3.183e-8, 1e-10);
+}
+
+TEST(OpAmp, UnityBufferDc) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::dc(0.2));
+  net.add<dev::OpAmp>(in, out, out);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  // Follower error ~ 1/A0.
+  EXPECT_NEAR(x[static_cast<std::size_t>(out)], 0.2, 0.2 * 2e-4 + 1e-6);
+}
+
+TEST(OpAmp, InvertingAmpGain) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId inn = net.node("inn");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::dc(0.05));
+  net.add<Resistor>(in, inn, 10e3);
+  net.add<Resistor>(out, inn, 20e3);  // gain -2
+  net.add<dev::OpAmp>(kGround, inn, out);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(out)], -0.1, 2e-4);
+}
+
+TEST(OpAmp, SaturatesAtRails) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::dc(0.5));  // open loop, huge vd
+  net.add<dev::OpAmp>(in, kGround, out);
+  net.add<Resistor>(out, kGround, 100e3);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  const double vout = x[static_cast<std::size_t>(out)];
+  EXPECT_GT(vout, 0.95);
+  EXPECT_LE(vout, 1.01);
+}
+
+TEST(OpAmp, InputOffsetShiftsOutput) {
+  dev::OpAmpParams p;
+  p.input_offset = 1e-3;
+  Netlist net;
+  const NodeId out = net.node("out");
+  net.add<dev::OpAmp>(kGround, out, out, p);  // follower of 0 with offset
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(out)], 1e-3, 1e-5);
+}
+
+TEST(OpAmp, ClosedLoopStepSettlesAtGbwRate) {
+  // Unity follower driven by a step: closed-loop tau ~ 1/(2 pi GBW).
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 0.1, 0.0));
+  net.add<dev::OpAmp>(in, out, out);
+  net.add<Capacitor>(out, kGround, 20e-15);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 2e-9;
+  params.dt_init = 1e-13;
+  params.dt_max = 2e-12;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  const double ts = settling_time(r.trace("out"), 1e-3, 1e-3);
+  // Expect sub-ns settling (tau ps-scale plus the 20 fF / Rout load).
+  EXPECT_LT(ts, 1e-9);
+  EXPECT_NEAR(r.trace("out").final_value(), 0.1, 1e-4);
+}
+
+TEST(Comparator, OutputsHighAndLow) {
+  for (double vp : {0.02, -0.02}) {
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId out = net.node("out");
+    net.add<VSource>(in, kGround, Waveform::dc(vp));
+    net.add<dev::Comparator>(in, kGround, out);
+    net.add<Resistor>(out, kGround, 1e6);
+    TransientSimulator sim(net);
+    const auto x = sim.dc_operating_point();
+    ASSERT_FALSE(x.empty());
+    const double vout = x[static_cast<std::size_t>(out)];
+    if (vp > 0) {
+      EXPECT_GT(vout, 0.99);
+    } else {
+      EXPECT_LT(vout, 0.01);
+    }
+  }
+}
+
+TEST(Comparator, NearTieIsBounded) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::dc(0.0));
+  net.add<dev::Comparator>(in, kGround, out);
+  net.add<Resistor>(out, kGround, 1e6);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  const double vout = x[static_cast<std::size_t>(out)];
+  EXPECT_GT(vout, -0.01);
+  EXPECT_LT(vout, 1.01);
+}
+
+TEST(TransmissionGate, OnOffConductance) {
+  dev::TransmissionGateParams p;
+  dev::TransmissionGate tg(0, 1, 2, p);
+  EXPECT_NEAR(tg.conductance_at(1.0), p.g_on, p.g_on * 0.01);
+  EXPECT_NEAR(tg.conductance_at(0.0), p.g_off, p.g_on * 0.01);
+}
+
+TEST(TransmissionGate, SelectsPathInCircuit) {
+  for (double ctrl : {1.0, 0.0}) {
+    Netlist net;
+    const NodeId a = net.node("a");
+    const NodeId b = net.node("b");
+    const NodeId c = net.node("c");
+    const NodeId out = net.node("out");
+    net.add<VSource>(a, kGround, Waveform::dc(0.3));
+    net.add<VSource>(b, kGround, Waveform::dc(0.7));
+    net.add<VSource>(c, kGround, Waveform::dc(ctrl));
+    dev::TransmissionGateParams hi;
+    net.add<dev::TransmissionGate>(a, out, c, hi);
+    dev::TransmissionGateParams lo;
+    lo.active_high = false;
+    net.add<dev::TransmissionGate>(b, out, c, lo);
+    TransientSimulator sim(net);
+    const auto x = sim.dc_operating_point();
+    ASSERT_FALSE(x.empty());
+    const double vout = x[static_cast<std::size_t>(out)];
+    EXPECT_NEAR(vout, ctrl > 0.5 ? 0.3 : 0.7, 1e-3);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "distance/dtw.hpp"
+#include "distance/manhattan.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda::dist;
+
+TEST(Dtw, IdenticalSequencesAreZero) {
+  std::vector<double> p = {1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(dtw(p, p), 0.0);
+}
+
+TEST(Dtw, KnownSmallExample) {
+  std::vector<double> p = {1.0, 2.0, 0.5};
+  std::vector<double> q = {0.8, 1.7, 0.6};
+  EXPECT_NEAR(dtw(p, q), 0.6, 1e-12);
+}
+
+TEST(Dtw, SingleElement) {
+  std::vector<double> p = {3.0};
+  std::vector<double> q = {1.0};
+  EXPECT_DOUBLE_EQ(dtw(p, q), 2.0);
+}
+
+TEST(Dtw, WarpingAbsorbsTimeShift) {
+  // A shifted copy should be much closer under DTW than element-wise.
+  std::vector<double> p, q;
+  for (int i = 0; i < 32; ++i) {
+    p.push_back(std::sin(0.4 * i));
+    q.push_back(std::sin(0.4 * (i - 2)));
+  }
+  DistanceParams params;
+  EXPECT_LT(dtw(p, q), 0.25 * manhattan(p, q, params));
+}
+
+TEST(Dtw, SymmetricUnweighted) {
+  mda::util::Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> p(8), q(11);
+    for (double& v : p) v = rng.uniform(-1, 1);
+    for (double& v : q) v = rng.uniform(-1, 1);
+    EXPECT_NEAR(dtw(p, q), dtw(q, p), 1e-12);
+  }
+}
+
+TEST(Dtw, UnequalLengths) {
+  std::vector<double> p = {0.0, 1.0, 2.0};
+  std::vector<double> q = {0.0, 0.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(dtw(p, q), 0.0);  // q is p with repeats: free under DTW
+}
+
+TEST(Dtw, EmptyThrows) {
+  std::vector<double> p = {1.0};
+  std::vector<double> empty;
+  EXPECT_THROW(dtw(empty, p), std::invalid_argument);
+  EXPECT_THROW(dtw(p, empty), std::invalid_argument);
+}
+
+TEST(Dtw, BandZeroEqualsDiagonalPath) {
+  // With radius 0 on equal lengths the only path is the diagonal -> MD.
+  mda::util::Rng rng(4);
+  std::vector<double> p(12), q(12);
+  for (double& v : p) v = rng.uniform(-1, 1);
+  for (double& v : q) v = rng.uniform(-1, 1);
+  DistanceParams banded;
+  banded.band = 0;
+  EXPECT_NEAR(dtw(p, q, banded), manhattan(p, q, {}), 1e-12);
+}
+
+TEST(Dtw, WideningBandNeverIncreasesDistance) {
+  mda::util::Rng rng(5);
+  std::vector<double> p(16), q(16);
+  for (double& v : p) v = rng.uniform(-1, 1);
+  for (double& v : q) v = rng.uniform(-1, 1);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int band : {0, 1, 2, 4, 8, 16}) {
+    DistanceParams params;
+    params.band = band;
+    const double d = dtw(p, q, params);
+    EXPECT_LE(d, prev + 1e-12) << "band=" << band;
+    prev = d;
+  }
+  DistanceParams unconstrained;
+  EXPECT_NEAR(prev, dtw(p, q, unconstrained), 1e-12);
+}
+
+TEST(Dtw, MatrixAgreesWithScalar) {
+  mda::util::Rng rng(6);
+  std::vector<double> p(9), q(7);
+  for (double& v : p) v = rng.uniform(-2, 2);
+  for (double& v : q) v = rng.uniform(-2, 2);
+  const auto m = dtw_matrix(p, q);
+  EXPECT_NEAR(m[9 * 8 + 7], dtw(p, q), 1e-12);
+}
+
+TEST(Dtw, PathIsValidAndCostMatches) {
+  mda::util::Rng rng(7);
+  std::vector<double> p(10), q(12);
+  for (double& v : p) v = rng.uniform(-1, 1);
+  for (double& v : q) v = rng.uniform(-1, 1);
+  const auto path = dtw_path(p, q);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (std::pair<std::size_t, std::size_t>{1, 1}));
+  EXPECT_EQ(path.back(), (std::pair<std::size_t, std::size_t>{10, 12}));
+  double cost = 0.0;
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    const auto [i, j] = path[k];
+    cost += std::abs(p[i - 1] - q[j - 1]);
+    if (k > 0) {
+      const auto [pi, pj] = path[k - 1];
+      const std::size_t di = i - pi;
+      const std::size_t dj = j - pj;
+      EXPECT_TRUE((di == 0 || di == 1) && (dj == 0 || dj == 1) &&
+                  (di + dj >= 1));
+    }
+  }
+  EXPECT_NEAR(cost, dtw(p, q), 1e-9);
+}
+
+TEST(Dtw, WeightsScaleLinearly) {
+  std::vector<double> p = {1.0, 2.0, 0.5, 1.5};
+  std::vector<double> q = {0.8, 1.7, 0.6, 1.2};
+  std::vector<double> w(16, 2.0);
+  DistanceParams weighted;
+  weighted.pair_weights = &w;
+  EXPECT_NEAR(dtw(p, q, weighted), 2.0 * dtw(p, q), 1e-12);
+}
+
+TEST(Dtw, NonUniformWeightsChangePath) {
+  // Penalising the mandatory start cell (1,1), which has nonzero ground
+  // cost here, must raise the distance.
+  std::vector<double> p = {0.0, 1.0};
+  std::vector<double> q = {1.0, 0.0};
+  std::vector<double> w = {100.0, 1.0, 1.0, 1.0};
+  DistanceParams weighted;
+  weighted.pair_weights = &w;
+  EXPECT_GT(dtw(p, q, weighted), dtw(p, q));
+}
+
+TEST(Dtw, TriangleWithItselfViaConcatenation) {
+  // Sanity property: dtw(p, q) <= manhattan(p, q) for equal lengths (the
+  // diagonal path is one admissible warping).
+  mda::util::Rng rng(8);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> p(10), q(10);
+    for (double& v : p) v = rng.uniform(-2, 2);
+    for (double& v : q) v = rng.uniform(-2, 2);
+    EXPECT_LE(dtw(p, q), manhattan(p, q, {}) + 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/dtw.hpp"
+#include "distance/edit.hpp"
+#include "distance/euclidean.hpp"
+#include "distance/hamming.hpp"
+#include "distance/hausdorff.hpp"
+#include "distance/lcs.hpp"
+#include "distance/manhattan.hpp"
+#include "distance/registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda::dist;
+
+// ---------------------------------------------------------------- LCS ----
+
+TEST(Lcs, ClassicStringExample) {
+  // LCS("ABCBDAB", "BDCABA") = 4 ("BCBA").
+  std::vector<int> a = {'A', 'B', 'C', 'B', 'D', 'A', 'B'};
+  std::vector<int> b = {'B', 'D', 'C', 'A', 'B', 'A'};
+  EXPECT_EQ(lcs_length(a, b), 4u);
+}
+
+TEST(Lcs, IdenticalIsFullLength) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  DistanceParams params;
+  params.threshold = 0.1;
+  EXPECT_DOUBLE_EQ(lcs(p, p, params), 3.0);
+}
+
+TEST(Lcs, BoundedByShorterLength) {
+  mda::util::Rng rng(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> p(7), q(11);
+    for (double& v : p) v = rng.uniform(-1, 1);
+    for (double& v : q) v = rng.uniform(-1, 1);
+    DistanceParams params;
+    params.threshold = 0.3;
+    EXPECT_LE(lcs(p, q, params), 7.0);
+    EXPECT_GE(lcs(p, q, params), 0.0);
+  }
+}
+
+TEST(Lcs, ThresholdWidensMatches) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  std::vector<double> q = {1.2, 2.2, 3.2};
+  DistanceParams tight;
+  tight.threshold = 0.1;
+  DistanceParams loose;
+  loose.threshold = 0.3;
+  EXPECT_DOUBLE_EQ(lcs(p, q, tight), 0.0);
+  EXPECT_DOUBLE_EQ(lcs(p, q, loose), 3.0);
+}
+
+TEST(Lcs, VstepScalesScore) {
+  std::vector<double> p = {1.0, 5.0, 2.0};
+  std::vector<double> q = {1.0, 2.0, 9.0};
+  DistanceParams params;
+  params.threshold = 0.1;
+  params.vstep = 0.01;
+  EXPECT_NEAR(lcs(p, q, params), 0.02, 1e-12);  // matches {1, 2}
+}
+
+TEST(Lcs, MatrixAgreesWithScalar) {
+  std::vector<double> p = {1.0, 3.0, 2.0, 4.0};
+  std::vector<double> q = {3.0, 1.0, 2.0, 4.0};
+  DistanceParams params;
+  params.threshold = 0.5;
+  const auto m = lcs_matrix(p, q, params);
+  EXPECT_DOUBLE_EQ(m[4 * 5 + 4], lcs(p, q, params));
+}
+
+// ---------------------------------------------------------------- EdD ----
+
+TEST(Edit, ClassicLevenshtein) {
+  // kitten -> sitting = 3.
+  std::vector<int> a = {'k', 'i', 't', 't', 'e', 'n'};
+  std::vector<int> b = {'s', 'i', 't', 't', 'i', 'n', 'g'};
+  EXPECT_EQ(levenshtein(a, b), 3u);
+}
+
+TEST(Edit, EmptyAgainstNonEmpty) {
+  std::vector<double> p;
+  std::vector<double> q = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(edit_distance(p, q), 3.0);
+  EXPECT_DOUBLE_EQ(edit_distance(q, p), 3.0);
+  EXPECT_DOUBLE_EQ(edit_distance(p, p), 0.0);
+}
+
+TEST(Edit, IdenticalWithinThresholdIsZero) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  std::vector<double> q = {1.05, 1.95, 3.02};
+  DistanceParams params;
+  params.threshold = 0.1;
+  EXPECT_DOUBLE_EQ(edit_distance(p, q, params), 0.0);
+}
+
+TEST(Edit, LowerBoundedByLengthDifference) {
+  mda::util::Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> p(5), q(9);
+    for (double& v : p) v = rng.uniform(-1, 1);
+    for (double& v : q) v = rng.uniform(-1, 1);
+    DistanceParams params;
+    params.threshold = 0.2;
+    EXPECT_GE(edit_distance(p, q, params), 4.0 - 1e-12);
+    EXPECT_LE(edit_distance(p, q, params), 9.0 + 1e-12);
+  }
+}
+
+TEST(Edit, VstepScales) {
+  std::vector<double> p = {1.0, 9.0};
+  std::vector<double> q = {1.0, 2.0};
+  DistanceParams params;
+  params.threshold = 0.1;
+  params.vstep = 0.01;
+  EXPECT_NEAR(edit_distance(p, q, params), 0.01, 1e-12);
+}
+
+TEST(Edit, MatrixBordersAreIndexCosts) {
+  std::vector<double> p = {1.0, 2.0};
+  std::vector<double> q = {3.0, 4.0, 5.0};
+  const auto e = edit_matrix(p, q);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+  EXPECT_DOUBLE_EQ(e[3], 3.0);           // E(0,3)
+  EXPECT_DOUBLE_EQ(e[2 * 4 + 0], 2.0);   // E(2,0)
+}
+
+// --------------------------------------------------------------- HauD ----
+
+TEST(Hausdorff, ZeroForIdenticalSets) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(hausdorff(p, p), 0.0);
+}
+
+TEST(Hausdorff, DirectedIsAsymmetric) {
+  // q subset of p: every q is near some p (h(q->p) small); not vice versa.
+  std::vector<double> p = {0.0, 10.0};
+  std::vector<double> q = {0.0};
+  EXPECT_DOUBLE_EQ(hausdorff_directed(p, q), 0.0);   // max_j min_i |p_i-q_j|
+  EXPECT_DOUBLE_EQ(hausdorff_directed(q, p), 10.0);
+  EXPECT_DOUBLE_EQ(hausdorff(p, q), 10.0);
+}
+
+TEST(Hausdorff, SymmetricDominatesDirected) {
+  mda::util::Rng rng(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> p(6), q(9);
+    for (double& v : p) v = rng.uniform(-3, 3);
+    for (double& v : q) v = rng.uniform(-3, 3);
+    EXPECT_GE(hausdorff(p, q) + 1e-12, hausdorff_directed(p, q));
+    EXPECT_NEAR(hausdorff(p, q),
+                std::max(hausdorff_directed(p, q), hausdorff_directed(q, p)),
+                1e-12);
+  }
+}
+
+TEST(Hausdorff, EmptyThrows) {
+  std::vector<double> p = {1.0};
+  std::vector<double> empty;
+  EXPECT_THROW(hausdorff_directed(p, empty), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- HamD ----
+
+TEST(Hamming, CountsMismatches) {
+  std::vector<double> p = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> q = {1.0, 2.5, 3.0, 9.0};
+  DistanceParams params;
+  params.threshold = 0.2;
+  EXPECT_DOUBLE_EQ(hamming(p, q, params), 2.0);
+}
+
+TEST(Hamming, LengthMismatchThrows) {
+  std::vector<double> p = {1.0, 2.0};
+  std::vector<double> q = {1.0};
+  EXPECT_THROW(hamming(p, q), std::invalid_argument);
+}
+
+TEST(Hamming, WeightedCounts) {
+  std::vector<double> p = {0.0, 0.0, 0.0};
+  std::vector<double> q = {1.0, 1.0, 0.0};
+  std::vector<double> w = {2.0, 3.0, 10.0};
+  DistanceParams params;
+  params.threshold = 0.5;
+  params.elem_weights = &w;
+  EXPECT_DOUBLE_EQ(hamming(p, q, params), 5.0);
+}
+
+TEST(Hamming, BitStringHelper) {
+  std::vector<bool> a = {true, false, true, true};
+  std::vector<bool> b = {true, true, true, false};
+  EXPECT_EQ(hamming_bits(a, b), 2u);
+  EXPECT_THROW(hamming_bits(a, std::vector<bool>{true}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- MD ----
+
+TEST(Manhattan, SumOfAbsoluteDifferences) {
+  std::vector<double> p = {1.0, -2.0, 3.0};
+  std::vector<double> q = {0.5, -1.0, 5.0};
+  EXPECT_DOUBLE_EQ(manhattan(p, q, {}), 0.5 + 1.0 + 2.0);
+}
+
+TEST(Manhattan, WeightedVersion) {
+  std::vector<double> p = {1.0, 1.0};
+  std::vector<double> q = {0.0, 0.0};
+  std::vector<double> w = {3.0, 0.5};
+  DistanceParams params;
+  params.elem_weights = &w;
+  EXPECT_DOUBLE_EQ(manhattan(p, q, params), 3.5);
+}
+
+TEST(Euclidean, MatchesHandComputation) {
+  std::vector<double> p = {3.0, 0.0};
+  std::vector<double> q = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean(p, q, {}), 5.0);
+  EXPECT_DOUBLE_EQ(squared_euclidean(p, q, {}), 25.0);
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(Registry, NamesRoundTrip) {
+  for (DistanceKind kind : kAllKinds) {
+    EXPECT_EQ(kind_from_name(kind_name(kind)), kind);
+  }
+  EXPECT_EQ(kind_from_name("dtw"), DistanceKind::Dtw);
+  EXPECT_EQ(kind_from_name("hausdorff"), DistanceKind::Hausdorff);
+  EXPECT_THROW(kind_from_name("nope"), std::invalid_argument);
+}
+
+TEST(Registry, StructureClassification) {
+  EXPECT_TRUE(is_matrix_structure(DistanceKind::Dtw));
+  EXPECT_TRUE(is_matrix_structure(DistanceKind::Hausdorff));
+  EXPECT_FALSE(is_matrix_structure(DistanceKind::Manhattan));
+  EXPECT_TRUE(requires_equal_length(DistanceKind::Hamming));
+  EXPECT_FALSE(requires_equal_length(DistanceKind::Lcs));
+  EXPECT_EQ(complexity_order(DistanceKind::Edit), 2);
+  EXPECT_EQ(complexity_order(DistanceKind::Manhattan), 1);
+  EXPECT_TRUE(is_similarity(DistanceKind::Lcs));
+  EXPECT_FALSE(is_similarity(DistanceKind::Dtw));
+}
+
+TEST(Registry, DispatchMatchesDirectCalls) {
+  mda::util::Rng rng(9);
+  std::vector<double> p(8), q(8);
+  for (double& v : p) v = rng.uniform(-1, 1);
+  for (double& v : q) v = rng.uniform(-1, 1);
+  DistanceParams params;
+  params.threshold = 0.2;
+  EXPECT_DOUBLE_EQ(compute(DistanceKind::Dtw, p, q, params), dtw(p, q, params));
+  EXPECT_DOUBLE_EQ(compute(DistanceKind::Lcs, p, q, params), lcs(p, q, params));
+  EXPECT_DOUBLE_EQ(compute(DistanceKind::Edit, p, q, params),
+                   edit_distance(p, q, params));
+  EXPECT_DOUBLE_EQ(compute(DistanceKind::Hausdorff, p, q, params),
+                   hausdorff_directed(p, q, params));
+  EXPECT_DOUBLE_EQ(compute(DistanceKind::Hamming, p, q, params),
+                   hamming(p, q, params));
+  EXPECT_DOUBLE_EQ(compute(DistanceKind::Manhattan, p, q, params),
+                   manhattan(p, q, params));
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/early_decision.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::core;
+
+TEST(Ranking, SortsAscending) {
+  EXPECT_EQ(ranking({3.0, 1.0, 2.0}),
+            (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(ranking({1.0, 1.0}), (std::vector<std::size_t>{0, 1}));  // stable
+}
+
+TEST(EarlyDecision, ManhattanOrderingPreservedAtTenth) {
+  // Fig. 3: three MD computations; the ordering at the Early Point (one
+  // tenth of convergence) matches the converged ordering.
+  AcceleratorConfig config;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  const data::Series query = {1.0, 2.0, 1.5, 0.5, 1.0, 2.5};
+  const std::vector<data::Series> candidates = {
+      {1.0, 2.1, 1.4, 0.5, 1.0, 2.4},   // close
+      {0.2, 1.0, 2.5, 1.5, 0.0, 3.0},   // medium
+      {-2.0, -1.0, -1.5, 2.5, 3.0, 0.0} // far
+  };
+  const EarlyDecisionResult r =
+      early_decision_experiment(config, spec, query, candidates, 0.1);
+  EXPECT_TRUE(r.ordering_preserved);
+  EXPECT_GT(r.convergence_time_s, 0.0);
+  EXPECT_NEAR(r.early_time_s, 0.1 * r.convergence_time_s, 1e-12);
+  // Final values ordered as constructed.
+  EXPECT_LT(r.final_volts[0], r.final_volts[1]);
+  EXPECT_LT(r.final_volts[1], r.final_volts[2]);
+}
+
+TEST(EarlyDecision, HammingVariant) {
+  AcceleratorConfig config;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Hamming;
+  spec.threshold = 0.5;
+  const data::Series query = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const std::vector<data::Series> candidates = {
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 0.0},  // 1 mismatch
+      {0.0, 2.0, 0.0, 4.0, 0.0, 6.0, 7.0, 8.0},  // 3 mismatches
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 7.0, 8.0},  // 6 mismatches
+  };
+  const EarlyDecisionResult r =
+      early_decision_experiment(config, spec, query, candidates, 0.1);
+  EXPECT_TRUE(r.ordering_preserved);
+  EXPECT_EQ(ranking(r.final_volts), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(EarlyDecision, RejectsMatrixKinds) {
+  AcceleratorConfig config;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Dtw;
+  EXPECT_THROW(early_decision_experiment(config, spec, {1.0}, {{1.0}}),
+               std::invalid_argument);
+  spec.kind = dist::DistanceKind::Manhattan;
+  EXPECT_THROW(early_decision_experiment(config, spec, {1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(EarlyDecision, EarlyValuesDifferFromFinal) {
+  // At one tenth of convergence the outputs are NOT settled — the point of
+  // the optimisation is that the ordering is usable anyway.
+  AcceleratorConfig config;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  const data::Series query = {2.0, -1.0, 0.5, 1.5};
+  const std::vector<data::Series> candidates = {
+      {0.0, 1.0, -0.5, 0.5}, {2.0, -1.0, 0.4, 1.5}};
+  const EarlyDecisionResult r =
+      early_decision_experiment(config, spec, query, candidates, 0.1);
+  bool any_unsettled = false;
+  for (std::size_t i = 0; i < r.early_volts.size(); ++i) {
+    if (std::abs(r.early_volts[i] - r.final_volts[i]) >
+        1e-3 * std::abs(r.final_volts[i])) {
+      any_unsettled = true;
+    }
+  }
+  EXPECT_TRUE(any_unsettled);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Tests for the system extensions: netlist export, op-amp slew rate, ADC
+// readback quantisation and tile-boundary re-quantisation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accelerator.hpp"
+#include "core/array_builder.hpp"
+#include "devices/netlist_export.hpp"
+#include "devices/opamp.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+
+TEST(NetlistExport, ListsEveryDeviceOfAnArray) {
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  core::ArrayCircuit arr = core::build_array(config, spec, 4, 4);
+  const std::string deck = dev::export_netlist(*arr.net);
+  EXPECT_NE(deck.find("XOPAMP:"), std::string::npos);
+  EXPECT_NE(deck.find("M:"), std::string::npos);
+  EXPECT_NE(deck.find("D:"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+  // Every device appears as one card (+ header + .end).
+  const std::size_t lines = std::count(deck.begin(), deck.end(), '\n');
+  EXPECT_EQ(lines, arr.net->num_devices() + 2);
+}
+
+TEST(NetlistExport, ParasiticsCanBeSuppressed) {
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  core::ArrayCircuit arr = core::build_array(config, spec, 2, 2);
+  dev::ExportOptions no_par;
+  no_par.include_parasitics = false;
+  const std::string with = dev::export_netlist(*arr.net);
+  const std::string without = dev::export_netlist(*arr.net, no_par);
+  EXPECT_GT(with.size(), without.size());
+  EXPECT_EQ(without.find("cpar:"), std::string::npos);
+}
+
+TEST(NetlistExport, CensusMatchesConfigLibrary) {
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Hamming;
+  spec.threshold = 0.5;
+  const std::size_t n = 5;
+  core::ArrayCircuit arr = core::build_array(config, spec, n, n);
+  const dev::DeviceCensus c = dev::census(*arr.net);
+  const core::ConfigEntry& entry = core::config_for(spec.kind);
+  EXPECT_EQ(c.comparators, n * entry.comparators_per_pe);
+  EXPECT_EQ(c.tgates, n * entry.tgates_per_pe);
+  // Op-amps: per-PE plus the shared two-stage row adder.
+  EXPECT_EQ(c.opamps, n * entry.opamps_per_pe + 2);
+  EXPECT_GT(c.capacitors, 0u);  // parasitics
+  EXPECT_EQ(c.other, 0u);       // exporter knows every device type
+}
+
+TEST(SlewRate, LimitsLargeStepRampRate) {
+  // Follower driven by a 0.4 V step.  At 1e7 V/s the output ramps for
+  // 0.4 / 1e7 = 40 ns; unconstrained it settles in well under 5 ns.
+  auto settle_time = [](double slew) {
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId out = net.node("out");
+    net.add<VSource>(in, kGround, Waveform::step(0.0, 0.4, 0.0));
+    dev::OpAmpParams p;
+    p.slew_rate = slew;
+    net.add<dev::OpAmp>(in, out, out, p);
+    net.add<Capacitor>(out, kGround, 20e-15);
+    TransientSimulator sim(net);
+    sim.probe(out, "out");
+    TransientParams params;
+    params.t_stop = 200e-9;
+    params.dt_init = 1e-12;
+    params.dt_max = 100e-12;
+    const TransientResult r = sim.run(params);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_NEAR(r.trace("out").final_value(), 0.4, 2e-3);
+    return settling_time(r.trace("out"), 1e-3, 1e-3);
+  };
+  const double fast = settle_time(0.0);
+  const double slewed = settle_time(1e7);
+  EXPECT_LT(fast, 5e-9);
+  EXPECT_GT(slewed, 30e-9);   // dominated by the 40 ns ramp
+  EXPECT_LT(slewed, 100e-9);
+}
+
+TEST(SlewRate, SmallSignalsUnaffected) {
+  // A 1 mV step is far below the slew limit: behaviour identical.
+  auto final_and_settle = [](double slew) {
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId out = net.node("out");
+    net.add<VSource>(in, kGround, Waveform::step(0.0, 1e-3, 0.0));
+    dev::OpAmpParams p;
+    p.slew_rate = slew;
+    net.add<dev::OpAmp>(in, out, out, p);
+    net.add<Capacitor>(out, kGround, 20e-15);
+    TransientSimulator sim(net);
+    sim.probe(out, "out");
+    TransientParams params;
+    params.t_stop = 5e-9;
+    params.dt_init = 1e-13;
+    params.dt_max = 5e-12;
+    const TransientResult r = sim.run(params);
+    EXPECT_TRUE(r.ok);
+    return std::make_pair(r.trace("out").final_value(),
+                          settling_time(r.trace("out"), 1e-3, 1e-3));
+  };
+  const auto [v_unlimited, t_unlimited] = final_and_settle(0.0);
+  // 1 mV at 1e9 V/s ramps in 1 ps — far faster than the settling itself.
+  const auto [v_slewed, t_slewed] = final_and_settle(1e9);
+  EXPECT_NEAR(v_slewed, v_unlimited, 1e-6);
+  EXPECT_NEAR(t_slewed, t_unlimited, 0.5 * t_unlimited + 1e-10);
+}
+
+TEST(AdcReadback, QuantizesOutputVoltage) {
+  core::AcceleratorConfig quantized;
+  quantized.quantize_outputs = true;
+  quantized.quantize_inputs = false;
+  core::AcceleratorConfig analogue = quantized;
+  analogue.quantize_outputs = false;
+
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  std::vector<double> p = {1.234, -0.567, 0.891};
+  std::vector<double> q = {0.321, 0.654, -0.987};
+
+  core::Accelerator acc_q(quantized);
+  core::Accelerator acc_a(analogue);
+  acc_q.configure(spec);
+  acc_a.configure(spec);
+  const auto rq = acc_q.compute(p, q, core::Backend::Behavioral);
+  const auto ra = acc_a.compute(p, q, core::Backend::Behavioral);
+  // Quantised readback sits on an ADC level: multiple of one LSB.
+  const double lsb = 0.45 / 128.0;
+  const double code = rq.volts / lsb;
+  EXPECT_NEAR(code, std::round(code), 1e-9);
+  // And the two results differ by at most one LSB.
+  EXPECT_NEAR(rq.volts, ra.volts, lsb);
+}
+
+TEST(TileBoundary, RequantisationStaysAccurate) {
+  // Force tiling with a tiny 6x6 "array": a length-16 DTW crosses three
+  // tile edges in each direction.  The boundary ADC/DAC hop adds bounded
+  // quantisation error but no blow-up.
+  util::Rng rng(31);
+  std::vector<double> p(16), q(16);
+  for (double& v : p) v = rng.uniform(-1.5, 1.5);
+  for (double& v : q) v = rng.uniform(-1.5, 1.5);
+
+  core::AcceleratorConfig tiny;
+  tiny.rows = 6;
+  tiny.cols = 6;
+  core::Accelerator acc(tiny);
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Dtw;
+  acc.configure(spec);
+  EXPECT_EQ(acc.tiles_required(16, 16), 9u);
+  const auto r = acc.compute(p, q, core::Backend::Wavefront);
+  EXPECT_LT(r.relative_error, 0.08);
+  EXPECT_EQ(r.tiles, 9u);
+
+  // Latency grows with the tile count (9 small-tile passes vs one pass;
+  // converter serialisation is shared, so the ratio is < 9).
+  core::AcceleratorConfig big = tiny;
+  big.rows = 128;
+  big.cols = 128;
+  core::Accelerator acc_big(big);
+  acc_big.configure(spec);
+  EXPECT_GT(acc.latency_s(16, 16), 2.0 * acc_big.latency_s(16, 16));
+}
+
+}  // namespace

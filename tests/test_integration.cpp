@@ -1,0 +1,179 @@
+// Cross-module integration coverage: unequal-length matrix evaluations,
+// banded wavefront DTW, weighted HauD columns, three-backend agreement, and
+// the accelerator driving the mining substrate end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/accelerator.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "mining/knn.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::core;
+
+TEST(Integration, UnequalLengthsThroughWavefront) {
+  util::Rng rng(61);
+  std::vector<double> p(7), q(13);
+  for (double& v : p) v = rng.uniform(-1.5, 1.5);
+  for (double& v : q) v = rng.uniform(-1.5, 1.5);
+  Accelerator acc;
+  for (dist::DistanceKind kind :
+       {dist::DistanceKind::Dtw, dist::DistanceKind::Lcs,
+        dist::DistanceKind::Edit, dist::DistanceKind::Hausdorff}) {
+    DistanceSpec spec;
+    spec.kind = kind;
+    spec.threshold = 0.4;
+    acc.configure(spec);
+    const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+    EXPECT_LT(r.relative_error, 0.15) << dist::kind_name(kind);
+  }
+}
+
+TEST(Integration, BandedWavefrontMatchesBandedReference) {
+  // A time-shifted pair: unconstrained DTW absorbs the shift almost fully,
+  // the narrow band cannot — so the band measurably bites.
+  std::vector<double> p(16), q(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    p[i] = 1.5 * std::sin(0.7 * static_cast<double>(i));
+    q[i] = 1.5 * std::sin(0.7 * (static_cast<double>(i) - 3.0));
+  }
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Dtw;
+  spec.band = 2;
+  acc.configure(spec);
+  const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+  // r.reference is already the banded reference (spec carries the band).
+  EXPECT_LT(r.relative_error, 0.06);
+  // And the band must actually bite: unconstrained DTW is smaller here.
+  DistanceSpec free;
+  free.kind = dist::DistanceKind::Dtw;
+  const double unconstrained =
+      dist::compute(free.kind, p, q, free.reference_params());
+  EXPECT_LT(unconstrained, r.reference);
+}
+
+TEST(Integration, WeightedHausdorffColumns) {
+  // Column-varying weights force the HauD wavefront to rebuild its column
+  // harness per column — exercise that path against the weighted reference.
+  std::vector<double> p = {0.5, -0.2, 1.0, 0.3};
+  std::vector<double> q = {0.1, 0.9, -0.5, 0.6};
+  std::vector<double> w(16);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      w[i * 4 + j] = 0.5 + 0.5 * static_cast<double>(j);
+    }
+  }
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Hausdorff;
+  spec.pair_weights = &w;
+  acc.configure(spec);
+  const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+  EXPECT_LT(r.relative_error, 0.15);
+}
+
+TEST(Integration, ThreeBackendsAgreeOnCountingFunctions) {
+  // For LCS/EdD/HamD the decoded counts must agree EXACTLY across backends
+  // (away from threshold boundaries): the analog error is sub-step.
+  util::Rng rng(63);
+  std::vector<double> p(6), q(6);
+  for (double& v : p) v = std::round(rng.uniform(-2.0, 2.0));  // integers
+  for (double& v : q) v = std::round(rng.uniform(-2.0, 2.0));
+  Accelerator acc;
+  for (dist::DistanceKind kind :
+       {dist::DistanceKind::Lcs, dist::DistanceKind::Edit,
+        dist::DistanceKind::Hamming}) {
+    DistanceSpec spec;
+    spec.kind = kind;
+    spec.threshold = 0.5;  // integers differ by >= 1: no boundary cases
+    acc.configure(spec);
+    long counts[3];
+    int idx = 0;
+    for (Backend backend :
+         {Backend::Behavioral, Backend::Wavefront, Backend::FullSpice}) {
+      counts[idx++] = std::lround(acc.compute(p, q, backend).value);
+    }
+    EXPECT_EQ(counts[0], counts[1]) << dist::kind_name(kind);
+    EXPECT_EQ(counts[1], counts[2]) << dist::kind_name(kind);
+    EXPECT_EQ(counts[0],
+              std::lround(dist::compute(kind, p, q, spec.reference_params())))
+        << dist::kind_name(kind);
+  }
+}
+
+TEST(Integration, AcceleratorBackedKnnMatchesDigitalKnn) {
+  // 1-NN decisions through the analog fabric must match the digital
+  // classifier on a separable dataset (the end-to-end application check).
+  data::SurrogateConfig cfg;
+  cfg.per_class = 4;
+  const data::Dataset ds = data::prepare(
+      data::make_surrogate(data::SurrogateKind::Symbols, 7, cfg), 16);
+  const data::Split split = data::stratified_split(ds, 0.5, 3);
+
+  auto digital = mining::KnnClassifier::with_reference(
+      dist::DistanceKind::Manhattan);
+  digital.fit(split.train);
+
+  auto acc = std::make_shared<Accelerator>();
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc->configure(spec);
+  mining::KnnClassifier analog(
+      [acc](std::span<const double> a, std::span<const double> b) {
+        return acc->compute(a, b, Backend::Behavioral).value;
+      });
+  analog.fit(split.train);
+
+  for (const auto& item : split.test.items) {
+    EXPECT_EQ(analog.predict(item.values), digital.predict(item.values));
+  }
+}
+
+TEST(Integration, StochasticMemristorsDoNotDisturbWavefront) {
+  // Full wavefront evaluation with every memristor in stochastic mode: the
+  // compute voltages stay sub-threshold so no switching occurs, and the
+  // (mismatch-tolerant) row structure stays accurate within the static
+  // +-5% device spread.  Matrix functions under the same spread degrade via
+  // common-mode leakage — the matching-sensitivity finding covered by
+  // MonteCarlo.MatrixFunctionMatchingSensitivity.
+  std::vector<double> p = {1.0, -0.5, 0.8, 0.2, 0.4, -1.1};
+  std::vector<double> q = {0.7, -0.1, 1.1, -0.4, 0.9, -0.6};
+  AcceleratorConfig stochastic;
+  stochastic.env.mem_model = dev::MemristorModel::StochasticBiolek;
+  Accelerator acc(stochastic);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc.configure(spec);
+  const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+  EXPECT_LT(r.relative_error, 0.1);
+}
+
+TEST(Integration, HigherResolutionConvertersReduceError) {
+  // Higher-resolution converters: quantisation-dominated errors shrink.
+  util::Rng rng(64);
+  std::vector<double> p(12), q(12);
+  for (double& v : p) v = rng.uniform(-2.0, 2.0);
+  for (double& v : q) v = rng.uniform(-2.0, 2.0);
+  auto mean_err = [&](int bits) {
+    AcceleratorConfig config;
+    config.dac_bits = bits;
+    Accelerator acc(config);
+    DistanceSpec spec;
+    spec.kind = dist::DistanceKind::Manhattan;
+    acc.configure(spec);
+    return acc.compute(p, q, Backend::Behavioral).relative_error;
+  };
+  // Nested-grid rounding can make adjacent widths coincide on one instance;
+  // a 4-bit gap is unambiguous (6-bit LSB is 16x the 10-bit LSB).
+  EXPECT_LT(mean_err(10), 0.25 * mean_err(6));
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "distance/dtw.hpp"
+#include "distance/lower_bounds.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda::dist;
+
+TEST(Envelope, SandwichesTheSeries) {
+  mda::util::Rng rng(1);
+  std::vector<double> q(64);
+  for (double& v : q) v = rng.uniform(-2, 2);
+  for (int r : {0, 2, 5, 63}) {
+    const Envelope env = make_envelope(q, r);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_LE(env.lower[i], q[i]);
+      EXPECT_GE(env.upper[i], q[i]);
+    }
+  }
+}
+
+TEST(Envelope, RadiusZeroIsIdentity) {
+  std::vector<double> q = {1.0, -1.0, 2.0};
+  const Envelope env = make_envelope(q, 0);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.lower[i], q[i]);
+    EXPECT_DOUBLE_EQ(env.upper[i], q[i]);
+  }
+}
+
+TEST(Envelope, WiderRadiusLoosens) {
+  mda::util::Rng rng(2);
+  std::vector<double> q(40);
+  for (double& v : q) v = rng.uniform(-2, 2);
+  const Envelope tight = make_envelope(q, 1);
+  const Envelope loose = make_envelope(q, 8);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_LE(loose.lower[i], tight.lower[i]);
+    EXPECT_GE(loose.upper[i], tight.upper[i]);
+  }
+}
+
+class LowerBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundProperty, BothBoundsAreAdmissible) {
+  mda::util::Rng rng(GetParam());
+  const std::size_t n = 24;
+  std::vector<double> p(n), q(n);
+  for (double& v : p) v = rng.uniform(-2, 2);
+  for (double& v : q) v = rng.uniform(-2, 2);
+  const int band = 3;
+  DistanceParams params;
+  params.band = band;
+  const double d = dtw(p, q, params);
+  EXPECT_LE(lb_kim(p, q), d + 1e-9);
+  const Envelope env = make_envelope(q, band);
+  EXPECT_LE(lb_keogh(p, env), d + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundProperty,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+TEST(LbKeogh, ZeroWhenInsideEnvelope) {
+  std::vector<double> q = {0.0, 0.0, 0.0, 0.0};
+  const Envelope env = make_envelope(q, 1);
+  std::vector<double> p = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(lb_keogh(p, env), 0.0);
+}
+
+TEST(LbKeogh, MismatchedLengthThrows) {
+  std::vector<double> q = {0.0, 0.0};
+  const Envelope env = make_envelope(q, 1);
+  std::vector<double> p = {0.0};
+  EXPECT_THROW(lb_keogh(p, env), std::invalid_argument);
+}
+
+TEST(LbKim, FirstLastContribution) {
+  std::vector<double> p = {1.0, 5.0, 2.0};
+  std::vector<double> q = {0.0, 7.0, 4.0};
+  EXPECT_DOUBLE_EQ(lb_kim(p, q), 1.0 + 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/memristor.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+
+TEST(MemristorFixed, ConfiguredResistance) {
+  dev::Memristor m(0, 1, 50e3);
+  EXPECT_DOUBLE_EQ(m.resistance(), 50e3);
+  m.set_resistance(10e3);
+  EXPECT_DOUBLE_EQ(m.resistance(), 10e3);
+  EXPECT_THROW(m.set_resistance(0.0), std::invalid_argument);
+}
+
+TEST(MemristorFixed, VariationMultiplies) {
+  dev::Memristor m(0, 1, 100e3);
+  m.apply_variation(1.25);
+  EXPECT_DOUBLE_EQ(m.resistance(), 125e3);
+  m.apply_variation(1.0);
+  EXPECT_DOUBLE_EQ(m.resistance(), 100e3);
+  EXPECT_THROW(m.apply_variation(0.0), std::invalid_argument);
+}
+
+TEST(MemristorFixed, ActsAsResistorInCircuit) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId mid = net.node("mid");
+  net.add<VSource>(a, kGround, Waveform::dc(1.0));
+  net.add<dev::Memristor>(a, mid, 100e3);
+  net.add<dev::Memristor>(mid, kGround, 100e3);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(mid)], 0.5, 1e-6);
+}
+
+TEST(MemristorTable2, MeanSwitchingTimes) {
+  // Table 2: tau = 2.85e5 s, V0 = 0.156 V.  At sub-threshold voltages the
+  // mean switching time is astronomically long; at write voltages it drops
+  // to the microsecond scale the paper quotes.
+  dev::Memristor m(0, 1, 100e3, dev::MemristorModel::StochasticBiolek);
+  EXPECT_GT(m.mean_switching_time(0.25), 1e4);       // compute regime: hours
+  EXPECT_LT(m.mean_switching_time(4.0), 1e-5);       // write regime: < 10us
+  EXPECT_GT(m.mean_switching_time(4.0), 1e-7);
+  // Monotone decreasing in |v|.
+  EXPECT_GT(m.mean_switching_time(1.0), m.mean_switching_time(2.0));
+}
+
+TEST(MemristorStochastic, NoSwitchingSubThreshold) {
+  // The paper's Sec. 4.2 argument: all compute-mode memristor voltages stay
+  // at or below Vcc/4 = 0.25 V, far below VT0 = 3 V, so stochastic
+  // switching never fires.  Simulate a long (for the circuit) transient.
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(0.25));
+  auto& m = net.add<dev::Memristor>(a, kGround, 100e3,
+                                    dev::MemristorModel::StochasticBiolek);
+  TransientSimulator sim(net);
+  TransientParams params;
+  params.t_stop = 1e-6;  // 1000x longer than a distance evaluation
+  params.dt_max = 1e-9;
+  params.steady_tol = 0.0;  // force full horizon
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(m.switch_count(), 0);
+  EXPECT_NEAR(m.resistance(), 100e3, 100e3 * 0.06);  // only the 5% spread
+}
+
+TEST(MemristorStochastic, SwitchesUnderWriteVoltage) {
+  // A 4.5 V write pulse for 100 us must flip the device to LRS with
+  // overwhelming probability (mean switching time ~ 0.1 us at 4.5 V).
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(4.5));
+  auto& m = net.add<dev::Memristor>(a, kGround, 100e3,
+                                    dev::MemristorModel::StochasticBiolek);
+  TransientSimulator sim(net);
+  TransientParams params;
+  params.t_stop = 100e-6;
+  params.dt_init = 1e-8;
+  params.dt_max = 1e-7;
+  params.steady_tol = 0.0;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(m.switch_count(), 1);
+  EXPECT_LT(m.resistance(), 2e3);  // LRS (1k +- 5%)
+}
+
+TEST(MemristorStochastic, NegativePolarityResets) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(-4.5));
+  auto& m = net.add<dev::Memristor>(a, kGround, 1e3,
+                                    dev::MemristorModel::StochasticBiolek);
+  TransientSimulator sim(net);
+  TransientParams params;
+  params.t_stop = 100e-6;
+  params.dt_init = 1e-8;
+  params.dt_max = 1e-7;
+  params.steady_tol = 0.0;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(m.resistance(), 50e3);  // HRS
+}
+
+TEST(MemristorStochastic, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Netlist net;
+    const NodeId a = net.node("a");
+    net.add<VSource>(a, kGround, Waveform::dc(3.4));
+    auto& m = net.add<dev::Memristor>(a, kGround, 100e3,
+                                      dev::MemristorModel::StochasticBiolek,
+                                      dev::MemristorParams{}, seed);
+    TransientSimulator sim(net);
+    TransientParams params;
+    params.t_stop = 20e-6;
+    params.dt_init = 1e-8;
+    params.dt_max = 1e-7;
+    params.steady_tol = 0.0;
+    (void)sim.run(params);
+    return m.resistance();
+  };
+  EXPECT_DOUBLE_EQ(run(42), run(42));
+}
+
+TEST(MemristorStochastic, DeviceSpreadWithinDeltaR) {
+  // Ron/Roff spread must stay within +-5% (Table 2).
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    dev::Memristor on(0, 1, 1e3, dev::MemristorModel::StochasticBiolek,
+                      dev::MemristorParams{}, seed);
+    EXPECT_GE(on.resistance(), 1e3 * 0.95);
+    EXPECT_LE(on.resistance(), 1e3 * 1.05);
+    dev::Memristor off(0, 1, 100e3, dev::MemristorModel::StochasticBiolek,
+                       dev::MemristorParams{}, seed);
+    EXPECT_GE(off.resistance(), 100e3 * 0.95);
+    EXPECT_LE(off.resistance(), 100e3 * 1.05);
+  }
+}
+
+TEST(MemristorLinearDrift, StateMovesUnderBias) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(1.5));
+  dev::MemristorParams p;
+  p.mobility = 1e-10;  // exaggerated mobility so drift is visible quickly
+  auto& m = net.add<dev::Memristor>(a, kGround, 100e3,
+                                    dev::MemristorModel::LinearDrift, p);
+  const double r0 = m.resistance();
+  TransientSimulator sim(net);
+  TransientParams params;
+  params.t_stop = 1e-3;
+  params.dt_init = 1e-7;
+  params.dt_max = 1e-6;
+  params.steady_tol = 0.0;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Positive bias drives toward LRS: resistance must drop.
+  EXPECT_LT(m.resistance(), r0);
+  EXPECT_GE(m.state(), 0.0);
+  EXPECT_LE(m.state(), 1.0);
+}
+
+TEST(MemristorLinearDrift, StateStaysInBounds) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(5.0));
+  dev::MemristorParams p;
+  p.mobility = 1e-8;  // extreme drive: state must clamp, not overflow
+  auto& m = net.add<dev::Memristor>(a, kGround, 50e3,
+                                    dev::MemristorModel::LinearDrift, p);
+  TransientSimulator sim(net);
+  TransientParams params;
+  params.t_stop = 1e-3;
+  params.dt_init = 1e-7;
+  params.dt_max = 1e-5;
+  params.steady_tol = 0.0;
+  (void)sim.run(params);
+  EXPECT_GE(m.state(), 0.0);
+  EXPECT_LE(m.state(), 1.0);
+  EXPECT_GE(m.resistance(), 1e3 * 0.99);
+  EXPECT_LE(m.resistance(), 100e3 * 1.01);
+}
+
+TEST(Memristor, ResetRestoresConfiguredState) {
+  dev::Memristor m(0, 1, 42e3, dev::MemristorModel::StochasticBiolek);
+  m.reset_state();
+  EXPECT_EQ(m.switch_count(), 0);
+}
+
+}  // namespace

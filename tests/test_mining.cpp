@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "core/accelerator.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "distance/registry.hpp"
+#include "mining/kmedoids.hpp"
+#include "mining/knn.hpp"
+#include "mining/subsequence_search.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::mining;
+
+data::Dataset surrogate_split(data::SurrogateKind kind, std::uint64_t seed,
+                              std::size_t length) {
+  return data::prepare(data::make_surrogate(kind, seed), length);
+}
+
+TEST(Knn, ClassifiesSurrogatesAboveChance) {
+  const data::Dataset train = surrogate_split(data::SurrogateKind::Symbols, 7, 64);
+  const data::Dataset test = surrogate_split(data::SurrogateKind::Symbols, 8, 64);
+  auto knn = KnnClassifier::with_reference(dist::DistanceKind::Manhattan);
+  knn.fit(train);
+  // 6 classes -> chance ~0.17; shapes are separable, expect high accuracy.
+  EXPECT_GT(knn.evaluate(test), 0.8);
+}
+
+TEST(Knn, DtwHandlesWarpedCopies) {
+  // Training series plus time-warped copies: DTW-1NN must recover labels.
+  data::Dataset train;
+  util::Rng rng(9);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int k = 0; k < 4; ++k) {
+      data::Series s(32);
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i] = std::sin(0.2 * (cls + 1) * static_cast<double>(i)) +
+               rng.normal(0.0, 0.05);
+      }
+      train.items.push_back({cls, std::move(s)});
+    }
+  }
+  dist::DistanceParams params;
+  params.band = 6;
+  auto knn = KnnClassifier::with_reference(dist::DistanceKind::Dtw, params);
+  knn.fit(train);
+  EXPECT_GT(knn.loocv(), 0.9);
+}
+
+TEST(Knn, LcsSimilarityModePicksLargest) {
+  data::Dataset train;
+  train.items.push_back({1, {1.0, 2.0, 3.0, 4.0}});
+  train.items.push_back({2, {-4.0, 7.0, -1.0, 9.0}});
+  dist::DistanceParams params;
+  params.threshold = 0.2;
+  auto knn = KnnClassifier::with_reference(dist::DistanceKind::Lcs, params);
+  knn.fit(train);
+  EXPECT_EQ(knn.predict(std::vector<double>{1.0, 2.0, 3.0, 4.1}), 1);
+  EXPECT_EQ(knn.predict(std::vector<double>{-4.0, 7.0, -1.0, 9.1}), 2);
+}
+
+TEST(Knn, InvalidUsageThrows) {
+  auto knn = KnnClassifier::with_reference(dist::DistanceKind::Manhattan);
+  EXPECT_THROW((void)knn.predict(std::vector<double>{1.0}),
+               std::logic_error);
+  EXPECT_THROW(knn.fit(data::Dataset{}), std::invalid_argument);
+  EXPECT_THROW(KnnClassifier(nullptr, KnnConfig{.k = 0}),
+               std::invalid_argument);
+}
+
+TEST(Knn, KGreaterThanOneVotes) {
+  data::Dataset train;
+  // Two tight clusters; a k=3 vote should be robust to the single outlier.
+  train.items.push_back({1, {0.0, 0.0}});
+  train.items.push_back({1, {0.1, 0.1}});
+  train.items.push_back({1, {0.2, 0.0}});
+  train.items.push_back({2, {5.0, 5.0}});
+  train.items.push_back({2, {5.1, 5.0}});
+  train.items.push_back({2, {0.05, 0.05}});  // mislabeled outlier
+  auto knn = KnnClassifier::with_reference(dist::DistanceKind::Manhattan, {},
+                                           KnnConfig{.k = 3});
+  knn.fit(train);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.05, 0.02}), 1);
+}
+
+TEST(KMedoids, RecoversPlantedClusters) {
+  std::vector<data::Series> items;
+  std::vector<int> labels;
+  util::Rng rng(11);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int k = 0; k < 8; ++k) {
+      data::Series s(16);
+      for (double& v : s) v = 4.0 * cls + rng.normal(0.0, 0.3);
+      items.push_back(std::move(s));
+      labels.push_back(cls);
+    }
+  }
+  auto fn = [](std::span<const double> a, std::span<const double> b) {
+    return dist::compute(dist::DistanceKind::Manhattan, a, b, {});
+  };
+  const ClusteringResult r = kmedoids(items, fn, KMedoidsConfig{.k = 3});
+  EXPECT_EQ(r.medoids.size(), 3u);
+  EXPECT_GT(rand_index(r.assignment, labels), 0.95);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(KMedoids, InvalidKThrows) {
+  std::vector<data::Series> items = {{1.0}, {2.0}};
+  auto fn = [](std::span<const double>, std::span<const double>) {
+    return 0.0;
+  };
+  EXPECT_THROW(kmedoids(items, fn, KMedoidsConfig{.k = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(kmedoids(items, fn, KMedoidsConfig{.k = 5}),
+               std::invalid_argument);
+}
+
+TEST(RandIndex, PerfectAndDegenerate) {
+  EXPECT_DOUBLE_EQ(rand_index({0, 0, 1, 1}, {5, 5, 9, 9}), 1.0);
+  EXPECT_LT(rand_index({0, 1, 0, 1}, {5, 5, 9, 9}), 0.5);
+  EXPECT_THROW(rand_index({0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Search, FindsPlantedNeedle) {
+  util::Rng rng(13);
+  const std::size_t m = 32;
+  data::Series needle(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    needle[i] = std::sin(0.5 * static_cast<double>(i)) * 2.0;
+  }
+  data::Series haystack(512);
+  for (double& v : haystack) v = rng.normal(0.0, 0.4);
+  const std::size_t planted = 300;
+  for (std::size_t i = 0; i < m; ++i) {
+    haystack[planted + i] = needle[i] + rng.normal(0.0, 0.05);
+  }
+  SearchConfig cfg;
+  cfg.band = 4;
+  const SearchResult r = dtw_subsequence_search(haystack, needle, cfg);
+  EXPECT_NEAR(static_cast<double>(r.position), static_cast<double>(planted),
+              2.0);
+  EXPECT_EQ(r.windows, 512 - m + 1);
+}
+
+TEST(Search, LowerBoundsDoNotChangeTheAnswer) {
+  util::Rng rng(14);
+  data::Series haystack(256), needle(24);
+  for (double& v : haystack) v = rng.normal(0.0, 1.0);
+  for (double& v : needle) v = rng.normal(0.0, 1.0);
+  // Plant an exact match early so best-so-far collapses and the bounds
+  // actually prune the rest of the scan.
+  for (std::size_t i = 0; i < needle.size(); ++i) haystack[20 + i] = needle[i];
+  SearchConfig with;
+  with.band = 3;
+  SearchConfig without = with;
+  without.use_lower_bounds = false;
+  const SearchResult a = dtw_subsequence_search(haystack, needle, with);
+  const SearchResult b = dtw_subsequence_search(haystack, needle, without);
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_NEAR(a.distance, b.distance, 1e-12);
+  // The cascade must actually prune ([24]'s speedup mechanism).
+  EXPECT_GT(a.pruned_lb_kim + a.pruned_lb_keogh, 0u);
+  EXPECT_LT(a.full_dtw_evals, b.full_dtw_evals);
+  EXPECT_EQ(b.full_dtw_evals, b.windows);
+}
+
+TEST(Search, AcceleratorBackedHybrid) {
+  // The paper's deployment: digital lower bounds prune, the analog fabric
+  // evaluates the survivors.  The hybrid must find the same planted match.
+  util::Rng rng(15);
+  const std::size_t m = 16;
+  data::Series needle(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    needle[i] = 2.0 * std::sin(0.6 * static_cast<double>(i));
+  }
+  data::Series haystack(200);
+  for (double& v : haystack) v = rng.normal(0.0, 0.5);
+  const std::size_t planted = 120;
+  for (std::size_t i = 0; i < m; ++i) haystack[planted + i] = needle[i];
+
+  auto acc = std::make_shared<core::Accelerator>();
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Dtw;
+  spec.band = 3;
+  acc->configure(spec);
+  long analog_calls = 0;
+  SearchConfig cfg;
+  cfg.band = 3;
+  cfg.lb_margin = 1.05;  // tolerate the analog error in prune decisions
+  cfg.dtw_override = [acc, &analog_calls](std::span<const double> a,
+                                          std::span<const double> b) {
+    ++analog_calls;
+    return acc->compute(a, b).value;
+  };
+  const SearchResult r = dtw_subsequence_search(haystack, needle, cfg);
+  EXPECT_NEAR(static_cast<double>(r.position), static_cast<double>(planted),
+              1.0);
+  EXPECT_EQ(static_cast<std::size_t>(analog_calls), r.full_dtw_evals);
+  EXPECT_GT(r.pruned_lb_kim + r.pruned_lb_keogh, 0u);
+}
+
+TEST(Search, LbMarginValidation) {
+  data::Series haystack(32, 0.0), needle(8, 0.0);
+  SearchConfig cfg;
+  cfg.lb_margin = 0.5;
+  EXPECT_THROW(dtw_subsequence_search(haystack, needle, cfg),
+               std::invalid_argument);
+}
+
+TEST(Search, NeedleLongerThanHaystackThrows) {
+  data::Series haystack(8, 0.0), needle(9, 0.0);
+  EXPECT_THROW(dtw_subsequence_search(haystack, needle, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/registry.hpp"
+#include "mining/motifs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::mining;
+
+DistanceFn euclidean_fn() {
+  return [](std::span<const double> a, std::span<const double> b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return std::sqrt(acc);
+  };
+}
+
+data::Series noise_with_planted(std::size_t length, std::size_t window,
+                                std::size_t at1, std::size_t at2,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Series s(length);
+  for (double& v : s) v = rng.normal(0.0, 1.0);
+  for (std::size_t i = 0; i < window; ++i) {
+    const double motif = 3.0 * std::sin(0.4 * static_cast<double>(i));
+    s[at1 + i] = motif;
+    s[at2 + i] = motif + rng.normal(0.0, 0.02);
+  }
+  return s;
+}
+
+TEST(Motif, FindsPlantedPair) {
+  constexpr std::size_t kWindow = 24;
+  const data::Series s = noise_with_planted(600, kWindow, 100, 400, 3);
+  MotifConfig cfg;
+  cfg.window = kWindow;
+  const MotifResult r = find_motif(s, euclidean_fn(), cfg);
+  EXPECT_NEAR(static_cast<double>(r.first), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(r.second), 400.0, 2.0);
+  EXPECT_GT(r.pairs_evaluated, 0u);
+}
+
+TEST(Motif, ExclusionPreventsTrivialMatches) {
+  // A slowly varying series: neighbouring windows are near-identical, so
+  // without the exclusion zone the "motif" would be a trivial shift.
+  data::Series s(200);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(0.05 * static_cast<double>(i));
+  }
+  MotifConfig cfg;
+  cfg.window = 20;
+  cfg.znormalize = false;
+  const MotifResult r = find_motif(s, euclidean_fn(), cfg);
+  EXPECT_GE(r.second - r.first, cfg.window);
+}
+
+TEST(Motif, StrideReducesWork) {
+  // Plant on stride-aligned offsets so the sparse scan still sees the pair.
+  const data::Series s = noise_with_planted(400, 16, 48, 300, 5);
+  MotifConfig dense;
+  dense.window = 16;
+  MotifConfig sparse = dense;
+  sparse.stride = 4;
+  const MotifResult a = find_motif(s, euclidean_fn(), dense);
+  const MotifResult b = find_motif(s, euclidean_fn(), sparse);
+  EXPECT_LT(b.pairs_evaluated, a.pairs_evaluated / 8);
+  EXPECT_NEAR(static_cast<double>(b.first), static_cast<double>(a.first), 4.0);
+  EXPECT_NEAR(static_cast<double>(b.second), static_cast<double>(a.second),
+              4.0);
+}
+
+TEST(Motif, DegenerateInputsThrow) {
+  data::Series tiny(4, 0.0);
+  MotifConfig cfg;
+  cfg.window = 8;
+  EXPECT_THROW(find_motif(tiny, euclidean_fn(), cfg), std::invalid_argument);
+  cfg.window = 2;
+  cfg.stride = 0;
+  EXPECT_THROW(find_motif(tiny, euclidean_fn(), cfg), std::invalid_argument);
+}
+
+TEST(Discord, FindsPlantedAnomaly) {
+  util::Rng rng(7);
+  data::Series s(500);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(0.3 * static_cast<double>(i)) + rng.normal(0.0, 0.05);
+  }
+  // Planted anomaly: a burst that matches nothing else.
+  for (std::size_t i = 0; i < 20; ++i) {
+    s[250 + i] += (i % 2 ? 4.0 : -4.0);
+  }
+  MotifConfig cfg;
+  cfg.window = 24;
+  const auto discords = find_discords(s, euclidean_fn(), 1, cfg);
+  ASSERT_EQ(discords.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(discords[0].position), 250.0, 24.0);
+  EXPECT_GT(discords[0].nn_distance, 0.0);
+}
+
+TEST(Discord, TopKAreNonOverlappingAndSorted) {
+  util::Rng rng(9);
+  data::Series s(400);
+  for (double& v : s) v = rng.normal(0.0, 1.0);
+  MotifConfig cfg;
+  cfg.window = 16;
+  const auto discords = find_discords(s, euclidean_fn(), 3, cfg);
+  ASSERT_EQ(discords.size(), 3u);
+  for (std::size_t i = 1; i < discords.size(); ++i) {
+    EXPECT_GE(discords[i - 1].nn_distance, discords[i].nn_distance);
+    for (std::size_t j = 0; j < i; ++j) {
+      const std::size_t gap = discords[i].position > discords[j].position
+                                  ? discords[i].position - discords[j].position
+                                  : discords[j].position - discords[i].position;
+      EXPECT_GE(gap, cfg.window);
+    }
+  }
+}
+
+TEST(Discord, DtwDistanceAlsoWorks) {
+  // The pluggable distance lets discords run on any of the six functions.
+  util::Rng rng(11);
+  data::Series s(240);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(0.25 * static_cast<double>(i)) + rng.normal(0.0, 0.05);
+  }
+  for (std::size_t i = 0; i < 16; ++i) s[120 + i] = 5.0;
+  MotifConfig cfg;
+  cfg.window = 16;
+  cfg.stride = 4;
+  dist::DistanceParams params;
+  params.band = 3;
+  auto fn = [params](std::span<const double> a, std::span<const double> b) {
+    return dist::compute(dist::DistanceKind::Dtw, a, b, params);
+  };
+  const auto discords = find_discords(s, fn, 1, cfg);
+  ASSERT_EQ(discords.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(discords[0].position), 120.0, 16.0);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/absblock.hpp"
+#include "blocks/factory.hpp"
+#include "devices/opamp.hpp"
+#include "spice/noise.hpp"
+#include "spice/primitives.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+
+constexpr double kBoltzmann = 1.380649e-23;
+
+TEST(Noise, SingleResistorDensityIs4kTR) {
+  // One resistor to ground probed at its node: output PSD = 4kT R
+  // (the current noise 4kT/R through the resistance R itself: |R|^2 4kT/R).
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<Resistor>(a, kGround, 100e3);
+  NoiseAnalysis noise(net);
+  const NoiseResult r = noise.run(a, 1e3, 1e6, 10);
+  ASSERT_TRUE(r.ok) << r.error;
+  const double expected = 4.0 * kBoltzmann * 300.0 * 100e3;
+  for (double psd : r.psd_v2_per_hz) {
+    EXPECT_NEAR(psd, expected, expected * 0.01);
+  }
+  // ~40 nV/rtHz for 100k.
+  EXPECT_NEAR(r.density_nv_per_rthz(0), 40.7, 1.0);
+}
+
+TEST(Noise, ParallelResistorsReduceNoise) {
+  // Two 100k in parallel = 50k: density scales with sqrt(R).
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<Resistor>(a, kGround, 100e3);
+  net.add<Resistor>(a, kGround, 100e3);
+  NoiseAnalysis noise(net);
+  const NoiseResult r = noise.run(a, 1e3, 1e6, 5);
+  ASSERT_TRUE(r.ok);
+  const double expected = 4.0 * kBoltzmann * 300.0 * 50e3;
+  EXPECT_NEAR(r.psd_v2_per_hz[0], expected, expected * 0.01);
+}
+
+TEST(Noise, RcBandlimitsTotalToKtOverC) {
+  // The textbook result: total rms noise of an RC lowpass = sqrt(kT/C),
+  // independent of R.  C = 20 fF -> ~455 uV rms.
+  for (double res : {10e3, 100e3}) {
+    Netlist net;
+    const NodeId a = net.node("a");
+    net.add<Resistor>(a, kGround, res);
+    net.add<Capacitor>(a, kGround, 20e-15);
+    NoiseAnalysis noise(net);
+    // Sweep far past the pole so the integral converges.
+    const NoiseResult r = noise.run(a, 1e3, 1e13, 400);
+    ASSERT_TRUE(r.ok);
+    const double expected = std::sqrt(kBoltzmann * 300.0 / 20e-15);
+    EXPECT_NEAR(r.total_rms_v, expected, expected * 0.1) << "R=" << res;
+  }
+}
+
+TEST(Noise, OpAmpInputNoiseAmplifiedByClosedLoopGain) {
+  // Follower: output density ~ en.  Gain-of-5 non-inverting would be 5x;
+  // here we compare follower vs inverting gain -4 (noise gain 5).
+  auto density = [](double rf) {
+    Netlist net;
+    const NodeId inn = net.node("inn");
+    const NodeId out = net.node("out");
+    dev::OpAmpParams p;
+    p.input_noise_nv = 5.0;
+    if (rf > 0.0) {
+      net.add<Resistor>(kGround, inn, 10e3);
+      net.add<Resistor>(out, inn, rf);
+      net.add<dev::OpAmp>(kGround, inn, out, p);
+    } else {
+      net.add<dev::OpAmp>(kGround, out, out, p);
+    }
+    NoiseAnalysis noise(net);
+    const NoiseResult r = noise.run(out, 1e4, 1e5, 4);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.density_nv_per_rthz(0);
+  };
+  const double follower = density(0.0);
+  const double gain4 = density(40e3);
+  EXPECT_NEAR(follower, 5.0, 0.5);
+  // Noise gain 5 amplifies the op-amp's en; the 10k/40k network adds its
+  // own thermal noise on top.
+  EXPECT_GT(gain4, 4.0 * follower);
+}
+
+double abs_block_noise_rms(double gbw_hz) {
+  Netlist net;
+  blocks::AnalogEnv env;
+  env.opamp.gbw_hz = gbw_hz;
+  blocks::BlockFactory f(net, env);
+  const NodeId p = net.node("p");
+  const NodeId q = net.node("q");
+  net.add<VSource>(p, kGround, Waveform::dc(0.030));
+  net.add<VSource>(q, kGround, Waveform::dc(0.010));
+  const auto h = blocks::make_abs_block(f, p, q, 1.0, "abs");
+  f.finalize_parasitics();
+  NoiseAnalysis noise(net);
+  const NoiseResult r = noise.run(h.out, 1e4, 1e12, 150);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.num_sources, 10);  // memristors + op-amps all contribute
+  return r.total_rms_v;
+}
+
+TEST(Noise, AbsBlockNoiseScalesWithGbw) {
+  // Signal-integrity finding (EXPERIMENTS.md): with Table 1's 100 kOhm HRS
+  // networks and 50 GHz GBW amplifiers the integrated output noise reaches
+  // the order of one 20 mV value unit — the wide amplifier bandwidth
+  // re-amplifies the networks' 40 nV/rtHz thermal floor.  Backing the GBW
+  // off to 2 GHz (still ns-scale settling) recovers a ~5x margin, as the
+  // sqrt(bandwidth) scaling predicts.
+  const double stock = abs_block_noise_rms(50e9);
+  const double relaxed = abs_block_noise_rms(2e9);
+  EXPECT_GT(stock, 5e-3);              // unit-scale: a real design problem
+  EXPECT_LT(stock, 60e-3);
+  EXPECT_LT(relaxed, 0.35 * stock);    // ~sqrt(25) improvement
+  EXPECT_LT(relaxed, 8e-3);            // sub-half-unit margin restored
+}
+
+TEST(Noise, InvalidParameters) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<Resistor>(a, kGround, 1e3);
+  NoiseAnalysis noise(net);
+  EXPECT_FALSE(noise.run(a, 0.0, 1e6, 10).ok);
+  EXPECT_FALSE(noise.run(kGround, 1e3, 1e6, 10).ok);
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config.hpp"
+#include "core/pe.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+namespace dist = mda::dist;
+
+/// Fixture that wires a PE with DC sources and solves the operating point.
+class PeFixture {
+ public:
+  PeFixture() : factory_(net_, blocks::AnalogEnv{}) {}
+
+  NodeId source(const std::string& name, double volts) {
+    const NodeId n = net_.node(name);
+    net_.add<VSource>(n, kGround, Waveform::dc(volts));
+    return n;
+  }
+
+  core::PeBias bias(double vthre, double vstep) {
+    core::PeBias b;
+    b.vthre = source("vthre", vthre);
+    b.vstep = source("vstep", vstep);
+    return b;
+  }
+
+  double solve(NodeId out) {
+    factory_.finalize_parasitics();
+    TransientSimulator sim(net_);
+    const auto x = sim.dc_operating_point();
+    EXPECT_FALSE(x.empty()) << "DC solve failed";
+    return x.empty() ? -999.0 : x[static_cast<std::size_t>(out)];
+  }
+
+  Netlist net_;
+  blocks::BlockFactory factory_;
+};
+
+constexpr double kVstep = 0.010;
+
+// ----------------------------------------------------------------- DTW ----
+
+struct DtwPeCase {
+  double p, q, left, up, diag;
+};
+
+class DtwPe : public ::testing::TestWithParam<DtwPeCase> {};
+
+TEST_P(DtwPe, ImplementsRecurrence) {
+  const auto& c = GetParam();
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", c.p);
+  in.q = fx.source("q", c.q);
+  in.left = fx.source("l", c.left);
+  in.up = fx.source("u", c.up);
+  in.diag = fx.source("d", c.diag);
+  const auto pe = core::build_dtw_pe(fx.factory_, in, 1.0, "pe");
+  const double expected =
+      std::abs(c.p - c.q) + std::min({c.left, c.up, c.diag});
+  EXPECT_NEAR(fx.solve(pe.out), expected, 4e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DtwPe,
+    ::testing::Values(DtwPeCase{0.030, 0.010, 0.10, 0.08, 0.12},   // up wins
+                      DtwPeCase{0.030, 0.010, 0.05, 0.08, 0.12},   // left wins
+                      DtwPeCase{0.030, 0.010, 0.10, 0.08, 0.02},   // diag wins
+                      DtwPeCase{0.010, 0.030, 0.10, 0.10, 0.10},   // ties
+                      DtwPeCase{0.020, 0.020, 0.00, 0.45, 0.45},   // zero cost
+                      DtwPeCase{-0.020, 0.020, 0.45, 0.45, 0.00},  // negative p
+                      DtwPeCase{0.000, 0.000, 0.0, 0.0, 0.0}));    // all zero
+
+TEST(DtwPeWeighted, GainAppliesToCostOnly) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.030);
+  in.q = fx.source("q", 0.010);
+  in.left = fx.source("l", 0.05);
+  in.up = fx.source("u", 0.09);
+  in.diag = fx.source("d", 0.07);
+  const auto pe = core::build_dtw_pe(fx.factory_, in, 2.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 2.0 * 0.020 + 0.05, 6e-4);
+}
+
+// ----------------------------------------------------------------- LCS ----
+
+TEST(LcsPe, EqualBranchAddsStep) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.030);
+  in.q = fx.source("q", 0.032);  // |p-q| = 2 mV <= Vthre
+  in.left = fx.source("l", 0.080);
+  in.up = fx.source("u", 0.060);
+  in.diag = fx.source("d", 0.050);
+  const auto pe =
+      core::build_lcs_pe(fx.factory_, in, fx.bias(0.010, kVstep), 1.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 0.050 + kVstep, 5e-4);
+}
+
+TEST(LcsPe, NotEqualBranchTakesMax) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.030);
+  in.q = fx.source("q", -0.010);  // 40 mV apart > Vthre
+  in.left = fx.source("l", 0.080);
+  in.up = fx.source("u", 0.060);
+  in.diag = fx.source("d", 0.050);
+  const auto pe =
+      core::build_lcs_pe(fx.factory_, in, fx.bias(0.010, kVstep), 1.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 0.080, 5e-4);
+}
+
+TEST(LcsPe, WeightedStep) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.020);
+  in.q = fx.source("q", 0.020);
+  in.left = fx.source("l", 0.0);
+  in.up = fx.source("u", 0.0);
+  in.diag = fx.source("d", 0.040);
+  const auto pe =
+      core::build_lcs_pe(fx.factory_, in, fx.bias(0.010, kVstep), 2.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 0.040 + 2.0 * kVstep, 6e-4);
+}
+
+// ----------------------------------------------------------------- EdD ----
+
+TEST(EditPe, MatchTakesFreeDiagonal) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.030);
+  in.q = fx.source("q", 0.031);
+  in.left = fx.source("l", 0.050);
+  in.up = fx.source("u", 0.050);
+  in.diag = fx.source("d", 0.030);
+  const auto pe =
+      core::build_edit_pe(fx.factory_, in, fx.bias(0.010, kVstep), 1.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 0.030, 6e-4);
+}
+
+TEST(EditPe, MismatchChargesAllPaths) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.030);
+  in.q = fx.source("q", -0.030);
+  in.left = fx.source("l", 0.050);
+  in.up = fx.source("u", 0.020);
+  in.diag = fx.source("d", 0.030);
+  const auto pe =
+      core::build_edit_pe(fx.factory_, in, fx.bias(0.010, kVstep), 1.0, "pe");
+  // min(0.05, 0.02, 0.03) + Vstep = 0.03.
+  EXPECT_NEAR(fx.solve(pe.out), 0.030, 6e-4);
+}
+
+TEST(EditPe, InsertionWinsWhenCheapest) {
+  PeFixture fx;
+  core::MatrixPeInputs in;
+  in.p = fx.source("p", 0.030);
+  in.q = fx.source("q", -0.030);
+  in.left = fx.source("l", 0.000);
+  in.up = fx.source("u", 0.100);
+  in.diag = fx.source("d", 0.100);
+  const auto pe =
+      core::build_edit_pe(fx.factory_, in, fx.bias(0.010, kVstep), 1.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), kVstep, 6e-4);
+}
+
+// ---------------------------------------------------------------- HauD ----
+
+TEST(HaudPe, OutputsComplementedDistance) {
+  PeFixture fx;
+  const NodeId p = fx.source("p", 0.030);
+  const NodeId q = fx.source("q", 0.010);
+  const auto pe = core::build_hausdorff_pe(fx.factory_, p, q, 1.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 1.0 - 0.020, 5e-4);
+}
+
+TEST(HaudPe, WeightScalesDistance) {
+  PeFixture fx;
+  const NodeId p = fx.source("p", 0.030);
+  const NodeId q = fx.source("q", 0.010);
+  const auto pe = core::build_hausdorff_pe(fx.factory_, p, q, 2.0, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 1.0 - 0.040, 6e-4);
+}
+
+// ---------------------------------------------------------------- HamD ----
+
+TEST(HamdPe, DifferentOutputsVstep) {
+  PeFixture fx;
+  const NodeId p = fx.source("p", 0.030);
+  const NodeId q = fx.source("q", -0.030);
+  const auto pe = core::build_hamming_pe(fx.factory_, p, q,
+                                         fx.bias(0.010, kVstep), "pe");
+  EXPECT_NEAR(fx.solve(pe.out), kVstep, 5e-4);
+}
+
+TEST(HamdPe, EqualOutputsZero) {
+  PeFixture fx;
+  const NodeId p = fx.source("p", 0.030);
+  const NodeId q = fx.source("q", 0.032);
+  const auto pe = core::build_hamming_pe(fx.factory_, p, q,
+                                         fx.bias(0.010, kVstep), "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 0.0, 5e-4);
+}
+
+// ------------------------------------------------------------------ MD ----
+
+TEST(MdPe, OutputsAbsDifference) {
+  PeFixture fx;
+  const NodeId p = fx.source("p", -0.020);
+  const NodeId q = fx.source("q", 0.030);
+  const auto pe = core::build_manhattan_pe(fx.factory_, p, q, "pe");
+  EXPECT_NEAR(fx.solve(pe.out), 0.050, 4e-4);
+}
+
+// -------------------------------------------------------- configuration ----
+
+TEST(ConfigLibrary, CoversAllKindsWithPlausibleInventories) {
+  const auto& lib = core::configuration_library();
+  ASSERT_EQ(lib.size(), 6u);
+  for (const auto& entry : lib) {
+    EXPECT_GT(entry.opamps_per_pe, 0u) << dist::kind_name(entry.kind);
+    EXPECT_GT(entry.memristors_per_pe, 0u);
+    EXPECT_EQ(entry.matrix_structure, dist::is_matrix_structure(entry.kind));
+  }
+  // EdD is the heaviest PE (three charged paths + min module) — this is why
+  // its power is the largest in Sec. 4.3.
+  const auto& edd = core::config_for(dist::DistanceKind::Edit);
+  for (const auto& entry : lib) {
+    EXPECT_LE(entry.opamps_per_pe, edd.opamps_per_pe);
+  }
+  // MD is the lightest (abs module only).
+  const auto& md = core::config_for(dist::DistanceKind::Manhattan);
+  for (const auto& entry : lib) {
+    EXPECT_GE(entry.opamps_per_pe, md.opamps_per_pe);
+  }
+  // Selecting-module functions carry comparators and TGs.
+  EXPECT_GE(core::config_for(dist::DistanceKind::Lcs).comparators_per_pe, 1u);
+  EXPECT_GE(core::config_for(dist::DistanceKind::Lcs).tgates_per_pe, 2u);
+  EXPECT_GE(core::config_for(dist::DistanceKind::Hamming).tgates_per_pe, 2u);
+  EXPECT_EQ(core::config_for(dist::DistanceKind::Dtw).comparators_per_pe, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/array_builder.hpp"
+#include "power/baselines.hpp"
+#include "power/energy_report.hpp"
+#include "power/power_model.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::power;
+
+TEST(PowerModel, ScalePowerIsLinearInFeatureSize) {
+  // The paper's op-amp projection: 197 uW at 350 nm -> ~18 uW at 32 nm.
+  EXPECT_NEAR(PowerModel::scale_power(197e-6, 350.0, 32.0), 18e-6, 0.5e-6);
+}
+
+TEST(PowerModel, ActivePeCounts) {
+  PowerModel model;
+  // DTW band area R*(2n-R) with R = 5% n: n = 128 -> 6.4 * 249.6 ~ 1597.
+  EXPECT_NEAR(model.active_pes(dist::DistanceKind::Dtw, 128), 1597.0, 1.0);
+  EXPECT_EQ(model.active_pes(dist::DistanceKind::Dtw, 128, 10),
+            static_cast<std::size_t>(10 * (256 - 10)));
+  EXPECT_EQ(model.active_pes(dist::DistanceKind::Lcs, 128), 128u * 128u);
+  EXPECT_EQ(model.active_pes(dist::DistanceKind::Edit, 100), 10000u);
+  // Row structure: the fabric runs n concurrent row computations.
+  EXPECT_EQ(model.active_pes(dist::DistanceKind::Hamming, 128), 128u * 128u);
+  EXPECT_EQ(model.active_pes(dist::DistanceKind::Manhattan, 64), 64u * 64u);
+}
+
+TEST(PowerModel, PaperDtwOpampArithmetic) {
+  // Sec. 4.3: 7 op-amps/PE * 1597 PEs * 18 uW = 0.20 W.
+  PowerModel model;
+  PeInventory pe;
+  pe.opamps = 7;
+  pe.memristor_paths = 14;  // two HRS paths per op-amp network (Sec. 4.3)
+  const PowerBreakdown b = model.accelerator_power(
+      dist::DistanceKind::Dtw, 128, pe, 6.4e9, 1e9);
+  EXPECT_NEAR(b.opamps_w, 0.20, 0.02);
+  // Memristors: 2 paths * 10 uW * 1597 = 0.22 W (paper's figure, using
+  // their "at least one HRS per path" assumption).
+  EXPECT_NEAR(b.memristors_w, 0.22, 0.02);
+  // DACs: ceil(6.4G / 1.6G) * 32 mW = 0.128 W.
+  EXPECT_EQ(b.num_dacs, 4);
+  EXPECT_NEAR(b.dacs_w, 0.128, 1e-9);
+  EXPECT_EQ(b.num_adcs, 1);
+  EXPECT_NEAR(b.adcs_w, 0.035, 1e-9);
+  // Total in the regime of the paper's 0.58 W.
+  EXPECT_NEAR(b.total_w(), 0.58, 0.08);
+}
+
+TEST(PowerModel, ConvertersAlwaysAtLeastOne) {
+  PowerModel model;
+  PeInventory pe;
+  pe.opamps = 1;
+  pe.memristor_paths = 1;
+  const PowerBreakdown b = model.accelerator_power(
+      dist::DistanceKind::Manhattan, 8, pe, 1.0, 1.0);
+  EXPECT_EQ(b.num_dacs, 1);
+  EXPECT_EQ(b.num_adcs, 1);
+}
+
+TEST(Baselines, TableCoversAllSixFunctions) {
+  const auto& table = published_baselines();
+  ASSERT_EQ(table.size(), 6u);
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    const BaselineAccelerator& b = baseline_for(kind);
+    EXPECT_EQ(b.kind, kind);
+    EXPECT_GT(b.per_element_ns, 0.0);
+    EXPECT_GT(b.power_w, 0.0);
+    EXPECT_FALSE(b.citation.empty());
+  }
+  // Sec. 4.3's stated baseline powers.
+  EXPECT_DOUBLE_EQ(baseline_for(dist::DistanceKind::Dtw).power_w, 4.76);
+  EXPECT_DOUBLE_EQ(baseline_for(dist::DistanceKind::Lcs).power_w, 240.0);
+  EXPECT_DOUBLE_EQ(baseline_for(dist::DistanceKind::Edit).power_w, 175.0);
+  EXPECT_DOUBLE_EQ(baseline_for(dist::DistanceKind::Hausdorff).power_w, 120.0);
+  EXPECT_DOUBLE_EQ(baseline_for(dist::DistanceKind::Hamming).power_w, 150.0);
+  EXPECT_DOUBLE_EQ(baseline_for(dist::DistanceKind::Manhattan).power_w, 137.0);
+  EXPECT_EQ(baseline_for(dist::DistanceKind::Dtw).platform, "FPGA");
+}
+
+TEST(EnergyReport, EfficiencyFormula) {
+  // speedup 10x, 100 W baseline vs 2 W ours -> 500x energy efficiency.
+  EXPECT_DOUBLE_EQ(energy_efficiency(10.0, 2.0, 100.0), 500.0);
+  EXPECT_THROW(energy_efficiency(1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(EnergyReport, CompareBuildsRow) {
+  const EnergyComparison c = compare(dist::DistanceKind::Lcs, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(c.baseline_power_w, 240.0);
+  EXPECT_NEAR(c.speedup, 10.0, 1e-9);  // 40 ns/elem baseline / 4 ns ours
+  EXPECT_NEAR(c.energy_ratio, 10.0 * 240.0 / 3.0, 1e-6);
+}
+
+TEST(EnergyReport, RenderContainsAllRows) {
+  std::vector<EnergyComparison> rows;
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    rows.push_back(compare(kind, 2.0, 1.0));
+  }
+  const std::string table = render(rows);
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    EXPECT_NE(table.find(dist::kind_name(kind)), std::string::npos);
+  }
+}
+
+TEST(PowerIntegration, MeasuredInventoriesGivePaperRegimeTotals) {
+  // Use the real PE inventories (from the generated netlists) and check the
+  // per-function ordering the paper reports: EdD > LCS ~ HauD > DTW(banded),
+  // and the row functions are converter-dominated.
+  PowerModel model;
+  auto total = [&](dist::DistanceKind kind, int band = -1) {
+    const PeInventory inv = core::measure_pe_inventory(kind);
+    return model
+        .accelerator_power(kind, 128, inv, 6.4e9, 1e9, band)
+        .total_w();
+  };
+  const double dtw = total(dist::DistanceKind::Dtw);
+  const double lcs = total(dist::DistanceKind::Lcs);
+  const double edd = total(dist::DistanceKind::Edit);
+  const double haud = total(dist::DistanceKind::Hausdorff);
+  const double hamd = total(dist::DistanceKind::Hamming);
+  const double md = total(dist::DistanceKind::Manhattan);
+  EXPECT_GT(edd, lcs);
+  EXPECT_GT(edd, haud);
+  EXPECT_GT(lcs, dtw);   // banded DTW is the cheapest configuration
+  EXPECT_GT(haud, dtw);
+  EXPECT_GT(hamd, md);   // HamD carries a comparator + TGs per PE
+  EXPECT_GT(md, dtw);
+  // Everything within the paper's 0.1 W - 20 W envelope.
+  for (double w : {dtw, lcs, edd, haud, hamd, md}) {
+    EXPECT_GT(w, 0.05);
+    EXPECT_LT(w, 25.0);
+  }
+}
+
+}  // namespace

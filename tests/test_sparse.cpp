@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "spice/dense.hpp"
+#include "spice/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda::spice;
+
+TEST(Csc, FromTripletsSumsDuplicates) {
+  // 2x2 with a duplicated (0,0) entry.
+  const CscMatrix m = CscMatrix::from_triplets(2, {0, 0, 1, 0}, {0, 0, 1, 1},
+                                               {1.0, 2.0, 5.0, 4.0});
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y;
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(Csc, MultiplyIdentity) {
+  const CscMatrix m =
+      CscMatrix::from_triplets(3, {0, 1, 2}, {0, 1, 2}, {1.0, 1.0, 1.0});
+  std::vector<double> x = {3.0, -2.0, 7.0};
+  std::vector<double> y;
+  m.multiply(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(SparseLu, SolvesIdentity) {
+  const CscMatrix m =
+      CscMatrix::from_triplets(3, {0, 1, 2}, {0, 1, 2}, {2.0, 4.0, 8.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> b = {2.0, 4.0, 8.0};
+  lu.solve(b);
+  for (double v : b) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(SparseLu, DetectsSingular) {
+  // Second column is zero.
+  const CscMatrix m = CscMatrix::from_triplets(2, {0}, {0}, {1.0});
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(m));
+}
+
+TEST(SparseLu, PivotingHandlesZeroDiagonal) {
+  // [[0, 1], [1, 0]] requires a row swap.
+  const CscMatrix m =
+      CscMatrix::from_triplets(2, {1, 0}, {0, 1}, {1.0, 1.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> b = {3.0, 5.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 5.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+class RandomSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystem, SparseMatchesDense) {
+  const int n = GetParam();
+  mda::util::Rng rng(1234 + static_cast<std::uint64_t>(n));
+  // Diagonally dominant random sparse matrix (like an MNA conductance map).
+  std::vector<int> rows, cols;
+  std::vector<double> vals;
+  std::vector<double> dense(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double diag = 1.0;
+    for (int k = 0; k < 4; ++k) {
+      const int j = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      rows.push_back(i);
+      cols.push_back(j);
+      vals.push_back(v);
+      dense[static_cast<std::size_t>(i) * n + j] += v;
+      diag += std::abs(v);
+    }
+    rows.push_back(i);
+    cols.push_back(i);
+    vals.push_back(diag);
+    dense[static_cast<std::size_t>(i) * n + i] += diag;
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.uniform(-5.0, 5.0);
+
+  const CscMatrix a = CscMatrix::from_triplets(n, rows, cols, vals);
+  SparseLu slu;
+  ASSERT_TRUE(slu.factor(a));
+  std::vector<double> xs = b;
+  slu.solve(xs);
+
+  DenseLu dlu;
+  ASSERT_TRUE(dlu.factor(n, dense));
+  std::vector<double> xd = b;
+  dlu.solve(xd);
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(xs[static_cast<std::size_t>(i)], xd[static_cast<std::size_t>(i)],
+                1e-8 * (1.0 + std::abs(xd[static_cast<std::size_t>(i)])));
+  }
+  // Residual check: A*x == b.
+  std::vector<double> ax;
+  a.multiply(xs, ax);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)],
+                1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystem,
+                         ::testing::Values(3, 10, 50, 200, 500));
+
+TEST(DenseLu, SingularDetected) {
+  DenseLu lu;
+  EXPECT_FALSE(lu.factor(2, {1.0, 2.0, 2.0, 4.0}));
+}
+
+TEST(DenseLu, Solves2x2) {
+  DenseLu lu;
+  ASSERT_TRUE(lu.factor(2, {2.0, 1.0, 1.0, 3.0}));
+  std::vector<double> b = {5.0, 10.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+}  // namespace

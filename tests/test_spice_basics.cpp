@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/netlist.hpp"
+#include "spice/primitives.hpp"
+#include "spice/probe.hpp"
+#include "spice/transient.hpp"
+#include "spice/waveform.hpp"
+
+namespace {
+
+using namespace mda::spice;
+
+TEST(Waveform, DcAndStep) {
+  EXPECT_DOUBLE_EQ(Waveform::dc(3.3).at(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(Waveform::dc(3.3).at(1e9), 3.3);
+  const Waveform s = Waveform::step(0.0, 1.0, 2e-9);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(1.9e-9), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(2.1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(s.initial(), 0.0);
+}
+
+TEST(Waveform, StepWithRise) {
+  const Waveform s = Waveform::step(0.0, 2.0, 1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(s.at(1e-9), 0.0);
+  EXPECT_NEAR(s.at(2e-9), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.at(3e-9), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(4e-9), 2.0);
+}
+
+TEST(Waveform, Pwl) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1.0, 2.0}, {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(5.0), 0.0);
+}
+
+TEST(Waveform, Pulse) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1.0, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(12.0), 1.0);  // periodic
+}
+
+TEST(Waveform, Sine) {
+  const Waveform w = Waveform::sine(1.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 1.0);
+  EXPECT_NEAR(w.at(0.25), 3.0, 1e-9);
+}
+
+TEST(DcOp, VoltageDivider) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId mid = net.node("mid");
+  net.add<VSource>(a, kGround, Waveform::dc(10.0));
+  net.add<Resistor>(a, mid, 1000.0);
+  net.add<Resistor>(mid, kGround, 3000.0);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(mid)], 7.5, 1e-6);
+}
+
+TEST(DcOp, TwoSourcesSuperposition) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId b = net.node("b");
+  const NodeId mid = net.node("mid");
+  net.add<VSource>(a, kGround, Waveform::dc(1.0));
+  net.add<VSource>(b, kGround, Waveform::dc(3.0));
+  net.add<Resistor>(a, mid, 1000.0);
+  net.add<Resistor>(b, mid, 1000.0);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(mid)], 2.0, 1e-6);
+}
+
+TEST(DcOp, CurrentSourceIntoResistor) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<ISource>(a, kGround, Waveform::dc(1e-3));
+  net.add<Resistor>(a, kGround, 2000.0);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(a)], 2.0, 1e-6);
+}
+
+TEST(DcOp, SeriesResistanceInSource) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(5.0), /*series=*/1000.0);
+  net.add<Resistor>(a, kGround, 4000.0);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(a)], 4.0, 1e-6);
+}
+
+TEST(Transient, RcChargingTimeConstant) {
+  // 1k * 1nF = 1us time constant; v(t) = V*(1 - exp(-t/tau)).
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 1.0, 0.0));
+  net.add<Resistor>(in, out, 1000.0);
+  net.add<Capacitor>(out, kGround, 1e-9);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 6e-6;
+  params.dt_init = 1e-9;
+  params.dt_max = 5e-9;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Trace& tr = r.trace("out");
+  EXPECT_NEAR(tr.at(1e-6), 1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(tr.at(3e-6), 1.0 - std::exp(-3.0), 0.01);
+  EXPECT_NEAR(tr.final_value(), 1.0, 0.01);
+}
+
+TEST(Transient, SettlingTimeOfRc) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 1.0, 0.0));
+  net.add<Resistor>(in, out, 1000.0);
+  net.add<Capacitor>(out, kGround, 1e-9);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 15e-6;
+  params.dt_init = 1e-9;
+  params.dt_max = 10e-9;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok);
+  // 0.1% settling of a single pole is ~6.9 tau = 6.9us.
+  const double ts = settling_time(r.trace("out"), 1e-3, 1e-3);
+  EXPECT_NEAR(ts, 6.9e-6, 0.5e-6);
+}
+
+TEST(Transient, SteadyStateEarlyExit) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::dc(1.0));
+  net.add<Resistor>(in, out, 100.0);
+  net.add<Capacitor>(out, kGround, 1e-12);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 1.0;  // one full second: must early-exit long before
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.t_end, 1e-3);
+  EXPECT_NEAR(r.trace("out").final_value(), 1.0, 1e-6);
+}
+
+TEST(Probe, SettlingTimeSyntheticTrace) {
+  Trace tr;
+  tr.name = "syn";
+  // Exponential approach to 1.0 with tau = 1.
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = i * 0.01;
+    tr.t.push_back(t);
+    tr.v.push_back(1.0 - std::exp(-t));
+  }
+  const double ts = settling_time(tr, 1e-3, 1e-3);
+  EXPECT_NEAR(ts, -std::log(1e-3), 0.02);  // ~6.91
+}
+
+TEST(Probe, TraceInterpolation) {
+  Trace tr;
+  tr.t = {0.0, 1.0, 2.0};
+  tr.v = {0.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(tr.at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(tr.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(tr.at(5.0), 20.0);
+}
+
+TEST(Netlist, NodeNamesAndGround) {
+  Netlist net;
+  EXPECT_EQ(net.node("0"), kGround);
+  EXPECT_EQ(net.node("gnd"), kGround);
+  const NodeId a = net.node("a");
+  EXPECT_EQ(net.node("a"), a);
+  EXPECT_EQ(net.find_node("a"), a);
+  EXPECT_LT(net.find_node("missing"), kGround);
+  EXPECT_EQ(net.node_name(a), "a");
+  const NodeId f1 = net.fresh_node("tmp");
+  const NodeId f2 = net.fresh_node("tmp");
+  EXPECT_NE(f1, f2);
+}
+
+TEST(Netlist, ParasiticsAddedOnce) {
+  Netlist net;
+  net.node("a");
+  net.node("b");
+  const std::size_t before = net.num_devices();
+  net.add_parasitics(20e-15);
+  EXPECT_EQ(net.num_devices(), before + 2);
+  net.add_parasitics(20e-15);  // watermark: no duplicates
+  EXPECT_EQ(net.num_devices(), before + 2);
+  net.node("c");
+  net.add_parasitics(20e-15);
+  EXPECT_EQ(net.num_devices(), before + 3);
+}
+
+TEST(Primitives, InvalidValuesThrow) {
+  EXPECT_THROW(Resistor(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(Resistor(0, 1, -5.0), std::invalid_argument);
+  EXPECT_THROW(Capacitor(0, 1, -1e-12), std::invalid_argument);
+}
+
+}  // namespace

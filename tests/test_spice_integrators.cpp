@@ -1,0 +1,194 @@
+// Integration-method tests: trapezoidal vs backward-Euler companion models,
+// and the inductor primitive (DC short, transient ringing, AC resonance).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/ac.hpp"
+#include "spice/netlist.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace mda::spice;
+
+TEST(Inductor, DcActsAsShort) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId b = net.node("b");
+  net.add<VSource>(a, kGround, Waveform::dc(2.0));
+  net.add<Inductor>(a, b, 1e-6);
+  net.add<Resistor>(b, kGround, 1000.0);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(b)], 2.0, 1e-6);
+}
+
+TEST(Inductor, InvalidValueThrows) {
+  EXPECT_THROW(Inductor(0, 1, 0.0), std::invalid_argument);
+}
+
+TEST(Inductor, RlRiseTimeConstant) {
+  // Series RL driven by a step: i(t) = (V/R)(1 - exp(-t R/L)), so the node
+  // across R rises with tau = L/R = 1 us.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId mid = net.node("mid");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 1.0, 0.0));
+  net.add<Inductor>(in, mid, 1e-3);
+  net.add<Resistor>(mid, kGround, 1000.0);
+  TransientSimulator sim(net);
+  sim.probe(mid, "out");
+  TransientParams params;
+  params.t_stop = 6e-6;
+  params.dt_init = 1e-9;
+  params.dt_max = 5e-9;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NEAR(r.trace("out").at(1e-6), 1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(r.trace("out").final_value(), 1.0, 0.01);
+}
+
+/// Series RLC step response; returns the trace of the capacitor voltage.
+Trace rlc_response(Integration method, double dt) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId mid = net.node("mid");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 1.0, 0.0));
+  net.add<Resistor>(in, mid, 1.0);
+  net.add<Inductor>(mid, out, 1e-6);
+  net.add<Capacitor>(out, kGround, 1e-9);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.method = method;
+  params.t_stop = 1.2e-6;
+  params.dt_init = dt;
+  params.dt_max = dt;
+  params.grow = 1.0;
+  params.steady_tol = 0.0;
+  const TransientResult r = sim.run(params);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.trace("out");
+}
+
+TEST(Integrators, TrapezoidalPreservesRinging) {
+  // Q ~ 31 tank: at a coarse fixed step (T0/40) backward Euler's numerical
+  // damping kills the ringing; trapezoidal keeps it close to the analytic
+  // envelope exp(-R/(2L) t).
+  const double t0 = 2.0 * std::numbers::pi * std::sqrt(1e-6 * 1e-9);  // ~199ns
+  const double dt = t0 / 40.0;
+  const Trace be = rlc_response(Integration::BackwardEuler, dt);
+  const Trace tr = rlc_response(Integration::Trapezoidal, dt);
+
+  // Measure the ringing amplitude around t = 5 periods.
+  auto swing = [&](const Trace& trace) {
+    double mn = 1e300, mx = -1e300;
+    for (std::size_t i = 0; i < trace.t.size(); ++i) {
+      if (trace.t[i] > 4.5 * t0 && trace.t[i] < 5.5 * t0) {
+        mn = std::min(mn, trace.v[i]);
+        mx = std::max(mx, trace.v[i]);
+      }
+    }
+    return mx - mn;
+  };
+  const double alpha = 1.0 / (2.0 * 1e-6);  // R/(2L)
+  const double analytic = 2.0 * std::exp(-alpha * 5.0 * t0);
+  const double s_tr = swing(tr);
+  const double s_be = swing(be);
+  EXPECT_GT(s_tr, 2.0 * s_be);            // BE overdamps
+  EXPECT_NEAR(s_tr, analytic, 0.35 * analytic);
+}
+
+TEST(Integrators, TrapezoidalMoreAccurateOnRc) {
+  // First-order RC: TR is 2nd-order accurate, BE 1st-order.  At the same
+  // coarse step the TR error against the analytic exponential is smaller.
+  auto rc_error = [](Integration method) {
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId out = net.node("out");
+    net.add<VSource>(in, kGround, Waveform::step(0.0, 1.0, 0.0));
+    net.add<Resistor>(in, out, 1000.0);
+    net.add<Capacitor>(out, kGround, 1e-9);
+    TransientSimulator sim(net);
+    sim.probe(out, "out");
+    TransientParams params;
+    params.method = method;
+    params.t_stop = 3e-6;
+    params.dt_init = 2e-7;  // tau/5: deliberately coarse
+    params.dt_max = 2e-7;
+    params.grow = 1.0;
+    params.steady_tol = 0.0;
+    const TransientResult r = sim.run(params);
+    EXPECT_TRUE(r.ok);
+    const Trace& tr = r.trace("out");
+    // Skip the shared BE start-up step (both methods take it to damp the
+    // t=0 discontinuity); compare the methods where they differ.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < tr.t.size(); ++i) {
+      if (tr.t[i] < 5e-7) continue;
+      const double analytic = 1.0 - std::exp(-tr.t[i] / 1e-6);
+      worst = std::max(worst, std::abs(tr.v[i] - analytic));
+    }
+    return worst;
+  };
+  const double err_be = rc_error(Integration::BackwardEuler);
+  const double err_tr = rc_error(Integration::Trapezoidal);
+  EXPECT_LT(err_tr, 0.4 * err_be);
+}
+
+TEST(Inductor, AcResonancePeak) {
+  // Series RLC, output across C: |H| peaks near f0 = 1/(2 pi sqrt(LC)).
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId mid = net.node("mid");
+  const NodeId out = net.node("out");
+  auto& src = net.add<VSource>(in, kGround, Waveform::dc(0.0));
+  src.set_ac_magnitude(1.0);
+  net.add<Resistor>(in, mid, 10.0);
+  net.add<Inductor>(mid, out, 1e-6);
+  net.add<Capacitor>(out, kGround, 1e-9);
+  AcAnalysis ac(net);
+  ac.probe(out, "out");
+  const AcResult r = ac.run(1e6, 1e8, 400);
+  ASSERT_TRUE(r.ok) << r.error;
+  const AcTrace& tr = r.trace("out");
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < tr.v.size(); ++i) {
+    if (std::abs(tr.v[i]) > std::abs(tr.v[peak])) peak = i;
+  }
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(1e-6 * 1e-9));
+  EXPECT_NEAR(tr.freq_hz[peak], f0, 0.05 * f0);
+  // Peak gain ~ Q = sqrt(L/C)/R ~ 3.16.
+  EXPECT_NEAR(std::abs(tr.v[peak]), std::sqrt(1e-6 / 1e-9) / 10.0,
+              0.4);
+}
+
+TEST(Integrators, AcceleratorResultsAgreeAcrossMethods) {
+  // The accelerator's circuits are dominated by ps-scale op-amp poles; the
+  // converged outputs must not depend on the companion model.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 0.02, 0.0));
+  net.add<Resistor>(in, out, 100e3);
+  net.add<Capacitor>(out, kGround, 20e-15);
+  for (Integration method :
+       {Integration::BackwardEuler, Integration::Trapezoidal}) {
+    TransientSimulator sim(net);
+    sim.probe(out, "out");
+    TransientParams params;
+    params.method = method;
+    params.t_stop = 50e-9;
+    const TransientResult r = sim.run(params);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.trace("out").final_value(), 0.02, 1e-6);
+  }
+}
+
+}  // namespace

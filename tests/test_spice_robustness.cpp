@@ -1,0 +1,209 @@
+// Robustness and edge-case coverage for the simulation substrate: floating
+// nodes, pathological sources, adaptive stepping, probe/trace edge cases,
+// and the waveform-driven transient paths the accelerator does not exercise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/diode.hpp"
+#include "devices/opamp.hpp"
+#include "spice/netlist.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::spice;
+
+TEST(Robustness, FloatingNodeResolvedByGmin) {
+  // A node connected only through a capacitor has no DC path; gmin must
+  // keep the matrix non-singular and park it at 0 V.
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId floating = net.node("f");
+  net.add<VSource>(a, kGround, Waveform::dc(1.0));
+  net.add<Capacitor>(a, floating, 1e-12);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x[static_cast<std::size_t>(floating)], 0.0, 1e-6);
+}
+
+TEST(Robustness, ParallelIdealSourcesFailGracefully) {
+  // Two ideal sources across the same node yield duplicate branch rows —
+  // a structurally singular MNA.  The contract: the solve reports failure
+  // (empty result) instead of crashing or returning garbage, matching how
+  // production simulators reject such netlists.
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(0.7));
+  net.add<VSource>(a, kGround, Waveform::dc(0.7));
+  net.add<Resistor>(a, kGround, 1e3);
+  TransientSimulator sim(net);
+  const auto x = sim.dc_operating_point();
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(Robustness, PulseDrivenRcTracksEdges) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround,
+                   Waveform::pulse(0.0, 1.0, 10e-9, 40e-9, 100e-9));
+  net.add<Resistor>(in, out, 100.0);
+  net.add<Capacitor>(out, kGround, 1e-12);  // tau = 0.1 ns << edges
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 200e-9;
+  params.dt_init = 1e-11;
+  params.dt_max = 2e-10;
+  params.steady_tol = 0.0;  // the waveform keeps moving: no early exit
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Trace& tr = r.trace("out");
+  EXPECT_NEAR(tr.at(5e-9), 0.0, 0.02);    // before the pulse
+  EXPECT_NEAR(tr.at(30e-9), 1.0, 0.02);   // during
+  EXPECT_NEAR(tr.at(80e-9), 0.0, 0.02);   // after
+  EXPECT_NEAR(tr.at(130e-9), 1.0, 0.02);  // second period
+}
+
+TEST(Robustness, SineDrivenRcAmplitudeAtPole) {
+  // Drive an RC at exactly its pole frequency: |H| = 1/sqrt(2).
+  const double r_ohm = 1e3, c_f = 1e-9;
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * r_ohm * c_f);
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::sine(0.0, 1.0, f0));
+  net.add<Resistor>(in, out, r_ohm);
+  net.add<Capacitor>(out, kGround, c_f);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 12.0 / f0;  // several cycles to pass the start-up
+  params.dt_init = 1e-9;
+  params.dt_max = 0.01 / f0;
+  params.steady_tol = 0.0;
+  params.method = Integration::Trapezoidal;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Trace& tr = r.trace("out");
+  double amp = 0.0;
+  for (std::size_t i = 0; i < tr.t.size(); ++i) {
+    if (tr.t[i] > 8.0 / f0) amp = std::max(amp, std::abs(tr.v[i]));
+  }
+  EXPECT_NEAR(amp, 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Robustness, RunWithoutDcFirstStartsFromZero) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add<VSource>(a, kGround, Waveform::dc(1.0));
+  net.add<Resistor>(a, kGround, 1e3);
+  TransientSimulator sim(net);
+  sim.probe(a, "a");
+  TransientParams params;
+  params.t_stop = 1e-9;
+  params.run_dc_first = false;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok);
+  // The very first recorded sample (t = 0) is the zero initial state.
+  EXPECT_DOUBLE_EQ(r.trace("a").v.front(), 0.0);
+  EXPECT_NEAR(r.trace("a").final_value(), 1.0, 1e-6);
+}
+
+TEST(Robustness, MissingTraceNameThrows) {
+  Netlist net;
+  net.add<VSource>(net.node("a"), kGround, Waveform::dc(1.0));
+  TransientSimulator sim(net);
+  sim.probe(net.node("a"), "a");
+  TransientParams params;
+  params.t_stop = 1e-10;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok);
+  EXPECT_THROW((void)r.trace("nope"), std::out_of_range);
+}
+
+TEST(Robustness, GroundProbeReadsZero) {
+  Netlist net;
+  net.add<VSource>(net.node("a"), kGround, Waveform::dc(1.0));
+  net.add<Resistor>(net.node("a"), kGround, 1e3);
+  TransientSimulator sim(net);
+  sim.probe(kGround, "gnd");
+  TransientParams params;
+  params.t_stop = 1e-10;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok);
+  for (double v : r.trace("gnd").v) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Robustness, DiodeBridgeFullWaveRectifies) {
+  // Classic four-diode bridge driving a load: |v_in| appears across the
+  // load for both polarities — exercises multi-diode Newton convergence.
+  Netlist net;
+  const NodeId inp = net.node("inp");
+  const NodeId lp = net.node("lp");
+  const NodeId ln = net.node("ln");
+  auto& src = net.add<VSource>(inp, kGround, Waveform::dc(0.3));
+  net.add<dev::Diode>(inp, lp);
+  net.add<dev::Diode>(ln, inp);
+  net.add<dev::Diode>(kGround, lp);
+  net.add<dev::Diode>(ln, kGround);
+  net.add<Resistor>(lp, ln, 10e3);
+  for (double vin : {0.3, -0.3}) {
+    src.set_waveform(Waveform::dc(vin));
+    TransientSimulator sim(net);
+    const auto x = sim.dc_operating_point();
+    ASSERT_FALSE(x.empty()) << "vin=" << vin;
+    const double vload = x[static_cast<std::size_t>(lp)] -
+                         x[static_cast<std::size_t>(ln)];
+    EXPECT_NEAR(vload, std::abs(vin), 0.01) << "vin=" << vin;
+  }
+}
+
+TEST(Robustness, SaturatedAmpRecovers) {
+  // Drive an op-amp follower deep into saturation, then back: the
+  // anti-windup clamp must let it recover quickly.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround,
+                   Waveform::pwl({{0.0, 3.0}, {10e-9, 3.0}, {10.5e-9, 0.1}}));
+  net.add<dev::OpAmp>(in, out, out);
+  net.add<Capacitor>(out, kGround, 20e-15);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 20e-9;
+  params.steady_tol = 0.0;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Trace& tr = r.trace("out");
+  EXPECT_GT(tr.at(9e-9), 0.95);          // saturated near the +1 V rail
+  EXPECT_NEAR(tr.at(15e-9), 0.1, 0.01);  // recovered within ~4 ns
+}
+
+TEST(Robustness, AdaptiveStepperCoversLongQuietHorizons) {
+  // 1 ms horizon with ps-scale dynamics: the early-exit logic must bail out
+  // after the circuit quiets instead of stepping 10^9 times.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add<VSource>(in, kGround, Waveform::step(0.0, 0.5, 0.0));
+  net.add<Resistor>(in, out, 1e3);
+  net.add<Capacitor>(out, kGround, 1e-12);
+  TransientSimulator sim(net);
+  sim.probe(out, "out");
+  TransientParams params;
+  params.t_stop = 1e-3;
+  const TransientResult r = sim.run(params);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.steps, 20000);
+  EXPECT_LT(r.t_end, 1e-3);  // early exit happened
+  EXPECT_NEAR(r.trace("out").final_value(), 0.5, 1e-6);
+}
+
+}  // namespace

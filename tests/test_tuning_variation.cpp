@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/absblock.hpp"
+#include "blocks/factory.hpp"
+#include "core/tuning.hpp"
+#include "core/variation.hpp"
+#include "spice/primitives.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::core;
+
+TEST(Variation, IndependentWithinTolerance) {
+  spice::Netlist net;
+  blocks::BlockFactory f(net, blocks::AnalogEnv{});
+  std::vector<dev::Memristor*> mems;
+  for (int i = 0; i < 100; ++i) {
+    mems.push_back(&f.mem(net.node("a" + std::to_string(i)), spice::kGround,
+                          100e3, "m"));
+  }
+  util::Rng rng(3);
+  VariationConfig cfg;
+  cfg.tolerance = 0.25;
+  apply_process_variation(mems, cfg, rng);
+  bool any_moved = false;
+  for (auto* m : mems) {
+    EXPECT_GE(m->resistance(), 100e3 * 0.749);
+    EXPECT_LE(m->resistance(), 100e3 * 1.251);
+    any_moved |= std::abs(m->resistance() - 100e3) > 1.0;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Variation, ToleranceControlMatchesPairs) {
+  spice::Netlist net;
+  blocks::BlockFactory f(net, blocks::AnalogEnv{});
+  std::vector<dev::Memristor*> mems;
+  std::vector<double> targets;
+  for (int i = 0; i < 60; ++i) {
+    mems.push_back(&f.mem(net.node("a" + std::to_string(i)), spice::kGround,
+                          100e3, "m"));
+    targets.push_back(100e3);
+  }
+  util::Rng rng(4);
+  VariationConfig cfg;
+  cfg.tolerance = 0.30;
+  cfg.tolerance_control = true;
+  cfg.matched_tolerance = 0.01;
+  apply_process_variation(mems, cfg, rng);
+  // Matched cells drift together: ratio error bounded by the two-sided
+  // intra-cell mismatch (2 * 1%) even at +-30% absolute drift
+  // (Sec. 3.3(3): "restrict the tolerance between two memristors lower
+  // than 1%").
+  EXPECT_LT(worst_pair_ratio_error(mems, targets), 0.0202);
+  // Absolute drift is still large for at least some devices.
+  double max_abs = 0.0;
+  for (auto* m : mems) {
+    max_abs = std::max(max_abs, std::abs(m->resistance() / 100e3 - 1.0));
+  }
+  EXPECT_GT(max_abs, 0.10);
+}
+
+TEST(Tuning, SingleDeviceConvergesUnderOnePercent) {
+  dev::Memristor m(0, 1, 100e3);
+  m.apply_variation(1.28);  // +28% process variation
+  util::Rng rng(5);
+  const TuningReport r = tune_memristor(m, 100e3, TuningConfig{}, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_rel_error, 0.011);
+  EXPECT_GE(r.iterations, 1);
+  EXPECT_LE(r.iterations, 20);
+}
+
+TEST(Tuning, IteratesSeveralTimesForTightTolerance) {
+  // "The two steps can be iterated several times for better precision."
+  dev::Memristor m(0, 1, 100e3);
+  m.apply_variation(0.72);
+  util::Rng rng(6);
+  TuningConfig tight;
+  tight.target_tol = 0.002;
+  tight.program_noise = 0.02;
+  const TuningReport r = tune_memristor(m, 100e3, tight, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.iterations, 2);
+}
+
+TEST(Tuning, RatioProcedure) {
+  dev::Memristor m1(0, 1, 100e3);
+  dev::Memristor m2(0, 1, 100e3);
+  m1.apply_variation(1.22);
+  m2.apply_variation(0.81);
+  util::Rng rng(7);
+  const TuningReport r = tune_ratio(m1, m2, 2.0, TuningConfig{}, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(m1.resistance() / m2.resistance(), 2.0, 2.0 * 0.011);
+}
+
+TEST(Tuning, ArrayTuningReport) {
+  spice::Netlist net;
+  blocks::BlockFactory f(net, blocks::AnalogEnv{});
+  std::vector<dev::Memristor*> mems;
+  std::vector<double> targets;
+  util::Rng vrng(8);
+  for (int i = 0; i < 200; ++i) {
+    const double target = (i % 2) ? 100e3 : 50e3;
+    auto& m = f.mem(net.node("n" + std::to_string(i)), spice::kGround, target,
+                    "m");
+    m.apply_variation(vrng.uniform(0.7, 1.3));
+    mems.push_back(&m);
+    targets.push_back(target);
+  }
+  util::Rng rng(9);
+  const ArrayTuningReport r = tune_all(mems, targets, TuningConfig{}, rng);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.tuned, 200u);
+  EXPECT_LT(r.max_rel_error, 0.011);
+  EXPECT_GT(r.mean_iterations, 1.0);
+}
+
+TEST(Tuning, EndToEndCircuitRecovery) {
+  // Variation breaks an abs block; tuning restores it (the paper's whole
+  // point: post-fabrication tuning recovers solution quality).
+  auto build_and_measure = [](double variation_tol, bool tune) {
+    spice::Netlist net;
+    blocks::BlockFactory f(net, blocks::AnalogEnv{});
+    const spice::NodeId p = net.node("p");
+    const spice::NodeId q = net.node("q");
+    net.add<spice::VSource>(p, spice::kGround, spice::Waveform::dc(0.040));
+    net.add<spice::VSource>(q, spice::kGround, spice::Waveform::dc(0.010));
+    const auto h = blocks::make_abs_block(f, p, q, 1.0, "abs");
+    std::vector<double> targets;
+    for (auto* m : f.memristors()) targets.push_back(m->resistance());
+    util::Rng rng(10);
+    VariationConfig vc;
+    vc.tolerance = variation_tol;
+    apply_process_variation(f.memristors(), vc, rng);
+    if (tune) {
+      util::Rng trng(11);
+      tune_all(f.memristors(), targets, TuningConfig{}, trng);
+    }
+    f.finalize_parasitics();
+    spice::TransientSimulator sim(net);
+    const auto x = sim.dc_operating_point();
+    EXPECT_FALSE(x.empty());
+    return std::abs(x[static_cast<std::size_t>(h.out)] - 0.030);
+  };
+  const double untuned_err = build_and_measure(0.30, false);
+  const double tuned_err = build_and_measure(0.30, true);
+  EXPECT_GT(untuned_err, 2e-3);   // variation visibly corrupts the output
+  EXPECT_LT(tuned_err, 1e-3);     // tuning restores accuracy
+  EXPECT_LT(tuned_err, 0.25 * untuned_err);
+}
+
+TEST(Tuning, InvalidArgumentsThrow) {
+  dev::Memristor m(0, 1, 100e3);
+  util::Rng rng(1);
+  EXPECT_THROW(tune_memristor(m, -5.0, TuningConfig{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(tune_ratio(m, m, 0.0, TuningConfig{}, rng),
+               std::invalid_argument);
+  std::vector<dev::Memristor*> mems = {&m};
+  std::vector<double> targets = {1.0, 2.0};
+  EXPECT_THROW(tune_all(mems, targets, TuningConfig{}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mda::util;
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(2.0, 3.0);
+  EXPECT_NEAR(mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 3.0, 0.1);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(5);
+  auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.exponential(4.0);
+  EXPECT_NEAR(mean(xs), 0.25, 0.01);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Stats, SummaryBasics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 10.0), 0.0);
+  EXPECT_LT(relative_error(1e-13, 0.0, 1e-12), 1.0);
+}
+
+TEST(Stats, GeometricMean) {
+  std::vector<double> xs = {1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
+  std::vector<double> bad = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(bad), 0.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::sci(12345.0, 1).find("1.2e"), 0u);
+}
+
+TEST(Csv, SplitLineQuoted) {
+  const auto cells = split_line("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b,c");
+  EXPECT_EQ(cells[2], "d\"e");
+}
+
+TEST(Csv, WriteAndReadNumeric) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mda_csv_test.csv").string();
+  ASSERT_TRUE(write_csv(path, {"x", "y"}, {{"1", "2.5"}, {"3", "4.5"}}));
+  const auto rows = read_numeric(path);
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 2u);  // header skipped (non-numeric)
+  EXPECT_DOUBLE_EQ((*rows)[0][1], 2.5);
+  EXPECT_DOUBLE_EQ((*rows)[1][0], 3.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_numeric("/nonexistent/mda/file.csv").has_value());
+}
+
+TEST(Log, LevelFilterRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Below-threshold messages are dropped silently; above pass through.
+  log_message(LogLevel::Debug, "suppressed");
+  log_message(LogLevel::Error, "emitted (stderr)");
+  log_debug() << "stream form, suppressed at Error level: " << 42;
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
+}
+
+}  // namespace

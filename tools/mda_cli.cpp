@@ -1,0 +1,234 @@
+// mda — command-line driver for the memristor distance accelerator.
+//
+//   mda compute --kind=dtw [--backend=wavefront] [--threshold=T] [--band=R]
+//               --p=1,2,0.5 --q=0.8,1.7,0.6     (or --pfile/--qfile CSV)
+//   mda info                                    configuration library + power
+//   mda export --kind=md --n=4                  netlist deck to stdout
+//   mda calibrate                               timing model via full SPICE
+//   mda noise [--gbw=50e9]                      abs-block noise summary
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failure.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/array_builder.hpp"
+#include "devices/netlist_export.hpp"
+#include "spice/noise.hpp"
+#include "spice/primitives.hpp"
+#include "blocks/absblock.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mda;
+
+std::optional<std::string> flag_str(int argc, char** argv,
+                                    const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+double flag_num(int argc, char** argv, const std::string& name,
+                double fallback) {
+  const auto s = flag_str(argc, argv, name);
+  return s ? std::stod(*s) : fallback;
+}
+
+std::vector<double> parse_values(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& cell : util::split_line(csv)) {
+    if (!cell.empty()) out.push_back(std::stod(cell));
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> load_series(int argc, char** argv,
+                                               const std::string& inline_flag,
+                                               const std::string& file_flag) {
+  if (const auto inline_csv = flag_str(argc, argv, inline_flag)) {
+    return parse_values(*inline_csv);
+  }
+  if (const auto path = flag_str(argc, argv, file_flag)) {
+    const auto rows = util::read_numeric(*path);
+    if (!rows || rows->empty()) return std::nullopt;
+    return rows->front();
+  }
+  return std::nullopt;
+}
+
+int cmd_compute(int argc, char** argv) {
+  const auto kind_name = flag_str(argc, argv, "kind");
+  if (!kind_name) {
+    std::fprintf(stderr, "compute: --kind=dtw|lcs|edd|haud|hamd|md required\n");
+    return 1;
+  }
+  const auto p = load_series(argc, argv, "p", "pfile");
+  const auto q = load_series(argc, argv, "q", "qfile");
+  if (!p || !q || p->empty() || q->empty()) {
+    std::fprintf(stderr, "compute: provide --p=.../--q=... or --pfile/--qfile\n");
+    return 1;
+  }
+  core::DistanceSpec spec;
+  spec.kind = dist::kind_from_name(*kind_name);
+  spec.threshold = flag_num(argc, argv, "threshold", 0.0);
+  spec.band = static_cast<int>(flag_num(argc, argv, "band", -1));
+
+  core::Backend backend = core::Backend::Wavefront;
+  if (const auto b = flag_str(argc, argv, "backend")) {
+    if (*b == "behavioral") backend = core::Backend::Behavioral;
+    else if (*b == "wavefront") backend = core::Backend::Wavefront;
+    else if (*b == "fullspice") backend = core::Backend::FullSpice;
+    else {
+      std::fprintf(stderr, "compute: unknown backend '%s'\n", b->c_str());
+      return 1;
+    }
+  }
+  core::Accelerator acc;
+  acc.configure(spec);
+  const core::ComputeResult r = acc.compute(*p, *q, backend);
+  std::printf("function:        %s\n", dist::kind_name(spec.kind).c_str());
+  std::printf("analog value:    %.6f\n", r.value);
+  std::printf("digital ref:     %.6f\n", r.reference);
+  std::printf("relative error:  %.4f%%\n", 100.0 * r.relative_error);
+  std::printf("output voltage:  %.6f V\n", r.volts);
+  std::printf("convergence:     %.2f ns\n", r.convergence_time_s * 1e9);
+  std::printf("tiles:           %zu\n", r.tiles);
+  return 0;
+}
+
+int cmd_info(int, char**) {
+  std::printf("MDA configuration library (per-PE inventory, measured from "
+              "generated netlists):\n\n");
+  util::Table lib({"function", "structure", "op-amps", "memristors", "TGs",
+                   "comparators", "diodes", "power @128 (W)"});
+  core::Accelerator acc;
+  for (const core::ConfigEntry& e : core::configuration_library()) {
+    core::DistanceSpec spec;
+    spec.kind = e.kind;
+    if (e.kind == dist::DistanceKind::Dtw) spec.band = 6;
+    acc.configure(spec);
+    lib.add_row({dist::kind_name(e.kind),
+                 e.matrix_structure ? "matrix" : "row",
+                 std::to_string(e.opamps_per_pe),
+                 std::to_string(e.memristors_per_pe),
+                 std::to_string(e.tgates_per_pe),
+                 std::to_string(e.comparators_per_pe),
+                 std::to_string(e.diodes_per_pe),
+                 util::Table::fmt(acc.power(128).total_w(), 2)});
+  }
+  std::fputs(lib.str().c_str(), stdout);
+  const core::TimingModel& tm = core::TimingModel::defaults();
+  std::printf("\nconvergence-time fits t(n) = a + b*n:\n");
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    const core::TimingEntry e = tm.entry(kind);
+    std::printf("  %-5s a=%7.2f ns  b=%6.3f ns/elem\n",
+                dist::kind_name(kind).c_str(), e.a_s * 1e9, e.b_s * 1e9);
+  }
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  const auto kind_name = flag_str(argc, argv, "kind");
+  if (!kind_name) {
+    std::fprintf(stderr, "export: --kind required\n");
+    return 1;
+  }
+  const auto n = static_cast<std::size_t>(flag_num(argc, argv, "n", 4));
+  core::AcceleratorConfig config;
+  core::DistanceSpec spec;
+  spec.kind = dist::kind_from_name(*kind_name);
+  spec.threshold = flag_num(argc, argv, "threshold", 0.5);
+  core::ArrayCircuit arr = core::build_array(config, spec, n, n);
+  dev::ExportOptions opts;
+  opts.include_parasitics = flag_num(argc, argv, "parasitics", 0) != 0;
+  std::fputs(dev::export_netlist(*arr.net, opts).c_str(), stdout);
+  const dev::DeviceCensus c = dev::census(*arr.net);
+  std::fprintf(stderr,
+               "* census: %zu opamps, %zu memristors, %zu diodes, %zu TGs, "
+               "%zu comparators, %zu sources\n",
+               c.opamps, c.memristors, c.diodes, c.tgates, c.comparators,
+               c.sources);
+  return 0;
+}
+
+int cmd_calibrate(int, char**) {
+  std::printf("calibrating timing model (full-SPICE transients)...\n");
+  const core::TimingModel model =
+      core::TimingModel::calibrate(core::AcceleratorConfig{});
+  for (dist::DistanceKind kind : dist::kAllKinds) {
+    const core::TimingEntry e = model.entry(kind);
+    std::printf("  %-5s a=%7.2f ns  b=%6.3f ns/elem  t(40)=%7.1f ns\n",
+                dist::kind_name(kind).c_str(), e.a_s * 1e9, e.b_s * 1e9,
+                model.convergence_time_s(kind, 40) * 1e9);
+  }
+  return 0;
+}
+
+int cmd_noise(int argc, char** argv) {
+  const double gbw = flag_num(argc, argv, "gbw", 50e9);
+  spice::Netlist net;
+  blocks::AnalogEnv env;
+  env.opamp.gbw_hz = gbw;
+  blocks::BlockFactory f(net, env);
+  const spice::NodeId p = net.node("p");
+  const spice::NodeId q = net.node("q");
+  net.add<spice::VSource>(p, spice::kGround, spice::Waveform::dc(0.030));
+  net.add<spice::VSource>(q, spice::kGround, spice::Waveform::dc(0.010));
+  const auto h = blocks::make_abs_block(f, p, q, 1.0, "abs");
+  f.finalize_parasitics();
+  spice::NoiseAnalysis noise(net);
+  const spice::NoiseResult r = noise.run(h.out, 1e4, 1e12, 120);
+  if (!r.ok) {
+    std::fprintf(stderr, "noise analysis failed: %s\n", r.error.c_str());
+    return 2;
+  }
+  std::printf("abs block @ GBW %.1f GHz: %d noise sources, output noise "
+              "%.3f mV rms (%.2f units of 20 mV)\n",
+              gbw / 1e9, r.num_sources, r.total_rms_v * 1e3,
+              r.total_rms_v / 0.02);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mda <compute|info|export|calibrate|noise> [flags]\n"
+               "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
+               "            [--backend=behavioral|wavefront|fullspice]\n"
+               "            [--threshold=T] [--band=R] [--pfile/--qfile=CSV]\n"
+               "  info      configuration library, power, timing fits\n"
+               "  export    --kind=md [--n=4] [--parasitics=1]\n"
+               "  calibrate re-fit the timing model from full SPICE\n"
+               "  noise     [--gbw=50e9] abs-block output noise\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compute") return cmd_compute(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "export") return cmd_export(argc, argv);
+    if (cmd == "calibrate") return cmd_calibrate(argc, argv);
+    if (cmd == "noise") return cmd_noise(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return 1;
+}
