@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_similarity.dir/ecg_similarity.cpp.o"
+  "CMakeFiles/ecg_similarity.dir/ecg_similarity.cpp.o.d"
+  "ecg_similarity"
+  "ecg_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_authentication.dir/iris_authentication.cpp.o"
+  "CMakeFiles/iris_authentication.dir/iris_authentication.cpp.o.d"
+  "iris_authentication"
+  "iris_authentication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_authentication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vehicle_classification.cpp" "examples/CMakeFiles/vehicle_classification.dir/vehicle_classification.cpp.o" "gcc" "examples/CMakeFiles/vehicle_classification.dir/vehicle_classification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

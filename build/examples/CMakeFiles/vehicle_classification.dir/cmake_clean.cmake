@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_classification.dir/vehicle_classification.cpp.o"
+  "CMakeFiles/vehicle_classification.dir/vehicle_classification.cpp.o.d"
+  "vehicle_classification"
+  "vehicle_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/absblock.cpp" "src/CMakeFiles/mda_blocks.dir/blocks/absblock.cpp.o" "gcc" "src/CMakeFiles/mda_blocks.dir/blocks/absblock.cpp.o.d"
+  "/root/repo/src/blocks/adder.cpp" "src/CMakeFiles/mda_blocks.dir/blocks/adder.cpp.o" "gcc" "src/CMakeFiles/mda_blocks.dir/blocks/adder.cpp.o.d"
+  "/root/repo/src/blocks/buffer.cpp" "src/CMakeFiles/mda_blocks.dir/blocks/buffer.cpp.o" "gcc" "src/CMakeFiles/mda_blocks.dir/blocks/buffer.cpp.o.d"
+  "/root/repo/src/blocks/diode_select.cpp" "src/CMakeFiles/mda_blocks.dir/blocks/diode_select.cpp.o" "gcc" "src/CMakeFiles/mda_blocks.dir/blocks/diode_select.cpp.o.d"
+  "/root/repo/src/blocks/factory.cpp" "src/CMakeFiles/mda_blocks.dir/blocks/factory.cpp.o" "gcc" "src/CMakeFiles/mda_blocks.dir/blocks/factory.cpp.o.d"
+  "/root/repo/src/blocks/subtractor.cpp" "src/CMakeFiles/mda_blocks.dir/blocks/subtractor.cpp.o" "gcc" "src/CMakeFiles/mda_blocks.dir/blocks/subtractor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

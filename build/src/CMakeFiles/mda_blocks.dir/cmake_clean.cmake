@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_blocks.dir/blocks/absblock.cpp.o"
+  "CMakeFiles/mda_blocks.dir/blocks/absblock.cpp.o.d"
+  "CMakeFiles/mda_blocks.dir/blocks/adder.cpp.o"
+  "CMakeFiles/mda_blocks.dir/blocks/adder.cpp.o.d"
+  "CMakeFiles/mda_blocks.dir/blocks/buffer.cpp.o"
+  "CMakeFiles/mda_blocks.dir/blocks/buffer.cpp.o.d"
+  "CMakeFiles/mda_blocks.dir/blocks/diode_select.cpp.o"
+  "CMakeFiles/mda_blocks.dir/blocks/diode_select.cpp.o.d"
+  "CMakeFiles/mda_blocks.dir/blocks/factory.cpp.o"
+  "CMakeFiles/mda_blocks.dir/blocks/factory.cpp.o.d"
+  "CMakeFiles/mda_blocks.dir/blocks/subtractor.cpp.o"
+  "CMakeFiles/mda_blocks.dir/blocks/subtractor.cpp.o.d"
+  "libmda_blocks.a"
+  "libmda_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmda_blocks.a"
+)

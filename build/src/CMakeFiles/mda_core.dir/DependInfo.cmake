@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cpp" "src/CMakeFiles/mda_core.dir/core/accelerator.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/accelerator.cpp.o.d"
+  "/root/repo/src/core/array_builder.cpp" "src/CMakeFiles/mda_core.dir/core/array_builder.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/array_builder.cpp.o.d"
+  "/root/repo/src/core/backend_behavioral.cpp" "src/CMakeFiles/mda_core.dir/core/backend_behavioral.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/backend_behavioral.cpp.o.d"
+  "/root/repo/src/core/backend_fullspice.cpp" "src/CMakeFiles/mda_core.dir/core/backend_fullspice.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/backend_fullspice.cpp.o.d"
+  "/root/repo/src/core/backend_wavefront.cpp" "src/CMakeFiles/mda_core.dir/core/backend_wavefront.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/backend_wavefront.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/mda_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/dac_adc.cpp" "src/CMakeFiles/mda_core.dir/core/dac_adc.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/dac_adc.cpp.o.d"
+  "/root/repo/src/core/early_decision.cpp" "src/CMakeFiles/mda_core.dir/core/early_decision.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/early_decision.cpp.o.d"
+  "/root/repo/src/core/montecarlo.cpp" "src/CMakeFiles/mda_core.dir/core/montecarlo.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/montecarlo.cpp.o.d"
+  "/root/repo/src/core/pe_dtw.cpp" "src/CMakeFiles/mda_core.dir/core/pe_dtw.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/pe_dtw.cpp.o.d"
+  "/root/repo/src/core/pe_edit.cpp" "src/CMakeFiles/mda_core.dir/core/pe_edit.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/pe_edit.cpp.o.d"
+  "/root/repo/src/core/pe_hamming.cpp" "src/CMakeFiles/mda_core.dir/core/pe_hamming.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/pe_hamming.cpp.o.d"
+  "/root/repo/src/core/pe_hausdorff.cpp" "src/CMakeFiles/mda_core.dir/core/pe_hausdorff.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/pe_hausdorff.cpp.o.d"
+  "/root/repo/src/core/pe_lcs.cpp" "src/CMakeFiles/mda_core.dir/core/pe_lcs.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/pe_lcs.cpp.o.d"
+  "/root/repo/src/core/pe_manhattan.cpp" "src/CMakeFiles/mda_core.dir/core/pe_manhattan.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/pe_manhattan.cpp.o.d"
+  "/root/repo/src/core/timing_model.cpp" "src/CMakeFiles/mda_core.dir/core/timing_model.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/timing_model.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/CMakeFiles/mda_core.dir/core/tuning.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/tuning.cpp.o.d"
+  "/root/repo/src/core/variation.cpp" "src/CMakeFiles/mda_core.dir/core/variation.cpp.o" "gcc" "src/CMakeFiles/mda_core.dir/core/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

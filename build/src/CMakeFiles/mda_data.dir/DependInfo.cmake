@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/normalize.cpp" "src/CMakeFiles/mda_data.dir/data/normalize.cpp.o" "gcc" "src/CMakeFiles/mda_data.dir/data/normalize.cpp.o.d"
+  "/root/repo/src/data/series.cpp" "src/CMakeFiles/mda_data.dir/data/series.cpp.o" "gcc" "src/CMakeFiles/mda_data.dir/data/series.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/mda_data.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/mda_data.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/ucr_loader.cpp" "src/CMakeFiles/mda_data.dir/data/ucr_loader.cpp.o" "gcc" "src/CMakeFiles/mda_data.dir/data/ucr_loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_data.dir/data/normalize.cpp.o"
+  "CMakeFiles/mda_data.dir/data/normalize.cpp.o.d"
+  "CMakeFiles/mda_data.dir/data/series.cpp.o"
+  "CMakeFiles/mda_data.dir/data/series.cpp.o.d"
+  "CMakeFiles/mda_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/mda_data.dir/data/synthetic.cpp.o.d"
+  "CMakeFiles/mda_data.dir/data/ucr_loader.cpp.o"
+  "CMakeFiles/mda_data.dir/data/ucr_loader.cpp.o.d"
+  "libmda_data.a"
+  "libmda_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/comparator.cpp" "src/CMakeFiles/mda_devices.dir/devices/comparator.cpp.o" "gcc" "src/CMakeFiles/mda_devices.dir/devices/comparator.cpp.o.d"
+  "/root/repo/src/devices/diode.cpp" "src/CMakeFiles/mda_devices.dir/devices/diode.cpp.o" "gcc" "src/CMakeFiles/mda_devices.dir/devices/diode.cpp.o.d"
+  "/root/repo/src/devices/memristor.cpp" "src/CMakeFiles/mda_devices.dir/devices/memristor.cpp.o" "gcc" "src/CMakeFiles/mda_devices.dir/devices/memristor.cpp.o.d"
+  "/root/repo/src/devices/netlist_export.cpp" "src/CMakeFiles/mda_devices.dir/devices/netlist_export.cpp.o" "gcc" "src/CMakeFiles/mda_devices.dir/devices/netlist_export.cpp.o.d"
+  "/root/repo/src/devices/opamp.cpp" "src/CMakeFiles/mda_devices.dir/devices/opamp.cpp.o" "gcc" "src/CMakeFiles/mda_devices.dir/devices/opamp.cpp.o.d"
+  "/root/repo/src/devices/transmission_gate.cpp" "src/CMakeFiles/mda_devices.dir/devices/transmission_gate.cpp.o" "gcc" "src/CMakeFiles/mda_devices.dir/devices/transmission_gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_devices.dir/devices/comparator.cpp.o"
+  "CMakeFiles/mda_devices.dir/devices/comparator.cpp.o.d"
+  "CMakeFiles/mda_devices.dir/devices/diode.cpp.o"
+  "CMakeFiles/mda_devices.dir/devices/diode.cpp.o.d"
+  "CMakeFiles/mda_devices.dir/devices/memristor.cpp.o"
+  "CMakeFiles/mda_devices.dir/devices/memristor.cpp.o.d"
+  "CMakeFiles/mda_devices.dir/devices/netlist_export.cpp.o"
+  "CMakeFiles/mda_devices.dir/devices/netlist_export.cpp.o.d"
+  "CMakeFiles/mda_devices.dir/devices/opamp.cpp.o"
+  "CMakeFiles/mda_devices.dir/devices/opamp.cpp.o.d"
+  "CMakeFiles/mda_devices.dir/devices/transmission_gate.cpp.o"
+  "CMakeFiles/mda_devices.dir/devices/transmission_gate.cpp.o.d"
+  "libmda_devices.a"
+  "libmda_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

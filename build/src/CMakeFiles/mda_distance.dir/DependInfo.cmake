@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distance/dtw.cpp" "src/CMakeFiles/mda_distance.dir/distance/dtw.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/dtw.cpp.o.d"
+  "/root/repo/src/distance/edit.cpp" "src/CMakeFiles/mda_distance.dir/distance/edit.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/edit.cpp.o.d"
+  "/root/repo/src/distance/euclidean.cpp" "src/CMakeFiles/mda_distance.dir/distance/euclidean.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/euclidean.cpp.o.d"
+  "/root/repo/src/distance/hamming.cpp" "src/CMakeFiles/mda_distance.dir/distance/hamming.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/hamming.cpp.o.d"
+  "/root/repo/src/distance/hausdorff.cpp" "src/CMakeFiles/mda_distance.dir/distance/hausdorff.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/hausdorff.cpp.o.d"
+  "/root/repo/src/distance/lcs.cpp" "src/CMakeFiles/mda_distance.dir/distance/lcs.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/lcs.cpp.o.d"
+  "/root/repo/src/distance/lower_bounds.cpp" "src/CMakeFiles/mda_distance.dir/distance/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/lower_bounds.cpp.o.d"
+  "/root/repo/src/distance/manhattan.cpp" "src/CMakeFiles/mda_distance.dir/distance/manhattan.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/manhattan.cpp.o.d"
+  "/root/repo/src/distance/registry.cpp" "src/CMakeFiles/mda_distance.dir/distance/registry.cpp.o" "gcc" "src/CMakeFiles/mda_distance.dir/distance/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_distance.dir/distance/dtw.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/dtw.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/edit.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/edit.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/euclidean.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/euclidean.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/hamming.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/hamming.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/hausdorff.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/hausdorff.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/lcs.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/lcs.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/lower_bounds.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/lower_bounds.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/manhattan.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/manhattan.cpp.o.d"
+  "CMakeFiles/mda_distance.dir/distance/registry.cpp.o"
+  "CMakeFiles/mda_distance.dir/distance/registry.cpp.o.d"
+  "libmda_distance.a"
+  "libmda_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

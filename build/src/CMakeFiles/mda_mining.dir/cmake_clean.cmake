@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_mining.dir/mining/kmedoids.cpp.o"
+  "CMakeFiles/mda_mining.dir/mining/kmedoids.cpp.o.d"
+  "CMakeFiles/mda_mining.dir/mining/knn.cpp.o"
+  "CMakeFiles/mda_mining.dir/mining/knn.cpp.o.d"
+  "CMakeFiles/mda_mining.dir/mining/motifs.cpp.o"
+  "CMakeFiles/mda_mining.dir/mining/motifs.cpp.o.d"
+  "CMakeFiles/mda_mining.dir/mining/subsequence_search.cpp.o"
+  "CMakeFiles/mda_mining.dir/mining/subsequence_search.cpp.o.d"
+  "libmda_mining.a"
+  "libmda_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

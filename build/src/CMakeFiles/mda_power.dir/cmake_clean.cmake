@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_power.dir/power/area_model.cpp.o"
+  "CMakeFiles/mda_power.dir/power/area_model.cpp.o.d"
+  "CMakeFiles/mda_power.dir/power/baselines.cpp.o"
+  "CMakeFiles/mda_power.dir/power/baselines.cpp.o.d"
+  "CMakeFiles/mda_power.dir/power/energy_report.cpp.o"
+  "CMakeFiles/mda_power.dir/power/energy_report.cpp.o.d"
+  "CMakeFiles/mda_power.dir/power/power_model.cpp.o"
+  "CMakeFiles/mda_power.dir/power/power_model.cpp.o.d"
+  "libmda_power.a"
+  "libmda_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/CMakeFiles/mda_spice.dir/spice/ac.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/ac.cpp.o.d"
+  "/root/repo/src/spice/dense.cpp" "src/CMakeFiles/mda_spice.dir/spice/dense.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/dense.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/CMakeFiles/mda_spice.dir/spice/mna.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/mna.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/mda_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/newton.cpp" "src/CMakeFiles/mda_spice.dir/spice/newton.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/newton.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/CMakeFiles/mda_spice.dir/spice/noise.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/noise.cpp.o.d"
+  "/root/repo/src/spice/primitives.cpp" "src/CMakeFiles/mda_spice.dir/spice/primitives.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/primitives.cpp.o.d"
+  "/root/repo/src/spice/probe.cpp" "src/CMakeFiles/mda_spice.dir/spice/probe.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/probe.cpp.o.d"
+  "/root/repo/src/spice/sparse.cpp" "src/CMakeFiles/mda_spice.dir/spice/sparse.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/sparse.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/CMakeFiles/mda_spice.dir/spice/transient.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/CMakeFiles/mda_spice.dir/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/mda_spice.dir/spice/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

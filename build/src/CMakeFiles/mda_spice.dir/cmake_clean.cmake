@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_spice.dir/spice/ac.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/ac.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/dense.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/dense.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/mna.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/mna.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/newton.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/newton.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/noise.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/noise.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/primitives.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/primitives.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/probe.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/probe.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/sparse.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/sparse.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/transient.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/transient.cpp.o.d"
+  "CMakeFiles/mda_spice.dir/spice/waveform.cpp.o"
+  "CMakeFiles/mda_spice.dir/spice/waveform.cpp.o.d"
+  "libmda_spice.a"
+  "libmda_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_util.dir/util/csv.cpp.o"
+  "CMakeFiles/mda_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/mda_util.dir/util/log.cpp.o"
+  "CMakeFiles/mda_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/mda_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mda_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mda_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mda_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/mda_util.dir/util/table.cpp.o"
+  "CMakeFiles/mda_util.dir/util/table.cpp.o.d"
+  "libmda_util.a"
+  "libmda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ac.cpp" "tests/CMakeFiles/mda_tests.dir/test_ac.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_ac.cpp.o.d"
+  "/root/repo/tests/test_accelerator.cpp" "tests/CMakeFiles/mda_tests.dir/test_accelerator.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_accelerator.cpp.o.d"
+  "/root/repo/tests/test_area.cpp" "tests/CMakeFiles/mda_tests.dir/test_area.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_area.cpp.o.d"
+  "/root/repo/tests/test_arrays_fullspice.cpp" "tests/CMakeFiles/mda_tests.dir/test_arrays_fullspice.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_arrays_fullspice.cpp.o.d"
+  "/root/repo/tests/test_backends.cpp" "tests/CMakeFiles/mda_tests.dir/test_backends.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_backends.cpp.o.d"
+  "/root/repo/tests/test_blocks.cpp" "tests/CMakeFiles/mda_tests.dir/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/mda_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/mda_tests.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_distance_dtw.cpp" "tests/CMakeFiles/mda_tests.dir/test_distance_dtw.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_distance_dtw.cpp.o.d"
+  "/root/repo/tests/test_distance_others.cpp" "tests/CMakeFiles/mda_tests.dir/test_distance_others.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_distance_others.cpp.o.d"
+  "/root/repo/tests/test_early_decision.cpp" "tests/CMakeFiles/mda_tests.dir/test_early_decision.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_early_decision.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/mda_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mda_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lower_bounds.cpp" "tests/CMakeFiles/mda_tests.dir/test_lower_bounds.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_lower_bounds.cpp.o.d"
+  "/root/repo/tests/test_memristor.cpp" "tests/CMakeFiles/mda_tests.dir/test_memristor.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_memristor.cpp.o.d"
+  "/root/repo/tests/test_mining.cpp" "tests/CMakeFiles/mda_tests.dir/test_mining.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_mining.cpp.o.d"
+  "/root/repo/tests/test_montecarlo.cpp" "tests/CMakeFiles/mda_tests.dir/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_montecarlo.cpp.o.d"
+  "/root/repo/tests/test_motifs.cpp" "tests/CMakeFiles/mda_tests.dir/test_motifs.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_motifs.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/mda_tests.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_pe_circuits.cpp" "tests/CMakeFiles/mda_tests.dir/test_pe_circuits.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_pe_circuits.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/mda_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mda_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/mda_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_spice_basics.cpp" "tests/CMakeFiles/mda_tests.dir/test_spice_basics.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_spice_basics.cpp.o.d"
+  "/root/repo/tests/test_spice_integrators.cpp" "tests/CMakeFiles/mda_tests.dir/test_spice_integrators.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_spice_integrators.cpp.o.d"
+  "/root/repo/tests/test_spice_robustness.cpp" "tests/CMakeFiles/mda_tests.dir/test_spice_robustness.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_spice_robustness.cpp.o.d"
+  "/root/repo/tests/test_tuning_variation.cpp" "tests/CMakeFiles/mda_tests.dir/test_tuning_variation.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_tuning_variation.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/mda_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/mda_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mda_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_cli.dir/mda_cli.cpp.o"
+  "CMakeFiles/mda_cli.dir/mda_cli.cpp.o.d"
+  "mda"
+  "mda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
