@@ -1,0 +1,174 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mda::core {
+namespace {
+
+/// Set while a pool worker (or the caller participating in a batch) is
+/// executing tasks; nested parallel_for calls run inline instead of
+/// re-submitting, which keeps composition deadlock-free.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+struct BatchEngine::Job {
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* task = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex error_mutex;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+};
+
+BatchEngine::BatchEngine(BatchOptions opts) : opts_(opts) {
+  num_threads_ = opts_.num_threads != 0
+                     ? opts_.num_threads
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency());
+  threads_.reserve(num_threads_ - 1);
+  for (std::size_t t = 0; t + 1 < num_threads_; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchEngine::~BatchEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_worker_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void BatchEngine::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.chunk);
+    if (begin >= job.count) break;
+    const std::size_t end = std::min(job.count, begin + job.chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (job.abort.load(std::memory_order_relaxed)) return;
+      try {
+        (*job.task)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(job.error_mutex);
+          job.errors.emplace_back(i, std::current_exception());
+        }
+        job.abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void BatchEngine::worker_loop() {
+  t_inside_worker = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_worker_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    run_chunks(*job);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--workers_active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void BatchEngine::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& task) const {
+  if (count == 0) return;
+  // Inline paths: nested call from a worker, a 1-thread engine, or a batch
+  // too small to be worth a rendezvous.  Task-order execution gives the
+  // same first-exception semantics as the pool path.
+  if (t_inside_worker || threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  Job job;
+  job.count = count;
+  job.chunk = opts_.chunk_size != 0
+                  ? opts_.chunk_size
+                  : std::max<std::size_t>(1, count / (4 * num_threads_));
+  job.task = &task;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = &job;
+    ++generation_;
+    workers_active_ = threads_.size();
+  }
+  cv_worker_.notify_all();
+
+  // The submitting thread is worker 0.
+  t_inside_worker = true;
+  run_chunks(job);
+  t_inside_worker = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [&] { return workers_active_ == 0; });
+    job_ = nullptr;
+  }
+
+  if (!job.errors.empty()) {
+    auto first = std::min_element(
+        job.errors.begin(), job.errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+std::vector<ComputeResult> BatchEngine::compute_batch(
+    const Accelerator& acc, std::span<const BatchQuery> queries) const {
+  std::vector<ComputeResult> out(queries.size());
+  parallel_for(queries.size(), [&](std::size_t i) {
+    out[i] = acc.compute(queries[i].p, queries[i].q, opts_.backend);
+  });
+  return out;
+}
+
+std::vector<double> BatchEngine::compute_distances(
+    const Accelerator& acc, std::span<const BatchQuery> queries) const {
+  std::vector<double> out(queries.size());
+  parallel_for(queries.size(), [&](std::size_t i) {
+    out[i] = acc.compute(queries[i].p, queries[i].q, opts_.backend).value;
+  });
+  return out;
+}
+
+util::Rng BatchEngine::derive_rng(std::uint64_t seed,
+                                  std::uint64_t task_index) {
+  // splitmix64 finalizer: decorrelates consecutive task indices so each
+  // task gets an independent stream from one base seed.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return util::Rng(z);
+}
+
+void run_indexed(const BatchEngine* engine, std::size_t count,
+                 const std::function<void(std::size_t)>& task) {
+  if (engine != nullptr) {
+    engine->parallel_for(count, task);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) task(i);
+}
+
+}  // namespace mda::core

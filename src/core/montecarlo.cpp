@@ -2,6 +2,7 @@
 
 #include "core/array_builder.hpp"
 #include "core/backend.hpp"
+#include "core/batch_engine.hpp"
 #include "distance/registry.hpp"
 #include "spice/transient.hpp"
 #include "util/rng.hpp"
@@ -18,7 +19,17 @@ MonteCarloResult monte_carlo_distance(const AcceleratorConfig& config,
   const double reference =
       dist::compute(spec.kind, p, q, spec.reference_params());
 
-  for (int trial = 0; trial < mc.trials; ++trial) {
+  // Each trial fabricates, tunes and solves its own array; the per-trial
+  // seed is a function of the trial index alone, so trials are independent
+  // tasks and the collected distribution is schedule-invariant.
+  struct TrialOutcome {
+    bool solved = false;
+    double error = 0.0;
+  };
+  const std::size_t trials =
+      mc.trials > 0 ? static_cast<std::size_t>(mc.trials) : 0;
+  std::vector<TrialOutcome> outcomes(trials);
+  run_indexed(mc.engine, trials, [&](std::size_t trial) {
     const std::uint64_t seed =
         mc.seed + 977u * static_cast<std::uint64_t>(trial);
     AcceleratorConfig cfg = config;
@@ -40,13 +51,18 @@ MonteCarloResult monte_carlo_distance(const AcceleratorConfig& config,
     arr.set_dc_inputs(enc.p_volts, enc.q_volts);
     spice::TransientSimulator sim(*arr.net);
     const std::vector<double> x = sim.dc_operating_point();
-    if (x.empty()) {
-      ++result.failed_solves;
-      continue;
-    }
+    if (x.empty()) return;
     const double got = decode_output(
         config, spec, x[static_cast<std::size_t>(arr.out)], enc);
-    result.errors.push_back(util::relative_error(got, reference, 0.1));
+    outcomes[trial] = {true, util::relative_error(got, reference, 0.1)};
+  });
+
+  for (const TrialOutcome& o : outcomes) {
+    if (o.solved) {
+      result.errors.push_back(o.error);
+    } else {
+      ++result.failed_solves;
+    }
   }
 
   result.summary = util::summarize(result.errors);

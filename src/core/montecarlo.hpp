@@ -15,6 +15,8 @@
 
 namespace mda::core {
 
+class BatchEngine;
+
 struct MonteCarloConfig {
   int trials = 20;
   VariationConfig variation{};
@@ -22,6 +24,10 @@ struct MonteCarloConfig {
   TuningConfig tuning{};
   double pass_threshold = 0.05;  ///< Relative error counted as a pass.
   std::uint64_t seed = 1;
+  /// Optional batch engine: trials run concurrently.  Per-trial RNG is
+  /// derived from (seed, trial index), so the error distribution is
+  /// bit-identical to the serial loop for any thread count.
+  const BatchEngine* engine = nullptr;
 };
 
 struct MonteCarloResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -16,15 +17,21 @@ ClusteringResult kmedoids(const std::vector<data::Series>& items,
   }
   // Precompute the pairwise matrix (mining tasks "invoke the distance a
   // huge number of times" — this is the hot loop an accelerator offloads).
-  std::vector<double> d(n * n, 0.0);
+  // Flattened to an upper-triangle task list so the batch engine can chunk
+  // the independent evaluations.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = fn(items[i], items[j]);
-      const double cost = cfg.similarity ? -v : v;
-      d[i * n + j] = cost;
-      d[j * n + i] = cost;
-    }
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
   }
+  std::vector<double> d(n * n, 0.0);
+  core::run_indexed(cfg.engine, pairs.size(), [&](std::size_t t) {
+    const auto [i, j] = pairs[t];
+    const double v = fn(items[i], items[j]);
+    const double cost = cfg.similarity ? -v : v;
+    d[i * n + j] = cost;
+    d[j * n + i] = cost;
+  });
 
   util::Rng rng(cfg.seed);
   std::vector<std::size_t> perm = rng.permutation(n);

@@ -24,6 +24,9 @@ struct KMedoidsConfig {
   int max_iters = 50;
   std::uint64_t seed = 17;   ///< Initial medoid selection.
   bool similarity = false;   ///< true for LCS-style scores.
+  /// Optional batch engine for the pairwise-matrix precompute (the hot
+  /// O(n^2) distance loop).  Results are identical to the serial path.
+  const core::BatchEngine* engine = nullptr;
 };
 
 /// Cluster `items` with the given distance.  Deterministic for a fixed seed.

@@ -35,13 +35,18 @@ int KnnClassifier::vote(std::span<const double> query,
     double score;
     int label;
   };
-  std::vector<Scored> scored;
-  scored.reserve(train_.size());
+  std::vector<std::size_t> idx;
+  idx.reserve(train_.size());
   for (std::size_t i = 0; i < train_.size(); ++i) {
-    if (i == exclude) continue;
-    const auto& item = train_.items[i];
-    scored.push_back({fn_(query, item.values), item.label});
+    if (i != exclude) idx.push_back(i);
   }
+  // The hot loop an accelerator (and the batch engine) absorbs: one
+  // distance evaluation per training series, all independent.
+  std::vector<Scored> scored(idx.size());
+  core::run_indexed(cfg_.engine, idx.size(), [&](std::size_t k) {
+    const auto& item = train_.items[idx[k]];
+    scored[k] = {fn_(query, item.values), item.label};
+  });
   const std::size_t k = std::min(cfg_.k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
                     scored.end(), [&](const Scored& a, const Scored& b) {
@@ -68,19 +73,25 @@ int KnnClassifier::predict(std::span<const double> query) const {
 
 double KnnClassifier::evaluate(const data::Dataset& test) const {
   if (test.empty()) return 0.0;
+  // Outer-loop parallelism; the nested vote() sweep runs inline on the
+  // worker that owns the query.
+  std::vector<char> hit(test.size(), 0);
+  core::run_indexed(cfg_.engine, test.size(), [&](std::size_t i) {
+    hit[i] = predict(test.items[i].values) == test.items[i].label ? 1 : 0;
+  });
   std::size_t correct = 0;
-  for (const auto& item : test.items) {
-    if (predict(item.values) == item.label) ++correct;
-  }
+  for (char h : hit) correct += static_cast<std::size_t>(h);
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }
 
 double KnnClassifier::loocv() const {
   if (train_.empty()) throw std::logic_error("knn: fit() before loocv()");
+  std::vector<char> hit(train_.size(), 0);
+  core::run_indexed(cfg_.engine, train_.size(), [&](std::size_t i) {
+    hit[i] = vote(train_.items[i].values, i) == train_.items[i].label ? 1 : 0;
+  });
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < train_.size(); ++i) {
-    if (vote(train_.items[i].values, i) == train_.items[i].label) ++correct;
-  }
+  for (char h : hit) correct += static_cast<std::size_t>(h);
   return static_cast<double>(correct) / static_cast<double>(train_.size());
 }
 

@@ -10,6 +10,7 @@
 #include <functional>
 #include <span>
 
+#include "core/batch_engine.hpp"
 #include "data/series.hpp"
 #include "distance/registry.hpp"
 
@@ -22,6 +23,10 @@ using DistanceFn =
 struct KnnConfig {
   std::size_t k = 1;
   bool similarity = false;  ///< true: larger values are better (LCS).
+  /// Optional batch engine: parallelises the per-query distance sweep and
+  /// the evaluate()/loocv() outer loops (nested use degrades gracefully).
+  /// Results are identical to the serial path.  Not owned.
+  const core::BatchEngine* engine = nullptr;
 };
 
 class KnnClassifier {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "data/normalize.hpp"
 
@@ -36,22 +37,32 @@ MotifResult find_motif(const data::Series& series, const DistanceFn& fn,
   std::vector<std::size_t> starts;
   const std::vector<data::Series> windows = extract_windows(series, cfg, starts);
 
-  MotifResult best;
-  best.distance = std::numeric_limits<double>::infinity();
+  // Admissible pairs are known up front; evaluate them as one batch and
+  // reduce serially, which keeps the result independent of scheduling.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
   for (std::size_t i = 0; i < windows.size(); ++i) {
     for (std::size_t j = i + 1; j < windows.size(); ++j) {
       if (starts[j] - starts[i] < cfg.exclusion) continue;  // trivial match
-      ++best.pairs_evaluated;
-      const double d = fn(windows[i], windows[j]);
-      if (d < best.distance) {
-        best.distance = d;
-        best.first = starts[i];
-        best.second = starts[j];
-      }
+      pairs.emplace_back(i, j);
     }
   }
-  if (best.distance == std::numeric_limits<double>::infinity()) {
+  if (pairs.empty()) {
     throw std::invalid_argument("motifs: no admissible window pair");
+  }
+  std::vector<double> dists(pairs.size());
+  core::run_indexed(cfg.engine, pairs.size(), [&](std::size_t t) {
+    dists[t] = fn(windows[pairs[t].first], windows[pairs[t].second]);
+  });
+
+  MotifResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  best.pairs_evaluated = pairs.size();
+  for (std::size_t t = 0; t < pairs.size(); ++t) {
+    if (dists[t] < best.distance) {
+      best.distance = dists[t];
+      best.first = starts[pairs[t].first];
+      best.second = starts[pairs[t].second];
+    }
   }
   return best;
 }
@@ -63,9 +74,10 @@ std::vector<Discord> find_discords(const data::Series& series,
   std::vector<std::size_t> starts;
   const std::vector<data::Series> windows = extract_windows(series, cfg, starts);
 
-  // Nearest non-overlapping neighbour distance per window.
+  // Nearest non-overlapping neighbour distance per window; each window's
+  // scan is an independent task.
   std::vector<Discord> all(windows.size());
-  for (std::size_t i = 0; i < windows.size(); ++i) {
+  core::run_indexed(cfg.engine, windows.size(), [&](std::size_t i) {
     double nn = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < windows.size(); ++j) {
       const std::size_t gap =
@@ -74,7 +86,7 @@ std::vector<Discord> find_discords(const data::Series& series,
       nn = std::min(nn, fn(windows[i], windows[j]));
     }
     all[i] = {starts[i], nn};
-  }
+  });
   std::sort(all.begin(), all.end(), [](const Discord& a, const Discord& b) {
     return a.nn_distance > b.nn_distance;
   });

@@ -24,6 +24,9 @@ struct MotifConfig {
   std::size_t exclusion = 0;
   std::size_t stride = 1;     ///< Window start stride (1 = every offset).
   bool znormalize = true;
+  /// Optional batch engine for the all-pairs / all-windows distance loops.
+  /// Results are identical to the serial path.
+  const core::BatchEngine* engine = nullptr;
 };
 
 struct MotifResult {

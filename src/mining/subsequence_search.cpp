@@ -1,5 +1,6 @@
 #include "mining/subsequence_search.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -33,27 +34,67 @@ SearchResult dtw_subsequence_search(std::span<const double> haystack,
   SearchResult result;
   result.windows = haystack.size() - m + 1;
   double best = std::numeric_limits<double>::infinity();
-  for (std::size_t pos = 0; pos + m <= haystack.size(); ++pos) {
+
+  // Evaluate one window against the best-so-far it is allowed to prune
+  // with; returns {outcome, distance}.
+  enum class Outcome { KimPruned, KeoghPruned, Evaluated };
+  struct WindowEval {
+    Outcome outcome;
+    double distance;
+  };
+  auto eval_window = [&](std::size_t pos, double prune_best) -> WindowEval {
     const std::span<const double> raw = haystack.subspan(pos, m);
     const data::Series window =
         cfg.znormalize ? data::znormalize(raw)
                        : data::Series(raw.begin(), raw.end());
     if (cfg.use_lower_bounds) {
-      if (dist::lb_kim(window, query) >= best * cfg.lb_margin) {
-        ++result.pruned_lb_kim;
-        continue;
+      if (dist::lb_kim(window, query) >= prune_best * cfg.lb_margin) {
+        return {Outcome::KimPruned, 0.0};
       }
-      if (dist::lb_keogh(window, env) >= best * cfg.lb_margin) {
-        ++result.pruned_lb_keogh;
-        continue;
+      if (dist::lb_keogh(window, env) >= prune_best * cfg.lb_margin) {
+        return {Outcome::KeoghPruned, 0.0};
       }
     }
-    ++result.full_dtw_evals;
     const double d = cfg.dtw_override ? cfg.dtw_override(window, query)
                                       : dist::dtw(window, query, params);
-    if (d < best) {
-      best = d;
-      result.position = pos;
+    return {Outcome::Evaluated, d};
+  };
+  // Merge one window's outcome into the running result, advancing the
+  // best-so-far.  Shared between the serial scan and the block barriers.
+  auto merge = [&](std::size_t pos, const WindowEval& e) {
+    switch (e.outcome) {
+      case Outcome::KimPruned:
+        ++result.pruned_lb_kim;
+        return;
+      case Outcome::KeoghPruned:
+        ++result.pruned_lb_keogh;
+        return;
+      case Outcome::Evaluated:
+        ++result.full_dtw_evals;
+        if (e.distance < best) {
+          best = e.distance;
+          result.position = pos;
+        }
+    }
+  };
+
+  if (cfg.engine != nullptr && cfg.engine->num_threads() > 1) {
+    // Block-synchronous scan (see SearchConfig::engine): within a block
+    // the pruning threshold is frozen, so every window is an independent
+    // task; the threshold advances at each barrier.
+    const std::size_t block = std::max<std::size_t>(1, cfg.engine_block);
+    std::vector<WindowEval> evals(block);
+    for (std::size_t base = 0; base < result.windows; base += block) {
+      const std::size_t count = std::min(block, result.windows - base);
+      const double frozen_best = best;
+      cfg.engine->parallel_for(count, [&](std::size_t t) {
+        evals[t] = eval_window(base + t, frozen_best);
+      });
+      for (std::size_t t = 0; t < count; ++t) merge(base + t, evals[t]);
+    }
+  } else {
+    for (std::size_t pos = 0; pos < result.windows; ++pos) {
+      merge(pos, eval_window(pos, best));
     }
   }
   result.distance = best;

@@ -25,6 +25,19 @@ struct SearchConfig {
   /// Pruning safety margin when the override's result carries analog error:
   /// a window is pruned only when lb >= best * lb_margin (>= 1.0).
   double lb_margin = 1.0;
+
+  /// Optional batch engine.  Windows are processed in fixed-size blocks:
+  /// within a block every window prunes against the best-so-far frozen at
+  /// the block boundary and evaluates in parallel; the best is advanced at
+  /// each barrier.  The best window found is identical to the serial scan
+  /// (admissible bounds never prune the optimum) and independent of
+  /// num_threads; the cascade *statistics* depend on the block structure,
+  /// because stale-best pruning within a block prunes less than a serial
+  /// scan would.
+  const core::BatchEngine* engine = nullptr;
+  /// Block size for the barrier schedule above (fixed, NOT derived from
+  /// num_threads, so stats are reproducible across pool sizes).
+  std::size_t engine_block = 128;
 };
 
 struct SearchResult {

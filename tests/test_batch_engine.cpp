@@ -1,0 +1,369 @@
+// Batch query engine: determinism across pool sizes (the bit-identity
+// contract), edge cases, exception propagation, counter-based RNG
+// derivation, and parity of the engine-backed mining paths with their
+// serial counterparts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/batch_engine.hpp"
+#include "core/montecarlo.hpp"
+#include "mining/kmedoids.hpp"
+#include "mining/knn.hpp"
+#include "mining/motifs.hpp"
+#include "mining/subsequence_search.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::core;
+
+std::vector<double> random_series(util::Rng& rng, std::size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+BatchEngine make_engine(std::size_t threads, Backend backend) {
+  BatchOptions opts;
+  opts.num_threads = threads;
+  opts.backend = backend;
+  return BatchEngine(opts);
+}
+
+/// Evaluate `queries` for `kind` at the given pool size.
+std::vector<double> batch_values(dist::DistanceKind kind, Backend backend,
+                                 const std::vector<BatchQuery>& queries,
+                                 std::size_t threads) {
+  DistanceSpec spec;
+  spec.kind = kind;
+  spec.threshold = 0.4;
+  Accelerator acc;
+  acc.configure(spec);
+  BatchOptions opts;
+  opts.num_threads = threads;
+  opts.backend = backend;
+  BatchEngine engine(opts);
+  return engine.compute_distances(acc, queries);
+}
+
+class AllKindsDeterminism
+    : public ::testing::TestWithParam<dist::DistanceKind> {};
+
+TEST_P(AllKindsDeterminism, BitIdenticalAcrossThreadCountsWavefront) {
+  const dist::DistanceKind kind = GetParam();
+  util::Rng rng(321 + static_cast<std::uint64_t>(kind));
+  const std::size_t n = dist::is_matrix_structure(kind) ? 6 : 12;
+  std::vector<std::vector<double>> storage;
+  for (std::size_t i = 0; i < 8; ++i) storage.push_back(random_series(rng, n));
+  std::vector<BatchQuery> queries;
+  for (std::size_t i = 0; i < 4; ++i) {
+    queries.push_back({storage[2 * i], storage[2 * i + 1]});
+  }
+  const std::vector<double> serial =
+      batch_values(kind, Backend::Wavefront, queries, 1);
+  for (std::size_t threads : {2u, 8u}) {
+    const std::vector<double> parallel =
+        batch_values(kind, Backend::Wavefront, queries, threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical, not merely close.
+      EXPECT_EQ(serial[i], parallel[i])
+          << dist::kind_name(kind) << " query " << i << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_P(AllKindsDeterminism, BitIdenticalAcrossThreadCountsBehavioral) {
+  const dist::DistanceKind kind = GetParam();
+  util::Rng rng(654 + static_cast<std::uint64_t>(kind));
+  const std::size_t n = 14;
+  std::vector<std::vector<double>> storage;
+  for (std::size_t i = 0; i < 24; ++i) {
+    storage.push_back(random_series(rng, n));
+  }
+  std::vector<BatchQuery> queries;
+  for (std::size_t i = 0; i < 12; ++i) {
+    queries.push_back({storage[2 * i], storage[2 * i + 1]});
+  }
+  const std::vector<double> serial =
+      batch_values(kind, Backend::Behavioral, queries, 1);
+  for (std::size_t threads : {2u, 8u}) {
+    const std::vector<double> parallel =
+        batch_values(kind, Backend::Behavioral, queries, threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << dist::kind_name(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, AllKindsDeterminism,
+                         ::testing::ValuesIn(dist::kAllKinds),
+                         [](const auto& info) {
+                           return dist::kind_name(info.param);
+                         });
+
+TEST(BatchEngine, EmptyBatch) {
+  const BatchEngine engine = make_engine(4, Backend::Behavioral);
+  DistanceSpec spec;
+  Accelerator acc;
+  acc.configure(spec);
+  const std::vector<BatchQuery> none;
+  EXPECT_TRUE(engine.compute_batch(acc, none).empty());
+  EXPECT_TRUE(engine.compute_distances(acc, none).empty());
+  int calls = 0;
+  engine.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BatchEngine, SingleElementBatch) {
+  const BatchEngine engine = make_engine(4, Backend::Behavioral);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  Accelerator acc;
+  acc.configure(spec);
+  const std::vector<double> p = {1.0, 2.0, 0.5};
+  const std::vector<double> q = {0.5, 1.5, 1.0};
+  const std::vector<BatchQuery> one = {{p, q}};
+  const auto results = engine.compute_batch(acc, one);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].value, acc.compute(p, q, Backend::Behavioral).value);
+}
+
+TEST(BatchEngine, ExceptionFromFailingBackendTaskPropagates) {
+  const BatchEngine engine = make_engine(4, Backend::Behavioral);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  Accelerator acc;
+  acc.configure(spec);
+  util::Rng rng(9);
+  std::vector<double> good = random_series(rng, 8);
+  std::vector<double> empty;  // compute() rejects empty sequences
+  std::vector<BatchQuery> queries(64, BatchQuery{good, good});
+  queries[37] = {good, empty};
+  EXPECT_THROW((void)engine.compute_batch(acc, queries),
+               std::invalid_argument);
+}
+
+TEST(BatchEngine, ExceptionWithLowestTaskIndexWins) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const BatchEngine engine = make_engine(threads, Backend::Behavioral);
+    try {
+      engine.parallel_for(100, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("task 3");
+      });
+      FAIL() << "expected exception at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+  }
+}
+
+TEST(BatchEngine, ParallelForCoversEveryIndexExactlyOnce) {
+  const BatchEngine engine = make_engine(8, Backend::Behavioral);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  engine.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(BatchEngine, NestedParallelForRunsInline) {
+  const BatchEngine engine = make_engine(4, Backend::Behavioral);
+  std::vector<std::atomic<int>> hits(64);
+  engine.parallel_for(8, [&](std::size_t outer) {
+    engine.parallel_for(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(BatchEngine, ReusableAcrossBatches) {
+  const BatchEngine engine = make_engine(4, Backend::Behavioral);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> out(57, -1);
+    engine.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<int>(i) + round;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i) + round);
+    }
+  }
+}
+
+TEST(BatchEngine, TaskRngIsCounterBasedNotCallOrderBased) {
+  BatchOptions opts;
+  opts.seed = 1234;
+  const BatchEngine engine(opts);
+  // Same index -> same stream, however many times and in whatever order.
+  util::Rng a = engine.task_rng(7);
+  util::Rng b = engine.task_rng(3);
+  util::Rng c = engine.task_rng(7);
+  (void)b.next_u64();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), c.next_u64());
+  // Neighbouring indices decorrelate.
+  util::Rng d = engine.task_rng(8);
+  int same = 0;
+  util::Rng e = engine.task_rng(7);
+  for (int i = 0; i < 64; ++i) same += e.next_u64() == d.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+  // Distinct base seeds give distinct streams for the same index.
+  util::Rng f = BatchEngine::derive_rng(1, 7);
+  util::Rng g = BatchEngine::derive_rng(2, 7);
+  EXPECT_NE(f.next_u64(), g.next_u64());
+}
+
+TEST(BatchEngine, MonteCarloIdenticalSerialVsParallel) {
+  AcceleratorConfig config;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  util::Rng rng(11);
+  const std::vector<double> p = random_series(rng, 4);
+  const std::vector<double> q = random_series(rng, 4);
+  MonteCarloConfig mc;
+  mc.trials = 6;
+  mc.seed = 5;
+  const MonteCarloResult serial = monte_carlo_distance(config, spec, p, q, mc);
+  const BatchEngine engine = make_engine(8, Backend::Wavefront);
+  mc.engine = &engine;
+  const MonteCarloResult parallel =
+      monte_carlo_distance(config, spec, p, q, mc);
+  ASSERT_EQ(serial.errors.size(), parallel.errors.size());
+  for (std::size_t i = 0; i < serial.errors.size(); ++i) {
+    EXPECT_EQ(serial.errors[i], parallel.errors[i]);
+  }
+  EXPECT_EQ(serial.failed_solves, parallel.failed_solves);
+  EXPECT_EQ(serial.yield, parallel.yield);
+}
+
+// ---- Parity of the engine-backed mining paths with the serial ones ----
+
+TEST(BatchMining, KnnIdenticalSerialVsParallel) {
+  util::Rng rng(31);
+  data::Dataset train;
+  for (int i = 0; i < 12; ++i) {
+    train.items.push_back({i % 3, random_series(rng, 10)});
+  }
+  data::Dataset test;
+  for (int i = 0; i < 6; ++i) {
+    test.items.push_back({i % 3, random_series(rng, 10)});
+  }
+  mining::KnnConfig serial_cfg;
+  serial_cfg.k = 3;
+  auto serial = mining::KnnClassifier::with_reference(
+      dist::DistanceKind::Dtw, {}, serial_cfg);
+  serial.fit(train);
+
+  const BatchEngine engine = make_engine(8, Backend::Behavioral);
+  mining::KnnConfig par_cfg = serial_cfg;
+  par_cfg.engine = &engine;
+  auto parallel = mining::KnnClassifier::with_reference(
+      dist::DistanceKind::Dtw, {}, par_cfg);
+  parallel.fit(train);
+
+  for (const auto& item : test.items) {
+    EXPECT_EQ(serial.predict(item.values), parallel.predict(item.values));
+  }
+  EXPECT_EQ(serial.evaluate(test), parallel.evaluate(test));
+  EXPECT_EQ(serial.loocv(), parallel.loocv());
+}
+
+TEST(BatchMining, KMedoidsIdenticalSerialVsParallel) {
+  util::Rng rng(47);
+  std::vector<data::Series> items;
+  for (int i = 0; i < 14; ++i) items.push_back(random_series(rng, 12));
+  const auto fn = [](std::span<const double> a, std::span<const double> b) {
+    return dist::compute(dist::DistanceKind::Manhattan, a, b);
+  };
+  mining::KMedoidsConfig cfg;
+  cfg.k = 3;
+  const auto serial = mining::kmedoids(items, fn, cfg);
+  const BatchEngine engine = make_engine(8, Backend::Behavioral);
+  cfg.engine = &engine;
+  const auto parallel = mining::kmedoids(items, fn, cfg);
+  EXPECT_EQ(serial.medoids, parallel.medoids);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_EQ(serial.total_cost, parallel.total_cost);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+}
+
+TEST(BatchMining, MotifsAndDiscordsIdenticalSerialVsParallel) {
+  util::Rng rng(53);
+  data::Series series = random_series(rng, 160);
+  // Plant a repeated pattern.
+  for (std::size_t i = 0; i < 16; ++i) {
+    series[20 + i] = std::sin(0.7 * static_cast<double>(i));
+    series[120 + i] = std::sin(0.7 * static_cast<double>(i)) + 0.01;
+  }
+  const auto fn = [](std::span<const double> a, std::span<const double> b) {
+    return dist::compute(dist::DistanceKind::Manhattan, a, b);
+  };
+  mining::MotifConfig cfg;
+  cfg.window = 16;
+  const auto serial_motif = mining::find_motif(series, fn, cfg);
+  const auto serial_discords = mining::find_discords(series, fn, 3, cfg);
+  const BatchEngine engine = make_engine(8, Backend::Behavioral);
+  cfg.engine = &engine;
+  const auto par_motif = mining::find_motif(series, fn, cfg);
+  const auto par_discords = mining::find_discords(series, fn, 3, cfg);
+  EXPECT_EQ(serial_motif.first, par_motif.first);
+  EXPECT_EQ(serial_motif.second, par_motif.second);
+  EXPECT_EQ(serial_motif.distance, par_motif.distance);
+  EXPECT_EQ(serial_motif.pairs_evaluated, par_motif.pairs_evaluated);
+  ASSERT_EQ(serial_discords.size(), par_discords.size());
+  for (std::size_t i = 0; i < serial_discords.size(); ++i) {
+    EXPECT_EQ(serial_discords[i].position, par_discords[i].position);
+    EXPECT_EQ(serial_discords[i].nn_distance, par_discords[i].nn_distance);
+  }
+}
+
+TEST(BatchMining, SubsequenceSearchSameOptimumAndThreadInvariantStats) {
+  util::Rng rng(61);
+  std::vector<double> haystack = random_series(rng, 400);
+  std::vector<double> needle(16);
+  for (std::size_t i = 0; i < needle.size(); ++i) {
+    needle[i] = haystack[200 + i];
+  }
+  mining::SearchConfig cfg;
+  cfg.band = 4;
+  const auto serial = mining::dtw_subsequence_search(haystack, needle, cfg);
+
+  mining::SearchResult prev{};
+  for (std::size_t threads : {2u, 8u}) {
+    const BatchEngine engine = make_engine(threads, Backend::Behavioral);
+    mining::SearchConfig par_cfg = cfg;
+    par_cfg.engine = &engine;
+    const auto par = mining::dtw_subsequence_search(haystack, needle, par_cfg);
+    // The optimum matches the serial scan (admissible pruning).
+    EXPECT_EQ(par.position, serial.position);
+    EXPECT_EQ(par.distance, serial.distance);
+    EXPECT_EQ(par.windows, serial.windows);
+    // Cascade stats depend on the block structure, not the pool size.
+    if (threads > 2) {
+      EXPECT_EQ(par.pruned_lb_kim, prev.pruned_lb_kim);
+      EXPECT_EQ(par.pruned_lb_keogh, prev.pruned_lb_keogh);
+      EXPECT_EQ(par.full_dtw_evals, prev.full_dtw_evals);
+    }
+    prev = par;
+  }
+}
+
+TEST(BatchMining, RunIndexedWithoutEngineIsPlainLoop) {
+  std::vector<int> order;
+  core::run_indexed(nullptr, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace

@@ -5,7 +5,9 @@
 
 #include <cmath>
 
+#include "core/accelerator.hpp"
 #include "core/backend.hpp"
+#include "core/batch_engine.hpp"
 #include "distance/dtw.hpp"
 #include "distance/edit.hpp"
 #include "distance/hamming.hpp"
@@ -165,5 +167,106 @@ TEST_P(RandomPair, BehavioralMonotoneUnderScaling) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPair,
                          ::testing::Range<std::uint64_t>(1000, 1040));
+
+// ---- Properties exercised through the batch engine ----
+//
+// The same invariants, but the evaluations flow through BatchEngine ->
+// Accelerator (behavioral backend), so the checks cover the whole batched
+// query path, not just the scalar entry points.
+
+class BatchedProperties : public RandomPair {
+ protected:
+  static core::Accelerator make_acc(DistanceKind kind) {
+    core::DistanceSpec spec;
+    spec.kind = kind;
+    spec.threshold = 0.4;
+    core::Accelerator acc;
+    acc.configure(spec);
+    return acc;
+  }
+  core::BatchEngine engine_{[] {
+    core::BatchOptions opts;
+    opts.num_threads = 4;
+    opts.backend = core::Backend::Behavioral;
+    return opts;
+  }()};
+};
+
+TEST_P(BatchedProperties, SymmetryThroughBatchEngine) {
+  // DTW, MD and HamD are symmetric; evaluate (p,q) and (q,p) as one batch
+  // and compare within the analog error envelope.
+  for (DistanceKind kind : {DistanceKind::Dtw, DistanceKind::Manhattan,
+                            DistanceKind::Hamming}) {
+    const core::Accelerator acc = make_acc(kind);
+    const std::vector<core::BatchQuery> queries = {{p_, q_}, {q_, p_}};
+    const std::vector<double> d = engine_.compute_distances(acc, queries);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_NEAR(d[0], d[1], 0.02 * std::abs(d[0]) + 0.25) << kind_name(kind);
+  }
+}
+
+TEST_P(BatchedProperties, HausdorffSymmetrisedThroughBatchEngine) {
+  // The fabric computes the DIRECTED Hausdorff (Fig. 2(d2)); the symmetric
+  // distance is the max over both orientations, batched as two queries.
+  const core::Accelerator acc = make_acc(DistanceKind::Hausdorff);
+  const std::vector<core::BatchQuery> queries = {{p_, q_}, {q_, p_}};
+  const std::vector<double> d = engine_.compute_distances(acc, queries);
+  const double symmetric = std::max(d[0], d[1]);
+  const double ref = hausdorff(p_, q_);
+  EXPECT_NEAR(symmetric, ref, 0.15 * std::abs(ref) + 0.1);
+  // And the symmetrised value itself is orientation-independent.
+  const std::vector<core::BatchQuery> flipped = {{q_, p_}, {p_, q_}};
+  const std::vector<double> d2 = engine_.compute_distances(acc, flipped);
+  EXPECT_DOUBLE_EQ(symmetric, std::max(d2[0], d2[1]));
+}
+
+TEST_P(BatchedProperties, IdentityThroughBatchEngine) {
+  // d(x, x) stays near zero for every distance kind (n for LCS).
+  for (DistanceKind kind : kAllKinds) {
+    const core::Accelerator acc = make_acc(kind);
+    const std::vector<core::BatchQuery> queries = {{p_, p_}, {q_, q_}};
+    const std::vector<double> d = engine_.compute_distances(acc, queries);
+    if (kind == DistanceKind::Lcs) {
+      EXPECT_NEAR(d[0], static_cast<double>(p_.size()), 1.0)
+          << kind_name(kind);
+      EXPECT_NEAR(d[1], static_cast<double>(q_.size()), 1.0)
+          << kind_name(kind);
+    } else {
+      EXPECT_NEAR(d[0], 0.0, 0.5) << kind_name(kind);
+      EXPECT_NEAR(d[1], 0.0, 0.5) << kind_name(kind);
+    }
+  }
+}
+
+TEST_P(BatchedProperties, ManhattanMonotoneUnderScalingThroughBatchEngine) {
+  // Scaling both inputs by growing positive factors grows MD through the
+  // whole batched encode -> analog -> decode pipeline.
+  const core::Accelerator acc = make_acc(DistanceKind::Manhattan);
+  const std::vector<double> factors = {0.25, 0.5, 1.0, 2.0};
+  std::vector<std::vector<double>> ps, qs;
+  for (double f : factors) {
+    std::vector<double> ps_f(p_.size()), qs_f(q_.size());
+    for (std::size_t i = 0; i < p_.size(); ++i) ps_f[i] = f * p_[i];
+    for (std::size_t i = 0; i < q_.size(); ++i) qs_f[i] = f * q_[i];
+    ps.push_back(std::move(ps_f));
+    qs.push_back(std::move(qs_f));
+  }
+  std::vector<core::BatchQuery> queries;
+  for (std::size_t k = 0; k < factors.size(); ++k) {
+    queries.push_back({ps[k], qs[k]});
+  }
+  const std::vector<double> d = engine_.compute_distances(acc, queries);
+  for (std::size_t k = 0; k + 1 < factors.size(); ++k) {
+    // Strictly increasing up to analog slack (factors double each step, so
+    // the separation dwarfs the error envelope for non-degenerate pairs).
+    EXPECT_LT(d[k], d[k + 1] + 0.05) << "factor " << factors[k];
+    const double expected_ratio = factors[k + 1] / factors[k];
+    EXPECT_NEAR(d[k + 1], expected_ratio * d[k],
+                0.05 * std::abs(d[k + 1]) + 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedProperties,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
 
 }  // namespace

@@ -2,6 +2,8 @@
 //
 //   mda compute --kind=dtw [--backend=wavefront] [--threshold=T] [--band=R]
 //               --p=1,2,0.5 --q=0.8,1.7,0.6     (or --pfile/--qfile CSV)
+//   mda batch   --kind=dtw --pfile=A.csv --qfile=B.csv [--threads=8]
+//               [--chunk=C] [--backend=...]     all-pairs batch evaluation
 //   mda info                                    configuration library + power
 //   mda export --kind=md --n=4                  netlist deck to stdout
 //   mda calibrate                               timing model via full SPICE
@@ -9,6 +11,7 @@
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failure.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -17,6 +20,7 @@
 
 #include "core/accelerator.hpp"
 #include "core/array_builder.hpp"
+#include "core/batch_engine.hpp"
 #include "devices/netlist_export.hpp"
 #include "spice/noise.hpp"
 #include "spice/primitives.hpp"
@@ -66,6 +70,101 @@ std::optional<std::vector<double>> load_series(int argc, char** argv,
   return std::nullopt;
 }
 
+std::optional<core::Backend> parse_backend(int argc, char** argv) {
+  core::Backend backend = core::Backend::Wavefront;
+  if (const auto b = flag_str(argc, argv, "backend")) {
+    if (*b == "behavioral") backend = core::Backend::Behavioral;
+    else if (*b == "wavefront") backend = core::Backend::Wavefront;
+    else if (*b == "fullspice") backend = core::Backend::FullSpice;
+    else {
+      std::fprintf(stderr, "unknown backend '%s'\n", b->c_str());
+      return std::nullopt;
+    }
+  }
+  return backend;
+}
+
+/// All rows from --<file_flag>, or the single inline --<inline_flag> row.
+std::optional<std::vector<std::vector<double>>> load_rows(
+    int argc, char** argv, const std::string& inline_flag,
+    const std::string& file_flag) {
+  if (const auto inline_csv = flag_str(argc, argv, inline_flag)) {
+    return std::vector<std::vector<double>>{parse_values(*inline_csv)};
+  }
+  if (const auto path = flag_str(argc, argv, file_flag)) {
+    auto rows = util::read_numeric(*path);
+    if (!rows || rows->empty()) {
+      std::fprintf(stderr, "cannot read numeric rows from '%s'\n",
+                   path->c_str());
+      return std::nullopt;
+    }
+    return *rows;
+  }
+  return std::nullopt;
+}
+
+int cmd_batch(int argc, char** argv) {
+  const auto kind_name = flag_str(argc, argv, "kind");
+  if (!kind_name) {
+    std::fprintf(stderr, "batch: --kind=dtw|lcs|edd|haud|hamd|md required\n");
+    return 1;
+  }
+  const auto p_rows = load_rows(argc, argv, "p", "pfile");
+  const auto q_rows = load_rows(argc, argv, "q", "qfile");
+  if (!p_rows || !q_rows) {
+    std::fprintf(stderr, "batch: provide --p/--pfile and --q/--qfile\n");
+    return 1;
+  }
+  core::DistanceSpec spec;
+  spec.kind = dist::kind_from_name(*kind_name);
+  spec.threshold = flag_num(argc, argv, "threshold", 0.0);
+  spec.band = static_cast<int>(flag_num(argc, argv, "band", -1));
+
+  core::BatchOptions opts;
+  const auto backend = parse_backend(argc, argv);
+  if (!backend) return 1;
+  opts.backend = *backend;
+  opts.num_threads =
+      static_cast<std::size_t>(flag_num(argc, argv, "threads", 0));
+  opts.chunk_size = static_cast<std::size_t>(flag_num(argc, argv, "chunk", 0));
+
+  core::Accelerator acc;
+  acc.configure(spec);
+  core::BatchEngine engine(opts);
+
+  // Cross product: every P row against every Q row.
+  std::vector<core::BatchQuery> queries;
+  queries.reserve(p_rows->size() * q_rows->size());
+  for (const auto& p : *p_rows) {
+    for (const auto& q : *q_rows) queries.push_back({p, q});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<core::ComputeResult> results =
+      engine.compute_batch(acc, queries);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  util::Table table({"#", "pair", "analog", "reference", "rel err"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t pi = i / q_rows->size();
+    const std::size_t qi = i % q_rows->size();
+    table.add_row({std::to_string(i),
+                   "P" + std::to_string(pi) + " x Q" + std::to_string(qi),
+                   util::Table::fmt(results[i].value, 4),
+                   util::Table::fmt(results[i].reference, 4),
+                   util::Table::fmt(100.0 * results[i].relative_error, 2) +
+                       "%"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\n%zu queries on %zu threads: %.3f s wall (%.1f queries/s)\n",
+              queries.size(), engine.num_threads(), wall_s,
+              wall_s > 0.0 ? static_cast<double>(queries.size()) / wall_s
+                           : 0.0);
+  return 0;
+}
+
 int cmd_compute(int argc, char** argv) {
   const auto kind_name = flag_str(argc, argv, "kind");
   if (!kind_name) {
@@ -83,19 +182,11 @@ int cmd_compute(int argc, char** argv) {
   spec.threshold = flag_num(argc, argv, "threshold", 0.0);
   spec.band = static_cast<int>(flag_num(argc, argv, "band", -1));
 
-  core::Backend backend = core::Backend::Wavefront;
-  if (const auto b = flag_str(argc, argv, "backend")) {
-    if (*b == "behavioral") backend = core::Backend::Behavioral;
-    else if (*b == "wavefront") backend = core::Backend::Wavefront;
-    else if (*b == "fullspice") backend = core::Backend::FullSpice;
-    else {
-      std::fprintf(stderr, "compute: unknown backend '%s'\n", b->c_str());
-      return 1;
-    }
-  }
+  const auto backend = parse_backend(argc, argv);
+  if (!backend) return 1;
   core::Accelerator acc;
   acc.configure(spec);
-  const core::ComputeResult r = acc.compute(*p, *q, backend);
+  const core::ComputeResult r = acc.compute(*p, *q, *backend);
   std::printf("function:        %s\n", dist::kind_name(spec.kind).c_str());
   std::printf("analog value:    %.6f\n", r.value);
   std::printf("digital ref:     %.6f\n", r.reference);
@@ -201,10 +292,13 @@ int cmd_noise(int argc, char** argv) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mda <compute|info|export|calibrate|noise> [flags]\n"
+               "usage: mda <compute|batch|info|export|calibrate|noise> [flags]\n"
                "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
                "            [--backend=behavioral|wavefront|fullspice]\n"
                "            [--threshold=T] [--band=R] [--pfile/--qfile=CSV]\n"
+               "  batch     --kind=dtw --pfile=A.csv --qfile=B.csv\n"
+               "            [--threads=N (0=auto)] [--chunk=C] [--backend=...]\n"
+               "            all P-rows x Q-rows pairs on the parallel engine\n"
                "  info      configuration library, power, timing fits\n"
                "  export    --kind=md [--n=4] [--parasitics=1]\n"
                "  calibrate re-fit the timing model from full SPICE\n"
@@ -221,6 +315,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "compute") return cmd_compute(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "export") return cmd_export(argc, argv);
     if (cmd == "calibrate") return cmd_calibrate(argc, argv);
