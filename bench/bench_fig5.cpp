@@ -58,9 +58,9 @@ int main(int argc, char** argv) {
           core::DistanceSpec spec;
           spec.kind = kind;
           spec.threshold = 0.3;  // application threshold for LCS/EdD/HamD
-          acc.configure(spec);
+          acc.configure(spec, core::Backend::Wavefront);
           const core::ComputeResult r =
-              acc.compute(pair.p, pair.q, core::Backend::Wavefront);
+              acc.compute(pair.p, pair.q);
           errs.push_back(r.relative_error);
           (pair.same_class ? errs_same : errs_diff)
               .push_back(r.relative_error);

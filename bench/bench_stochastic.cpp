@@ -80,14 +80,14 @@ int main(int argc, char** argv) {
   core::Accelerator fixed_acc;
   core::DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
-  stochastic_acc.configure(spec);
-  fixed_acc.configure(spec);
+  stochastic_acc.configure(spec, core::Backend::FullSpice);
+  fixed_acc.configure(spec, core::Backend::FullSpice);
   std::vector<double> p = {1.0, -0.5, 2.0, 0.3, -1.2, 0.8};
   std::vector<double> q = {0.8, -0.2, 1.5, 0.9, -1.0, 0.2};
   const core::ComputeResult rs =
-      stochastic_acc.compute(p, q, core::Backend::FullSpice);
+      stochastic_acc.compute(p, q);
   const core::ComputeResult rf =
-      fixed_acc.compute(p, q, core::Backend::FullSpice);
+      fixed_acc.compute(p, q);
   std::printf("\nMD with stochastic memristors: %.4f vs fixed model %.4f "
               "(reference %.4f) — deviation only from the static +-5%% "
               "device spread\n", rs.value, rf.value, rs.reference);

@@ -41,12 +41,12 @@ int main(int argc, char** argv) {
     spec.kind = kind;
     spec.threshold = 0.5;
     if (dist::is_matrix_structure(kind)) {
-      spec.pair_weights = &pair_w;
+      spec.pair_weights = pair_w;
     } else {
-      spec.elem_weights = &elem_w;
+      spec.elem_weights = elem_w;
     }
-    acc.configure(spec);
-    const core::ComputeResult r = acc.compute(p, q, core::Backend::Wavefront);
+    acc.configure(spec, core::Backend::Wavefront);
+    const core::ComputeResult r = acc.compute(p, q);
     core::DistanceSpec plain;
     plain.kind = kind;
     plain.threshold = 0.5;

@@ -44,12 +44,12 @@ int main() {
   auto acc = std::make_shared<core::Accelerator>();
   core::DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
-  acc->configure(spec);
+  acc->configure(spec, core::Backend::Behavioral);
   long analog_calls = 0;
   mining::DistanceFn fn = [acc, &analog_calls](std::span<const double> a,
                                                std::span<const double> b) {
     ++analog_calls;
-    return acc->compute(a, b, core::Backend::Behavioral).value;
+    return acc->compute(a, b).value;
   };
 
   mining::MotifConfig cfg;

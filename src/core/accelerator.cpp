@@ -6,6 +6,7 @@
 #include "core/array_builder.hpp"
 #include "core/dac_adc.hpp"
 #include "distance/registry.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace mda::core {
@@ -16,7 +17,12 @@ Accelerator::Accelerator(AcceleratorConfig config)
 void Accelerator::configure(DistanceSpec spec) {
   // Validate against the configuration library (throws for unknown kinds).
   (void)config_for(spec.kind);
-  spec_ = spec;
+  spec_ = std::move(spec);
+}
+
+void Accelerator::configure(DistanceSpec spec, Backend backend) {
+  configure(std::move(spec));
+  config_.backend = backend;
 }
 
 const ConfigEntry& Accelerator::active_entry() const {
@@ -56,31 +62,40 @@ power::PowerBreakdown Accelerator::power(std::size_t n) const {
                                  spec_.band);
 }
 
-ComputeResult Accelerator::compute(std::span<const double> p,
-                                   std::span<const double> q,
-                                   Backend backend) const {
+ComputeOutcome Accelerator::try_compute_with(Backend backend,
+                                             std::span<const double> p,
+                                             std::span<const double> q) const {
+  static const obs::Counter computes("mda.accel.computes");
+  static const obs::Counter failures("mda.accel.failures");
+  static const obs::Histogram compute_time("mda.accel.compute_time_s");
+  const obs::ScopedTimer timer(compute_time);
+  computes.add();
+
   if (p.empty() || q.empty()) {
-    throw std::invalid_argument("compute: empty sequence");
+    failures.add();
+    return ComputeError{ComputeErrorCode::InvalidInput,
+                        "compute: empty sequence"};
   }
   if (dist::requires_equal_length(spec_.kind) && p.size() != q.size()) {
-    throw std::invalid_argument("compute: " + dist::kind_name(spec_.kind) +
-                                " requires equal-length sequences");
+    failures.add();
+    return ComputeError{ComputeErrorCode::InvalidInput,
+                        "compute: " + dist::kind_name(spec_.kind) +
+                            " requires equal-length sequences"};
   }
-  const EncodedInputs enc = encode_inputs(config_, spec_, p, q);
+
   AnalogEval eval;
-  switch (backend) {
-    case Backend::Behavioral:
-      eval = eval_behavioral(config_, spec_, enc);
-      break;
-    case Backend::Wavefront:
-      eval = eval_wavefront(config_, spec_, enc);
-      break;
-    case Backend::FullSpice:
-      eval = eval_full_spice(config_, spec_, enc);
-      break;
+  EncodedInputs enc;
+  try {
+    enc = encode_inputs(config_, spec_, p, q);
+    eval = evaluate(backend, config_, spec_, enc);
+  } catch (const std::exception& e) {
+    failures.add();
+    return ComputeError{ComputeErrorCode::BackendFailure, e.what()};
   }
   if (!eval.ok) {
-    throw std::runtime_error("accelerator backend failed: " + eval.error);
+    failures.add();
+    return ComputeError{ComputeErrorCode::BackendFailure,
+                        "accelerator backend failed: " + eval.error};
   }
 
   ComputeResult r;
@@ -108,6 +123,33 @@ ComputeResult Accelerator::compute(std::span<const double> p,
           : timing_.convergence_time_s(spec_.kind, q.size()) *
                 static_cast<double>(r.tiles);
   return r;
+}
+
+ComputeResult Accelerator::unwrap(ComputeOutcome outcome) {
+  if (!outcome.ok()) {
+    const ComputeError& e = outcome.error();
+    if (e.code == ComputeErrorCode::InvalidInput) {
+      throw std::invalid_argument(e.message);
+    }
+    throw std::runtime_error(e.message);
+  }
+  return std::move(outcome.value());
+}
+
+ComputeOutcome Accelerator::try_compute(std::span<const double> p,
+                                        std::span<const double> q) const {
+  return try_compute_with(config_.backend, p, q);
+}
+
+ComputeResult Accelerator::compute(std::span<const double> p,
+                                   std::span<const double> q) const {
+  return unwrap(try_compute_with(config_.backend, p, q));
+}
+
+ComputeResult Accelerator::compute(std::span<const double> p,
+                                   std::span<const double> q,
+                                   Backend backend) const {
+  return unwrap(try_compute_with(backend, p, q));
 }
 
 }  // namespace mda::core

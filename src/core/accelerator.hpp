@@ -8,6 +8,12 @@
 //   acc.configure({.kind = dist::DistanceKind::Dtw}); // from the config lib
 //   auto r = acc.compute(P, Q);                       // analog evaluation
 //   r.value, r.relative_error, r.convergence_time_s, ...
+//
+// The execution backend is part of AcceleratorConfig (set it at
+// construction, via set_backend(), or with the configure() overload); the
+// legacy per-call compute(p, q, backend) overload is deprecated.  Server
+// callers that must not unwind per failed query use try_compute(), which
+// reports failures as a ComputeOutcome instead of throwing.
 
 #include <span>
 
@@ -18,9 +24,6 @@
 
 namespace mda::core {
 
-/// Backend selector (see backend.hpp for the fidelity trade-offs).
-enum class Backend { Behavioral, Wavefront, FullSpice };
-
 class Accelerator {
  public:
   explicit Accelerator(AcceleratorConfig config = {});
@@ -28,15 +31,30 @@ class Accelerator {
   /// Select a distance function — the control/configuration module pulls
   /// the PE and interconnect configuration from the configuration library.
   void configure(DistanceSpec spec);
+  /// Select a distance function and the execution backend in one step.
+  void configure(DistanceSpec spec, Backend backend);
+  /// Change the execution backend of subsequent compute()/try_compute().
+  void set_backend(Backend backend) { config_.backend = backend; }
 
   [[nodiscard]] const AcceleratorConfig& config() const { return config_; }
   [[nodiscard]] const DistanceSpec& spec() const { return spec_; }
   [[nodiscard]] const ConfigEntry& active_entry() const;
 
-  /// Evaluate the configured distance on P and Q.  Throws on backend
-  /// failure (simulation non-convergence).
+  /// Evaluate the configured distance on P and Q using the configured
+  /// backend.  Throws std::invalid_argument on bad inputs and
+  /// std::runtime_error on backend failure (simulation non-convergence).
+  ComputeResult compute(std::span<const double> p,
+                        std::span<const double> q) const;
+
+  [[deprecated("pass the backend via AcceleratorConfig::backend / "
+               "set_backend() and call compute(p, q)")]]
   ComputeResult compute(std::span<const double> p, std::span<const double> q,
-                        Backend backend = Backend::Wavefront) const;
+                        Backend backend) const;
+
+  /// Non-throwing variant: invalid inputs and backend failures come back as
+  /// ComputeOutcome errors instead of exceptions.
+  [[nodiscard]] ComputeOutcome try_compute(std::span<const double> p,
+                                           std::span<const double> q) const;
 
   /// Tiling passes needed for sequences longer than the array (Sec. 3.1).
   [[nodiscard]] std::size_t tiles_required(std::size_t m, std::size_t n) const;
@@ -54,6 +72,10 @@ class Accelerator {
   void replace_timing_model(TimingModel model) { timing_ = model; }
 
  private:
+  ComputeOutcome try_compute_with(Backend backend, std::span<const double> p,
+                                  std::span<const double> q) const;
+  static ComputeResult unwrap(ComputeOutcome outcome);
+
   AcceleratorConfig config_;
   DistanceSpec spec_;
   TimingModel timing_;

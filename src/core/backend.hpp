@@ -72,4 +72,12 @@ AnalogEval eval_behavioral(const AcceleratorConfig& config,
 /// Heuristic transient horizon for an n-element array of the given kind.
 double default_t_stop(dist::DistanceKind kind, std::size_t m, std::size_t n);
 
+/// Single dispatch point over the three fidelity levels: evaluates `enc`
+/// through the selected backend (`t_stop` applies to FullSpice only; 0 =
+/// auto).  The per-backend functions above remain for direct use by
+/// calibration and tests; library code routes through here.
+AnalogEval evaluate(Backend backend, const AcceleratorConfig& config,
+                    const DistanceSpec& spec, const EncodedInputs& enc,
+                    double t_stop = 0.0);
+
 }  // namespace mda::core

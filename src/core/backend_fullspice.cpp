@@ -5,6 +5,7 @@
 #include "core/array_builder.hpp"
 #include "core/backend.hpp"
 #include "core/dac_adc.hpp"
+#include "obs/metrics.hpp"
 #include "spice/transient.hpp"
 
 namespace mda::core {
@@ -87,14 +88,28 @@ EncodedInputs encode_inputs(const AcceleratorConfig& config,
   const double full_scale =
       std::max(std::max(max_abs(p), max_abs(q)) * volts_per_value, 1e-6);
   Quantizer dac(config.dac_bits, full_scale);
+  std::size_t clipped = 0;
   auto convert = [&](double value) {
     const double v = value * volts_per_value;
-    return config.quantize_inputs ? dac.quantize(v) : v;
+    if (!config.quantize_inputs) return v;
+    const double out = dac.quantize(v);
+    // The quantiser clamps at its rails; off-scale inputs lose information.
+    if (std::abs(v) > full_scale) ++clipped;
+    return out;
   };
   enc.p_volts.reserve(m);
   enc.q_volts.reserve(n);
   for (double v : p) enc.p_volts.push_back(convert(v));
   for (double v : q) enc.q_volts.push_back(convert(v));
+
+  static const obs::Counter encodes("mda.backend.encodes");
+  static const obs::Counter clips("mda.backend.dac_clips");
+  static const obs::Counter vstep_shrinks("mda.backend.vstep_shrinks");
+  static const obs::Histogram scale_hist("mda.backend.encode_scale");
+  encodes.add();
+  if (clipped > 0) clips.add(clipped);
+  if (enc.vstep_eff < config.vstep) vstep_shrinks.add();
+  scale_hist.observe(enc.scale);
   return enc;
 }
 
@@ -131,6 +146,35 @@ double default_t_stop(dist::DistanceKind kind, std::size_t m, std::size_t n) {
       return 60e-9 + 1e-9 * static_cast<double>(n);
   }
   return 200e-9;
+}
+
+AnalogEval evaluate(Backend backend, const AcceleratorConfig& config,
+                    const DistanceSpec& spec, const EncodedInputs& enc,
+                    double t_stop) {
+  switch (backend) {
+    case Backend::Behavioral: {
+      static const obs::Counter evals("mda.backend.behavioral_evals");
+      static const obs::Histogram time("mda.backend.behavioral_time_s");
+      const obs::ScopedTimer timer(time);
+      evals.add();
+      return eval_behavioral(config, spec, enc);
+    }
+    case Backend::Wavefront: {
+      static const obs::Counter evals("mda.backend.wavefront_evals");
+      static const obs::Histogram time("mda.backend.wavefront_time_s");
+      const obs::ScopedTimer timer(time);
+      evals.add();
+      return eval_wavefront(config, spec, enc);
+    }
+    case Backend::FullSpice: {
+      static const obs::Counter evals("mda.backend.fullspice_evals");
+      static const obs::Histogram time("mda.backend.fullspice_time_s");
+      const obs::ScopedTimer timer(time);
+      evals.add();
+      return eval_full_spice(config, spec, enc, t_stop);
+    }
+  }
+  throw std::logic_error("unreachable backend");
 }
 
 AnalogEval eval_full_spice(const AcceleratorConfig& config,

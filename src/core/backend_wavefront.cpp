@@ -7,6 +7,7 @@
 #include "core/array_builder.hpp"
 #include "core/backend.hpp"
 #include "core/dac_adc.hpp"
+#include "obs/metrics.hpp"
 #include "spice/mna.hpp"
 #include "spice/newton.hpp"
 #include "spice/transient.hpp"
@@ -34,12 +35,16 @@ class DcHarness {
   }
 
   double solve_out() {
+    static const obs::Counter cell_solves("mda.backend.wavefront_cell_solves");
+    static const obs::Counter restarts("mda.backend.wavefront_cold_restarts");
+    cell_solves.add();
     if (!warm_) {
       for (auto& dev : net_.devices()) dev->reset_state();
     }
     spice::NewtonResult r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
     if (!r.converged) {
       // Cold restart once before giving up.
+      restarts.add();
       std::fill(x_.begin(), x_.end(), 0.0);
       r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
       if (!r.converged) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace mda::core {
 namespace {
 
@@ -17,6 +19,9 @@ struct BatchEngine::Job {
   std::size_t count = 0;
   std::size_t chunk = 1;
   const std::function<void(std::size_t)>* task = nullptr;
+  // Submission timestamp (obs::detail::monotonic_seconds); 0 when metrics
+  // are disabled.  Workers use it to report wake-up latency.
+  double submit_s = 0.0;
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
@@ -46,10 +51,14 @@ BatchEngine::~BatchEngine() {
 }
 
 void BatchEngine::run_chunks(Job& job) {
+  static const obs::Counter tasks("mda.batch.tasks");
+  static const obs::Histogram chunk_time("mda.batch.chunk_time_s");
   for (;;) {
     const std::size_t begin = job.next.fetch_add(job.chunk);
     if (begin >= job.count) break;
     const std::size_t end = std::min(job.count, begin + job.chunk);
+    tasks.add(static_cast<std::uint64_t>(end - begin));
+    const obs::ScopedTimer timer(chunk_time);
     for (std::size_t i = begin; i < end; ++i) {
       if (job.abort.load(std::memory_order_relaxed)) return;
       try {
@@ -67,6 +76,7 @@ void BatchEngine::run_chunks(Job& job) {
 }
 
 void BatchEngine::worker_loop() {
+  static const obs::Histogram queue_wait("mda.batch.queue_wait_s");
   t_inside_worker = true;
   std::uint64_t seen_generation = 0;
   for (;;) {
@@ -80,6 +90,9 @@ void BatchEngine::worker_loop() {
       seen_generation = generation_;
       job = job_;
     }
+    if (job->submit_s != 0.0) {
+      queue_wait.observe(obs::detail::monotonic_seconds() - job->submit_s);
+    }
     run_chunks(*job);
     {
       std::lock_guard<std::mutex> lk(mutex_);
@@ -90,14 +103,22 @@ void BatchEngine::worker_loop() {
 
 void BatchEngine::parallel_for(
     std::size_t count, const std::function<void(std::size_t)>& task) const {
+  static const obs::Counter jobs("mda.batch.jobs");
+  static const obs::Counter inline_jobs("mda.batch.inline_jobs");
+  static const obs::Gauge threads_gauge("mda.batch.threads");
+  static const obs::Histogram job_time("mda.batch.job_time_s");
   if (count == 0) return;
   // Inline paths: nested call from a worker, a 1-thread engine, or a batch
   // too small to be worth a rendezvous.  Task-order execution gives the
   // same first-exception semantics as the pool path.
   if (t_inside_worker || threads_.empty() || count == 1) {
+    inline_jobs.add();
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
+  jobs.add();
+  threads_gauge.set(static_cast<double>(num_threads_));
+  const obs::ScopedTimer wall_timer(job_time);
 
   std::lock_guard<std::mutex> submit(submit_mutex_);
   Job job;
@@ -106,6 +127,7 @@ void BatchEngine::parallel_for(
                   ? opts_.chunk_size
                   : std::max<std::size_t>(1, count / (4 * num_threads_));
   job.task = &task;
+  if (obs::enabled()) job.submit_s = obs::detail::monotonic_seconds();
   {
     std::lock_guard<std::mutex> lk(mutex_);
     job_ = &job;
@@ -133,20 +155,43 @@ void BatchEngine::parallel_for(
   }
 }
 
+namespace {
+
+/// Resolve the backend-override option: returns `acc` itself when no
+/// override applies, else a copy reconfigured to the requested backend.
+const Accelerator& resolve_backend(const Accelerator& acc,
+                                   const std::optional<Backend>& backend,
+                                   std::optional<Accelerator>& storage) {
+  if (!backend || *backend == acc.config().backend) return acc;
+  storage.emplace(acc);
+  storage->set_backend(*backend);
+  return *storage;
+}
+
+}  // namespace
+
 std::vector<ComputeResult> BatchEngine::compute_batch(
     const Accelerator& acc, std::span<const BatchQuery> queries) const {
+  static const obs::Counter queries_total("mda.batch.queries");
+  queries_total.add(static_cast<std::uint64_t>(queries.size()));
+  std::optional<Accelerator> storage;
+  const Accelerator& target = resolve_backend(acc, opts_.backend, storage);
   std::vector<ComputeResult> out(queries.size());
   parallel_for(queries.size(), [&](std::size_t i) {
-    out[i] = acc.compute(queries[i].p, queries[i].q, opts_.backend);
+    out[i] = target.compute(queries[i].p, queries[i].q);
   });
   return out;
 }
 
 std::vector<double> BatchEngine::compute_distances(
     const Accelerator& acc, std::span<const BatchQuery> queries) const {
+  static const obs::Counter queries_total("mda.batch.queries");
+  queries_total.add(static_cast<std::uint64_t>(queries.size()));
+  std::optional<Accelerator> storage;
+  const Accelerator& target = resolve_backend(acc, opts_.backend, storage);
   std::vector<double> out(queries.size());
   parallel_for(queries.size(), [&](std::size_t i) {
-    out[i] = acc.compute(queries[i].p, queries[i].q, opts_.backend).value;
+    out[i] = target.compute(queries[i].p, queries[i].q).value;
   });
   return out;
 }

@@ -23,6 +23,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -40,8 +41,9 @@ struct BatchOptions {
   /// key draws on chunk structure should set it explicitly — the engine
   /// itself keys nothing on chunks.
   std::size_t chunk_size = 0;
-  /// Backend used by compute_batch.
-  Backend backend = Backend::Wavefront;
+  /// Backend override for compute_batch/compute_distances; nullopt uses the
+  /// accelerator's configured backend (AcceleratorConfig::backend).
+  std::optional<Backend> backend;
   /// Base seed for counter-based per-task RNG derivation (task_rng).
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
 };
@@ -79,8 +81,9 @@ class BatchEngine {
     return out;
   }
 
-  /// Evaluate every query through `acc` on options().backend.  Results are
-  /// indexed like `queries` and bit-identical for any num_threads.
+  /// Evaluate every query through `acc` (on options().backend when set,
+  /// else the accelerator's configured backend).  Results are indexed like
+  /// `queries` and bit-identical for any num_threads.
   [[nodiscard]] std::vector<ComputeResult> compute_batch(
       const Accelerator& acc, std::span<const BatchQuery> queries) const;
 

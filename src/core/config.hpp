@@ -5,7 +5,9 @@
 // configuration lib").
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "blocks/analog_env.hpp"
@@ -13,6 +15,11 @@
 #include "distance/registry.hpp"
 
 namespace mda::core {
+
+/// Execution backend selector (see backend.hpp for the fidelity
+/// trade-offs).  Part of AcceleratorConfig since the backend is a property
+/// of how an accelerator instance is operated, not of one compute() call.
+enum class Backend { Behavioral, Wavefront, FullSpice };
 
 /// Static accelerator build parameters (Table 1 plus array geometry).
 struct AcceleratorConfig {
@@ -33,6 +40,9 @@ struct AcceleratorConfig {
   int adc_bits = 8;   ///< Kull et al. ADC (Sec. 4.3).
   bool quantize_inputs = true;   ///< Apply DAC quantisation to inputs.
   bool quantize_outputs = false; ///< Apply ADC quantisation on readback.
+
+  /// Backend used by Accelerator::compute()/try_compute().
+  Backend backend = Backend::Wavefront;
 };
 
 /// Per-computation distance configuration (value-domain units; the
@@ -41,9 +51,10 @@ struct DistanceSpec {
   dist::DistanceKind kind = dist::DistanceKind::Dtw;
   double threshold = 0.0;  ///< LCS/EdD/HamD equality threshold (value units).
   int band = -1;           ///< DTW Sakoe-Chiba radius; <0 = unconstrained.
-  /// Optional weights (see dist::DistanceParams).
-  const std::vector<double>* pair_weights = nullptr;
-  const std::vector<double>* elem_weights = nullptr;
+  /// Optional weights, OWNED by the spec (see dist::DistanceParams for the
+  /// layout): pairwise w_ij row-major |P| x |Q| / per-element w_i.
+  std::optional<std::vector<double>> pair_weights;
+  std::optional<std::vector<double>> elem_weights;
 
   /// Equivalent digital-reference parameters in VALUE units (vstep = 1).
   [[nodiscard]] dist::DistanceParams reference_params() const;
@@ -58,6 +69,39 @@ struct ComputeResult {
   double convergence_time_s = 0.0;  ///< Modeled/measured settling time.
   double input_scale = 1.0;  ///< Applied range-compression factor.
   std::size_t tiles = 1;     ///< Tiling passes used (Sec. 3.1).
+};
+
+/// Why a computation could not produce a result.
+enum class ComputeErrorCode {
+  InvalidInput,    ///< Empty sequence / length mismatch for row kinds.
+  BackendFailure,  ///< Simulation non-convergence or internal backend error.
+};
+
+struct ComputeError {
+  ComputeErrorCode code = ComputeErrorCode::BackendFailure;
+  std::string message;
+};
+
+/// Expected-style result of Accelerator::try_compute() for server callers
+/// that must not unwind per failed query (C++20 stand-in for
+/// std::expected<ComputeResult, ComputeError>).
+class ComputeOutcome {
+ public:
+  /*implicit*/ ComputeOutcome(ComputeResult result)
+      : result_(std::move(result)) {}
+  /*implicit*/ ComputeOutcome(ComputeError error) : error_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return result_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Valid only when ok() — checked in debug by the underlying optional.
+  [[nodiscard]] const ComputeResult& value() const { return *result_; }
+  [[nodiscard]] ComputeResult& value() { return *result_; }
+  [[nodiscard]] const ComputeError& error() const { return *error_; }
+
+ private:
+  std::optional<ComputeResult> result_;
+  std::optional<ComputeError> error_;
 };
 
 /// One entry of the configuration library: how a distance function maps onto

@@ -6,6 +6,7 @@
 
 #include "core/array_builder.hpp"
 #include "core/backend.hpp"
+#include "obs/metrics.hpp"
 #include "spice/transient.hpp"
 
 namespace mda::core {
@@ -63,6 +64,13 @@ EarlyDecisionResult early_decision_experiment(
   }
   result.ordering_preserved =
       ranking(result.early_volts) == ranking(result.final_volts);
+
+  // Early-decision hit rate (Sec. 4.2): hits / trials is the fraction of
+  // experiments where the early-readout ordering matched the settled one.
+  static const obs::Counter trials("mda.mining.early_trials");
+  static const obs::Counter hits("mda.mining.early_hits");
+  trials.add();
+  if (result.ordering_preserved) hits.add();
   return result;
 }
 

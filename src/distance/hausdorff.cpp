@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace mda::dist {
 
@@ -29,17 +30,16 @@ double hausdorff(std::span<const double> p, std::span<const double> q,
   // The transposed direction indexes weights with swapped roles; for the
   // default unit weights this is symmetric usage of the same matrix.
   DistanceParams swapped = params;
-  std::vector<double> wt;
   if (params.pair_weights) {
     const std::size_t m = p.size();
     const std::size_t n = q.size();
-    wt.resize(m * n);
+    std::vector<double> wt(m * n);
     for (std::size_t i = 0; i < m; ++i) {
       for (std::size_t j = 0; j < n; ++j) {
         wt[j * m + i] = (*params.pair_weights)[i * n + j];
       }
     }
-    swapped.pair_weights = &wt;
+    swapped.pair_weights = std::move(wt);
   }
   return std::max(hausdorff_directed(p, q, params),
                   hausdorff_directed(q, p, swapped));

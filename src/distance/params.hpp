@@ -6,6 +6,7 @@
 // All weights default to 1, matching the paper's evaluation setup.
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace mda::dist {
@@ -25,10 +26,12 @@ struct DistanceParams {
   double vstep = 1.0;
 
   /// Optional pairwise weights w_ij, row-major with |P| rows, |Q| columns.
-  const std::vector<double>* pair_weights = nullptr;
+  /// Owned: a params value carries its weights, so no caller-side lifetime
+  /// management is needed.
+  std::optional<std::vector<double>> pair_weights;
 
-  /// Optional per-element weights w_i (length = series length).
-  const std::vector<double>* elem_weights = nullptr;
+  /// Optional per-element weights w_i (length = series length).  Owned.
+  std::optional<std::vector<double>> elem_weights;
 
   [[nodiscard]] double w(std::size_t i, std::size_t j, std::size_t cols) const {
     return pair_weights ? (*pair_weights)[i * cols + j] : 1.0;

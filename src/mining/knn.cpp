@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace mda::mining {
 
 KnnClassifier::KnnClassifier(DistanceFn fn, KnnConfig cfg)
@@ -31,6 +33,9 @@ void KnnClassifier::fit(const data::Dataset& train) {
 
 int KnnClassifier::vote(std::span<const double> query,
                         std::size_t exclude) const {
+  static const obs::Counter predictions("mda.mining.knn_predictions");
+  static const obs::Counter evals("mda.mining.knn_distance_evals");
+  predictions.add();
   struct Scored {
     double score;
     int label;
@@ -43,6 +48,7 @@ int KnnClassifier::vote(std::span<const double> query,
   // The hot loop an accelerator (and the batch engine) absorbs: one
   // distance evaluation per training series, all independent.
   std::vector<Scored> scored(idx.size());
+  evals.add(static_cast<std::uint64_t>(idx.size()));
   core::run_indexed(cfg_.engine, idx.size(), [&](std::size_t k) {
     const auto& item = train_.items[idx[k]];
     scored[k] = {fn_(query, item.values), item.label};

@@ -8,6 +8,7 @@
 #include "data/normalize.hpp"
 #include "distance/dtw.hpp"
 #include "distance/lower_bounds.hpp"
+#include "obs/metrics.hpp"
 
 namespace mda::mining {
 
@@ -98,6 +99,17 @@ SearchResult dtw_subsequence_search(std::span<const double> haystack,
     }
   }
   result.distance = best;
+
+  // Prune-rate accounting (DESIGN.md §8): the lower-bound cascade is the
+  // whole point of the digital front end, so its hit rates are first-class.
+  static const obs::Counter windows("mda.mining.windows");
+  static const obs::Counter kim_pruned("mda.mining.lb_kim_pruned");
+  static const obs::Counter keogh_pruned("mda.mining.lb_keogh_pruned");
+  static const obs::Counter dtw_evals("mda.mining.dtw_evals");
+  windows.add(static_cast<std::uint64_t>(result.windows));
+  kim_pruned.add(static_cast<std::uint64_t>(result.pruned_lb_kim));
+  keogh_pruned.add(static_cast<std::uint64_t>(result.pruned_lb_keogh));
+  dtw_evals.add(static_cast<std::uint64_t>(result.full_dtw_evals));
   return result;
 }
 

@@ -1,0 +1,47 @@
+#pragma once
+// Point-in-time view of every registered metric, with serialisers:
+//
+//   MetricsSnapshot snap = MetricsSnapshot::capture();
+//   std::string json = snap.to_json();       // machine-readable
+//   std::string text = snap.to_table();      // human-readable ASCII table
+//   MetricsSnapshot back = MetricsSnapshot::from_json(json);  // round-trip
+//
+// The JSON schema (one object per metric, under "metrics"):
+//   counter:    {"name": "...", "kind": "counter", "count": N}
+//   gauge:      {"name": "...", "kind": "gauge", "value": V}
+//   histogram:  {"name": "...", "kind": "histogram", "count": N, "sum": S,
+//                "min": m, "max": M, "buckets": [[log2_exponent, count], ...]}
+// Histogram buckets are sparse [exponent, count] pairs; the exponent is the
+// ilogb of the observed values in that bucket (see metrics.hpp).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mda::obs {
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  ///< Sorted by name.
+
+  /// Snapshot the global registry (empty when compiled out).
+  static MetricsSnapshot capture();
+
+  /// Lookup by full dotted name; nullptr when absent.
+  [[nodiscard]] const MetricValue* find(const std::string& name) const;
+
+  /// Metrics whose name starts with `prefix` (e.g. "mda.spice.").
+  [[nodiscard]] std::vector<const MetricValue*> with_prefix(
+      const std::string& prefix) const;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_table() const;
+
+  /// Parse a snapshot previously produced by to_json().  Returns nullopt on
+  /// malformed input.  Only the schema above is understood — this is a
+  /// round-trip codec, not a general JSON library.
+  static std::optional<MetricsSnapshot> from_json(const std::string& json);
+};
+
+}  // namespace mda::obs

@@ -1,5 +1,6 @@
 #include "spice/mna.hpp"
 
+#include "obs/metrics.hpp"
 #include "spice/dense.hpp"
 #include "spice/sparse.hpp"
 
@@ -38,6 +39,13 @@ bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
   const double g = tol_.gmin + gmin_extra;
   for (int n = 0; n < num_nodes_; ++n) stamper.add(n, n, g);
 
+  // Factor/solve accounting: one factorisation + one triangular solve per
+  // linearised step; singular systems are the solver's hard-failure signal.
+  static const obs::Counter dense_solves("mda.spice.dense_lu_solves");
+  static const obs::Counter sparse_factors("mda.spice.sparse_lu_factors");
+  static const obs::Counter sparse_solves("mda.spice.sparse_lu_solves");
+  static const obs::Counter singular("mda.spice.singular_systems");
+
   x_out = rhs_;
   if (num_unknowns_ <= kDenseThreshold) {
     std::vector<double> dense(
@@ -50,15 +58,24 @@ bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
             static_cast<std::size_t>(cols_[k])] += vals_[k];
     }
     DenseLu lu;
-    if (!lu.factor(num_unknowns_, dense)) return false;
+    if (!lu.factor(num_unknowns_, dense)) {
+      singular.add();
+      return false;
+    }
     lu.solve(x_out);
+    dense_solves.add();
     return true;
   }
   const CscMatrix a =
       CscMatrix::from_triplets(num_unknowns_, rows_, cols_, vals_);
   SparseLu lu;
-  if (!lu.factor(a)) return false;
+  sparse_factors.add();
+  if (!lu.factor(a)) {
+    singular.add();
+    return false;
+  }
   lu.solve(x_out);
+  sparse_solves.add();
   return true;
 }
 

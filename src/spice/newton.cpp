@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace mda::spice {
+namespace {
+
+// Solver accounting (DESIGN.md §8): every solve point, every iteration, and
+// every fallback escalation is visible in the metrics snapshot.
+const obs::Counter& solves_counter() {
+  static const obs::Counter c("mda.spice.newton_solves");
+  return c;
+}
+const obs::Counter& iterations_counter() {
+  static const obs::Counter c("mda.spice.newton_iterations");
+  return c;
+}
+
+}  // namespace
 
 NewtonResult NewtonSolver::iterate(std::vector<double>& x, double t, double dt,
                                    bool dc, Integration method,
@@ -30,6 +45,7 @@ NewtonResult NewtonSolver::iterate(std::vector<double>& x, double t, double dt,
     if (!mna_->solve_linearized(ctx, gmin_extra, x_new)) {
       res.converged = false;
       res.iterations = it + 1;
+      iterations_counter().add(static_cast<std::uint64_t>(res.iterations));
       return res;
     }
     if (needs_iterations && it > 0 && it % 25 == 0) {
@@ -59,25 +75,35 @@ NewtonResult NewtonSolver::iterate(std::vector<double>& x, double t, double dt,
       // require at least two passes.
       if (!needs_iterations || it >= 1) {
         res.converged = true;
+        iterations_counter().add(static_cast<std::uint64_t>(res.iterations));
         return res;
       }
     }
   }
   res.converged = false;
+  iterations_counter().add(static_cast<std::uint64_t>(res.iterations));
   return res;
 }
 
 NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
                                  bool dc, Integration method) {
+  static const obs::Counter gmin_retries("mda.spice.gmin_retries");
+  static const obs::Counter gmin_steps("mda.spice.gmin_steps");
+  static const obs::Counter source_retries("mda.spice.source_retries");
+  static const obs::Counter failures("mda.spice.newton_failures");
+  solves_counter().add();
+
   NewtonResult res = iterate(x, t, dt, dc, method, 0.0, 1.0);
   if (res.converged) return res;
 
   // gmin stepping: solve with a large artificial conductance to ground and
   // progressively remove it.
   util::log_debug() << "Newton failed at t=" << t << "; trying gmin stepping";
+  gmin_retries.add();
   std::vector<double> x_try = x;
   bool ok = true;
   for (double gmin = 1e-2; gmin >= 1e-13; gmin /= 10.0) {
+    gmin_steps.add();
     NewtonResult r = iterate(x_try, t, dt, dc, method, gmin, 1.0);
     if (!r.converged) {
       ok = false;
@@ -95,6 +121,7 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
   // Source stepping homotopy as a last resort.
   util::log_debug() << "gmin stepping failed at t=" << t
                     << "; trying source stepping";
+  source_retries.add();
   x_try.assign(x.size(), 0.0);
   ok = true;
   for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
@@ -111,6 +138,7 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
     r.converged = true;
     return r;
   }
+  failures.add();
   return res;
 }
 

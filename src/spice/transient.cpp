@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace mda::spice {
@@ -40,6 +41,14 @@ std::vector<double> TransientSimulator::dc_operating_point() {
 }
 
 TransientResult TransientSimulator::run(const TransientParams& params) {
+  static const obs::Counter runs("mda.spice.transient_runs");
+  static const obs::Counter steps_total("mda.spice.transient_steps");
+  static const obs::Counter rejects("mda.spice.transient_rejects");
+  static const obs::Counter steady_exits("mda.spice.transient_steady_exits");
+  static const obs::Histogram run_time("mda.spice.transient_time_s");
+  const obs::ScopedTimer timer(run_time);
+  runs.add();
+
   TransientResult result;
   result.traces.reserve(probes_.size());
   for (const auto& [node, name] : probes_) {
@@ -88,6 +97,7 @@ TransientResult TransientSimulator::run(const TransientParams& params) {
     NewtonResult r = newton_.solve(x, t + dt, dt, /*dc=*/false, method);
     result.total_newton_iterations += r.iterations;
     if (!r.converged) {
+      rejects.add();
       x = x_prev;
       dt *= params.shrink;
       if (dt < params.dt_min) {
@@ -99,6 +109,7 @@ TransientResult TransientSimulator::run(const TransientParams& params) {
     }
     t += dt;
     ++result.steps;
+    steps_total.add();
     // Commit device state for the accepted step.
     StampContext ctx;
     ctx.t = t;
@@ -118,6 +129,7 @@ TransientResult TransientSimulator::run(const TransientParams& params) {
       steady_streak = max_delta < params.steady_tol ? steady_streak + 1 : 0;
       if (steady_streak >= params.steady_count) {
         util::log_debug() << "steady state reached at t=" << t;
+        steady_exits.add();
         break;
       }
     }

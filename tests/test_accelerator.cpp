@@ -38,11 +38,78 @@ TEST(Accelerator, AllKindsAllBackendsAgreeWithReference) {
     acc.configure(spec);
     for (Backend backend :
          {Backend::Behavioral, Backend::Wavefront, Backend::FullSpice}) {
-      const ComputeResult r = acc.compute(p, q, backend);
+      acc.set_backend(backend);
+      const ComputeResult r = acc.compute(p, q);
       EXPECT_LT(r.relative_error, 0.15)
           << dist::kind_name(kind) << " backend=" << static_cast<int>(backend);
     }
   }
+}
+
+TEST(Accelerator, ConfigureWithBackendAndSetBackend) {
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc.configure(spec, Backend::Behavioral);
+  EXPECT_EQ(acc.config().backend, Backend::Behavioral);
+  acc.set_backend(Backend::Wavefront);
+  EXPECT_EQ(acc.config().backend, Backend::Wavefront);
+  // Backend set at construction time sticks through configure(spec).
+  AcceleratorConfig config;
+  config.backend = Backend::FullSpice;
+  Accelerator preset(config);
+  preset.configure(spec);
+  EXPECT_EQ(preset.config().backend, Backend::FullSpice);
+}
+
+TEST(Accelerator, TryComputeReturnsValueOnSuccess) {
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc.configure(spec, Backend::Behavioral);
+  std::vector<double> p = {1.0, -2.0, 3.0};
+  std::vector<double> q = {0.5, -1.0, 5.0};
+  const ComputeOutcome outcome = acc.try_compute(p, q);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(static_cast<bool>(outcome));
+  EXPECT_DOUBLE_EQ(outcome.value().reference, 3.5);
+  // Matches the throwing wrapper exactly.
+  EXPECT_EQ(outcome.value().value, acc.compute(p, q).value);
+}
+
+TEST(Accelerator, TryComputeReportsInvalidInput) {
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Hamming;
+  acc.configure(spec);
+  std::vector<double> p = {1.0, 2.0};
+  std::vector<double> q = {1.0, 2.0, 3.0};
+  const ComputeOutcome unequal = acc.try_compute(p, q);
+  EXPECT_FALSE(unequal.ok());
+  EXPECT_EQ(unequal.error().code, ComputeErrorCode::InvalidInput);
+  EXPECT_FALSE(unequal.error().message.empty());
+  const ComputeOutcome empty = acc.try_compute({}, {});
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code, ComputeErrorCode::InvalidInput);
+}
+
+TEST(Accelerator, DeprecatedPerCallBackendOverloadStillWorks) {
+  // The legacy compute(p, q, backend) must keep compiling (with a warning)
+  // and behave like set_backend + compute, without mutating the config.
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc.configure(spec, Backend::Wavefront);
+  std::vector<double> p = {1.0, -2.0, 3.0};
+  std::vector<double> q = {0.5, -1.0, 5.0};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ComputeResult legacy = acc.compute(p, q, Backend::Behavioral);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(acc.config().backend, Backend::Wavefront);
+  Accelerator behavioral(acc);
+  behavioral.set_backend(Backend::Behavioral);
+  EXPECT_EQ(legacy.value, behavioral.compute(p, q).value);
 }
 
 TEST(Accelerator, EqualLengthEnforcedForRowKinds) {
@@ -147,9 +214,9 @@ TEST(Accelerator, ReplaceTimingModel) {
   acc.replace_timing_model(tm);
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
-  acc.configure(spec);
+  acc.configure(spec, Backend::Behavioral);
   std::vector<double> p = {1.0, 2.0}, q = {0.0, 0.0};
-  const ComputeResult r = acc.compute(p, q, Backend::Behavioral);
+  const ComputeResult r = acc.compute(p, q);
   EXPECT_NEAR(r.convergence_time_s, 1e-6, 1e-9);
 }
 

@@ -177,6 +177,38 @@ TEST(Backends, DeterministicRepeatability) {
   EXPECT_DOUBLE_EQ(a.out_volts, b.out_volts);
 }
 
+TEST(Backends, UnifiedEvaluateDispatchesToEachBackend) {
+  // evaluate(Backend, ...) is the single entry point the accelerator uses;
+  // it must agree exactly with the per-backend functions it routes to.
+  util::Rng rng(91);
+  std::vector<double> p(6), q(6);
+  fill_random(p, rng, -1.5, 1.5);
+  fill_random(q, rng, -1.5, 1.5);
+  AcceleratorConfig config;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  const EncodedInputs enc = encode_inputs(config, spec, p, q);
+
+  const AnalogEval behavioral = evaluate(Backend::Behavioral, config, spec,
+                                         enc);
+  const AnalogEval behavioral_direct = eval_behavioral(config, spec, enc);
+  ASSERT_TRUE(behavioral.ok && behavioral_direct.ok);
+  EXPECT_DOUBLE_EQ(behavioral.out_volts, behavioral_direct.out_volts);
+
+  const AnalogEval wavefront = evaluate(Backend::Wavefront, config, spec,
+                                        enc);
+  const AnalogEval wavefront_direct = eval_wavefront(config, spec, enc);
+  ASSERT_TRUE(wavefront.ok && wavefront_direct.ok);
+  EXPECT_DOUBLE_EQ(wavefront.out_volts, wavefront_direct.out_volts);
+
+  const AnalogEval fullspice = evaluate(Backend::FullSpice, config, spec,
+                                        enc);
+  ASSERT_TRUE(fullspice.ok) << fullspice.error;
+  const double got = decode_output(config, spec, fullspice.out_volts, enc);
+  const double want = decode_output(config, spec, behavioral.out_volts, enc);
+  EXPECT_NEAR(got, want, 0.05 * std::abs(want) + 0.1);
+}
+
 TEST(Backends, WeightedDtwThroughWavefront) {
   std::vector<double> p = {1.0, 2.0, 0.5, 1.2};
   std::vector<double> q = {0.8, 1.7, 0.6, 1.0};
@@ -184,7 +216,7 @@ TEST(Backends, WeightedDtwThroughWavefront) {
   AcceleratorConfig config;
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Dtw;
-  spec.pair_weights = &w;
+  spec.pair_weights = w;
   const EncodedInputs enc = encode_inputs(config, spec, p, q);
   const AnalogEval eval = eval_wavefront(config, spec, enc);
   ASSERT_TRUE(eval.ok) << eval.error;

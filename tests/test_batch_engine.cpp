@@ -135,7 +135,9 @@ TEST(BatchEngine, SingleElementBatch) {
   const std::vector<BatchQuery> one = {{p, q}};
   const auto results = engine.compute_batch(acc, one);
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_EQ(results[0].value, acc.compute(p, q, Backend::Behavioral).value);
+  Accelerator behavioral(acc);
+  behavioral.set_backend(Backend::Behavioral);
+  EXPECT_EQ(results[0].value, behavioral.compute(p, q).value);
 }
 
 TEST(BatchEngine, ExceptionFromFailingBackendTaskPropagates) {

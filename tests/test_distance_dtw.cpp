@@ -128,7 +128,7 @@ TEST(Dtw, WeightsScaleLinearly) {
   std::vector<double> q = {0.8, 1.7, 0.6, 1.2};
   std::vector<double> w(16, 2.0);
   DistanceParams weighted;
-  weighted.pair_weights = &w;
+  weighted.pair_weights = w;
   EXPECT_NEAR(dtw(p, q, weighted), 2.0 * dtw(p, q), 1e-12);
 }
 
@@ -139,7 +139,7 @@ TEST(Dtw, NonUniformWeightsChangePath) {
   std::vector<double> q = {1.0, 0.0};
   std::vector<double> w = {100.0, 1.0, 1.0, 1.0};
   DistanceParams weighted;
-  weighted.pair_weights = &w;
+  weighted.pair_weights = w;
   EXPECT_GT(dtw(p, q, weighted), dtw(p, q));
 }
 

@@ -187,7 +187,7 @@ TEST(Hamming, WeightedCounts) {
   std::vector<double> w = {2.0, 3.0, 10.0};
   DistanceParams params;
   params.threshold = 0.5;
-  params.elem_weights = &w;
+  params.elem_weights = w;
   EXPECT_DOUBLE_EQ(hamming(p, q, params), 5.0);
 }
 
@@ -212,7 +212,7 @@ TEST(Manhattan, WeightedVersion) {
   std::vector<double> q = {0.0, 0.0};
   std::vector<double> w = {3.0, 0.5};
   DistanceParams params;
-  params.elem_weights = &w;
+  params.elem_weights = w;
   EXPECT_DOUBLE_EQ(manhattan(p, q, params), 3.5);
 }
 

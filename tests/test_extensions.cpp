@@ -136,10 +136,10 @@ TEST(AdcReadback, QuantizesOutputVoltage) {
 
   core::Accelerator acc_q(quantized);
   core::Accelerator acc_a(analogue);
-  acc_q.configure(spec);
-  acc_a.configure(spec);
-  const auto rq = acc_q.compute(p, q, core::Backend::Behavioral);
-  const auto ra = acc_a.compute(p, q, core::Backend::Behavioral);
+  acc_q.configure(spec, core::Backend::Behavioral);
+  acc_a.configure(spec, core::Backend::Behavioral);
+  const auto rq = acc_q.compute(p, q);
+  const auto ra = acc_a.compute(p, q);
   // Quantised readback sits on an ADC level: multiple of one LSB.
   const double lsb = 0.45 / 128.0;
   const double code = rq.volts / lsb;
@@ -163,9 +163,9 @@ TEST(TileBoundary, RequantisationStaysAccurate) {
   core::Accelerator acc(tiny);
   core::DistanceSpec spec;
   spec.kind = dist::DistanceKind::Dtw;
-  acc.configure(spec);
+  acc.configure(spec, core::Backend::Wavefront);
   EXPECT_EQ(acc.tiles_required(16, 16), 9u);
-  const auto r = acc.compute(p, q, core::Backend::Wavefront);
+  const auto r = acc.compute(p, q);
   EXPECT_LT(r.relative_error, 0.08);
   EXPECT_EQ(r.tiles, 9u);
 

@@ -30,8 +30,8 @@ TEST(Integration, UnequalLengthsThroughWavefront) {
     DistanceSpec spec;
     spec.kind = kind;
     spec.threshold = 0.4;
-    acc.configure(spec);
-    const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+    acc.configure(spec, Backend::Wavefront);
+    const ComputeResult r = acc.compute(p, q);
     EXPECT_LT(r.relative_error, 0.15) << dist::kind_name(kind);
   }
 }
@@ -48,8 +48,8 @@ TEST(Integration, BandedWavefrontMatchesBandedReference) {
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Dtw;
   spec.band = 2;
-  acc.configure(spec);
-  const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+  acc.configure(spec, Backend::Wavefront);
+  const ComputeResult r = acc.compute(p, q);
   // r.reference is already the banded reference (spec carries the band).
   EXPECT_LT(r.relative_error, 0.06);
   // And the band must actually bite: unconstrained DTW is smaller here.
@@ -74,9 +74,9 @@ TEST(Integration, WeightedHausdorffColumns) {
   Accelerator acc;
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Hausdorff;
-  spec.pair_weights = &w;
-  acc.configure(spec);
-  const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+  spec.pair_weights = w;
+  acc.configure(spec, Backend::Wavefront);
+  const ComputeResult r = acc.compute(p, q);
   EXPECT_LT(r.relative_error, 0.15);
 }
 
@@ -99,7 +99,8 @@ TEST(Integration, ThreeBackendsAgreeOnCountingFunctions) {
     int idx = 0;
     for (Backend backend :
          {Backend::Behavioral, Backend::Wavefront, Backend::FullSpice}) {
-      counts[idx++] = std::lround(acc.compute(p, q, backend).value);
+      acc.set_backend(backend);
+      counts[idx++] = std::lround(acc.compute(p, q).value);
     }
     EXPECT_EQ(counts[0], counts[1]) << dist::kind_name(kind);
     EXPECT_EQ(counts[1], counts[2]) << dist::kind_name(kind);
@@ -125,10 +126,10 @@ TEST(Integration, AcceleratorBackedKnnMatchesDigitalKnn) {
   auto acc = std::make_shared<Accelerator>();
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
-  acc->configure(spec);
+  acc->configure(spec, Backend::Behavioral);
   mining::KnnClassifier analog(
       [acc](std::span<const double> a, std::span<const double> b) {
-        return acc->compute(a, b, Backend::Behavioral).value;
+        return acc->compute(a, b).value;
       });
   analog.fit(split.train);
 
@@ -151,8 +152,8 @@ TEST(Integration, StochasticMemristorsDoNotDisturbWavefront) {
   Accelerator acc(stochastic);
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
-  acc.configure(spec);
-  const ComputeResult r = acc.compute(p, q, Backend::Wavefront);
+  acc.configure(spec, Backend::Wavefront);
+  const ComputeResult r = acc.compute(p, q);
   EXPECT_LT(r.relative_error, 0.1);
 }
 
@@ -168,8 +169,8 @@ TEST(Integration, HigherResolutionConvertersReduceError) {
     Accelerator acc(config);
     DistanceSpec spec;
     spec.kind = dist::DistanceKind::Manhattan;
-    acc.configure(spec);
-    return acc.compute(p, q, Backend::Behavioral).relative_error;
+    acc.configure(spec, Backend::Behavioral);
+    return acc.compute(p, q).relative_error;
   };
   // Nested-grid rounding can make adjacent widths coincide on one instance;
   // a 4-bit gap is unambiguous (6-bit LSB is 16x the 10-bit LSB).

@@ -1,0 +1,52 @@
+# Build-time lint for observability metric names (run as a -P script from
+# the check_metrics_names target; see DESIGN.md §8).
+#
+# Every literal name handed to obs::Counter / obs::Gauge / obs::Histogram in
+# src/, tools/ and bench/ must follow the documented scheme
+#
+#     mda.<subsystem>.<name>
+#
+# with <subsystem> one of the known layers and <name> lower_snake_case.
+# Timer histograms must carry a unit suffix (_s).  Violations fail the
+# build, so a typo'd metric name never ships silently.
+#
+# Usage: cmake -DMDA_SOURCE_DIR=<repo root> -P check_metrics_names.cmake
+
+if(NOT DEFINED MDA_SOURCE_DIR)
+  message(FATAL_ERROR "check_metrics_names: pass -DMDA_SOURCE_DIR=<repo root>")
+endif()
+
+set(_subsystems "spice|backend|accel|batch|mining|obs")
+set(_name_re "mda\\.(${_subsystems})\\.[a-z][a-z0-9_]*")
+
+file(GLOB_RECURSE _sources
+     "${MDA_SOURCE_DIR}/src/*.cpp" "${MDA_SOURCE_DIR}/src/*.hpp"
+     "${MDA_SOURCE_DIR}/tools/*.cpp" "${MDA_SOURCE_DIR}/bench/*.cpp"
+     "${MDA_SOURCE_DIR}/examples/*.cpp")
+
+set(_bad "")
+set(_count 0)
+foreach(_file IN LISTS _sources)
+  file(READ "${_file}" _text)
+  # Registration sites: named handles (obs::Counter c("...")) and direct
+  # temporaries (obs::Counter("...")) — possibly brace-initialised.
+  string(REGEX MATCHALL
+         "obs::(Counter|Gauge|Histogram)([ \t]+[A-Za-z_][A-Za-z0-9_]*)?[ \t]*[({][ \t\r\n]*\"[^\"]*\""
+         _uses "${_text}")
+  foreach(_use IN LISTS _uses)
+    string(REGEX MATCH "\"([^\"]*)\"" _ignored "${_use}")
+    set(_metric "${CMAKE_MATCH_1}")
+    math(EXPR _count "${_count} + 1")
+    if(NOT _metric MATCHES "^${_name_re}$")
+      file(RELATIVE_PATH _rel "${MDA_SOURCE_DIR}" "${_file}")
+      list(APPEND _bad "  ${_rel}: '${_metric}'")
+    endif()
+  endforeach()
+endforeach()
+
+if(_bad)
+  list(JOIN _bad "\n" _bad_lines)
+  message(FATAL_ERROR "metric names violating mda.<subsystem>.<name> "
+          "(subsystem in ${_subsystems}):\n${_bad_lines}")
+endif()
+message(STATUS "check_metrics_names: ${_count} registration sites OK")

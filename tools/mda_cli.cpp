@@ -9,11 +9,15 @@
 //   mda calibrate                               timing model via full SPICE
 //   mda noise [--gbw=50e9]                      abs-block noise summary
 //
+// Every command accepts --metrics (append the metrics table to stdout) or
+// --metrics=out.json (write the snapshot as JSON).
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failure.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "core/array_builder.hpp"
 #include "core/batch_engine.hpp"
 #include "devices/netlist_export.hpp"
+#include "obs/snapshot.hpp"
 #include "spice/noise.hpp"
 #include "spice/primitives.hpp"
 #include "blocks/absblock.hpp"
@@ -68,6 +73,35 @@ std::optional<std::vector<double>> load_series(int argc, char** argv,
     return rows->front();
   }
   return std::nullopt;
+}
+
+/// --metrics request: outer nullopt = not requested; inner nullopt = print
+/// the table to stdout; inner string = write JSON to that path.
+std::optional<std::optional<std::string>> metrics_request(int argc,
+                                                          char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") return std::optional<std::string>{};
+    if (arg.rfind("--metrics=", 0) == 0) {
+      return std::optional<std::string>{arg.substr(std::strlen("--metrics="))};
+    }
+  }
+  return std::nullopt;
+}
+
+int emit_metrics(const std::optional<std::string>& path) {
+  const obs::MetricsSnapshot snap = obs::MetricsSnapshot::capture();
+  if (!path) {
+    std::printf("\n%s", snap.to_table().c_str());
+    return 0;
+  }
+  std::ofstream out(*path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to '%s'\n", path->c_str());
+    return 2;
+  }
+  out << snap.to_json() << '\n';
+  return 0;
 }
 
 std::optional<core::Backend> parse_backend(int argc, char** argv) {
@@ -185,8 +219,8 @@ int cmd_compute(int argc, char** argv) {
   const auto backend = parse_backend(argc, argv);
   if (!backend) return 1;
   core::Accelerator acc;
-  acc.configure(spec);
-  const core::ComputeResult r = acc.compute(*p, *q, *backend);
+  acc.configure(spec, *backend);
+  const core::ComputeResult r = acc.compute(*p, *q);
   std::printf("function:        %s\n", dist::kind_name(spec.kind).c_str());
   std::printf("analog value:    %.6f\n", r.value);
   std::printf("digital ref:     %.6f\n", r.reference);
@@ -302,7 +336,9 @@ void usage() {
                "  info      configuration library, power, timing fits\n"
                "  export    --kind=md [--n=4] [--parasitics=1]\n"
                "  calibrate re-fit the timing model from full SPICE\n"
-               "  noise     [--gbw=50e9] abs-block output noise\n");
+               "  noise     [--gbw=50e9] abs-block output noise\n"
+               "every command also takes --metrics (table to stdout) or\n"
+               "--metrics=out.json (snapshot as JSON)\n");
 }
 
 }  // namespace
@@ -313,13 +349,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  const auto metrics = metrics_request(argc, argv);
   try {
-    if (cmd == "compute") return cmd_compute(argc, argv);
-    if (cmd == "batch") return cmd_batch(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "export") return cmd_export(argc, argv);
-    if (cmd == "calibrate") return cmd_calibrate(argc, argv);
-    if (cmd == "noise") return cmd_noise(argc, argv);
+    int rc = -1;
+    if (cmd == "compute") rc = cmd_compute(argc, argv);
+    else if (cmd == "batch") rc = cmd_batch(argc, argv);
+    else if (cmd == "info") rc = cmd_info(argc, argv);
+    else if (cmd == "export") rc = cmd_export(argc, argv);
+    else if (cmd == "calibrate") rc = cmd_calibrate(argc, argv);
+    else if (cmd == "noise") rc = cmd_noise(argc, argv);
+    if (rc >= 0) {
+      if (rc == 0 && metrics) {
+        const int mrc = emit_metrics(*metrics);
+        if (mrc != 0) return mrc;
+      }
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
