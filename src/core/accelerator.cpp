@@ -2,14 +2,34 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/array_builder.hpp"
 #include "core/dac_adc.hpp"
 #include "distance/registry.hpp"
+#include "fault/detection.hpp"
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace mda::core {
+namespace {
+
+/// Degradation chain for a compute starting at `start` (DESIGN.md §9):
+/// explicit policy chain if given, else FullSpice -> Wavefront -> Behavioral
+/// truncated to start at `start` (or just {start} when degradation is off).
+std::vector<Backend> degradation_chain(Backend start, const FaultHandling& fh) {
+  if (!fh.degradation.empty()) return fh.degradation;
+  std::vector<Backend> chain{start};
+  if (fh.degrade) {
+    if (start == Backend::FullSpice) chain.push_back(Backend::Wavefront);
+    if (start != Backend::Behavioral) chain.push_back(Backend::Behavioral);
+  }
+  return chain;
+}
+
+}  // namespace
 
 Accelerator::Accelerator(AcceleratorConfig config)
     : config_(config), timing_(TimingModel::defaults()) {}
@@ -83,20 +103,113 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
                             " requires equal-length sequences"};
   }
 
-  AnalogEval eval;
+  static const obs::Counter fault_detected_ctr("mda.fault.detected");
+  static const obs::Counter retries_ctr("mda.fault.retries");
+  static const obs::Counter fallbacks_ctr("mda.fault.fallbacks");
+  static const obs::Counter recovered_ctr("mda.fault.recovered");
+
   EncodedInputs enc;
   try {
     enc = encode_inputs(config_, spec_, p, q);
-    eval = evaluate(backend, config_, spec_, enc);
   } catch (const std::exception& e) {
     failures.add();
-    return ComputeError{ComputeErrorCode::BackendFailure, e.what()};
+    ComputeError err{ComputeErrorCode::BackendFailure, e.what()};
+    err.backend = backend;
+    return err;
   }
-  if (!eval.ok) {
+
+  const bool counting = spec_.kind == dist::DistanceKind::Lcs ||
+                        spec_.kind == dist::DistanceKind::Edit ||
+                        spec_.kind == dist::DistanceKind::Hamming;
+
+  // Recovery chain (DESIGN.md §9): walk the degradation chain, giving each
+  // backend 1 + max_retries attempts; retry attempts carry fault_attempt > 0
+  // so tunable faults are re-tuned before re-evaluating.  Detection failures
+  // (envelope / cross-check) are treated exactly like evaluation failures.
+  const FaultHandling& fh = config_.fault_handling;
+  const std::vector<Backend> chain = degradation_chain(backend, fh);
+  AnalogEval eval;
+  std::string last_error;
+  long newton_total = 0;
+  int attempts = 0;
+  std::size_t chain_idx = 0;
+  bool detected = false;
+  bool success = false;
+  for (std::size_t c = 0; c < chain.size() && !success; ++c) {
+    for (int attempt = 0; attempt <= fh.max_retries; ++attempt) {
+      ++attempts;
+      if (attempt > 0) retries_ctr.add();
+      AcceleratorConfig cfg = config_;
+      cfg.fault_attempt = attempt;
+      bool ok = false;
+      try {
+        eval = evaluate(chain[c], cfg, spec_, enc);
+        ok = eval.ok;
+        if (!ok) last_error = eval.error;
+      } catch (const std::exception& e) {
+        eval = AnalogEval{};
+        last_error = e.what();
+      }
+      newton_total += eval.newton_iterations;
+      detected = detected || eval.fault_detected;
+      if (ok && config_.faults) {
+        // Injected readback ADC fault (channel 0: the single distance
+        // output) corrupts what the digital side sees — ahead of the
+        // envelope check, exactly as in hardware.
+        if (const auto f = config_.faults->adc_fault(0)) {
+          if (f->kind == fault::ConverterFaultKind::StuckCode) {
+            eval.out_volts = f->stuck_level * config_.v_max;
+          } else {
+            eval.out_volts += f->offset_v;
+          }
+        }
+      }
+      if (ok && fh.envelope_check) {
+        const auto trip = fault::check_envelope(
+            eval.out_volts,
+            fault::envelope_for(config_.v_max, fh.envelope_margin));
+        if (trip) {
+          ok = false;
+          detected = true;
+          last_error = *trip;
+        }
+      }
+      if (ok && fh.cross_check && chain[c] != Backend::Behavioral) {
+        try {
+          const AnalogEval ref = eval_behavioral(config_, spec_, enc);
+          const double got = decode_output(config_, spec_, eval.out_volts, enc);
+          const double want =
+              decode_output(config_, spec_, ref.out_volts, enc);
+          if (util::relative_error(got, want, counting ? 1.0 : 0.1) >
+              fh.cross_check_tol) {
+            ok = false;
+            detected = true;
+            last_error = "behavioral cross-check failed";
+          }
+        } catch (const std::exception&) {
+          // A broken cross-check reference must not fail a healthy compute.
+        }
+      }
+      if (ok) {
+        chain_idx = c;
+        success = true;
+        break;
+      }
+    }
+    if (!success && c + 1 < chain.size()) fallbacks_ctr.add();
+  }
+  if (detected) fault_detected_ctr.add();
+
+  if (!success) {
     failures.add();
-    return ComputeError{ComputeErrorCode::BackendFailure,
-                        "accelerator backend failed: " + eval.error};
+    ComputeError err{ComputeErrorCode::BackendFailure,
+                     "accelerator backend failed: " + last_error};
+    err.backend = chain.back();
+    err.newton_iterations = newton_total;
+    err.attempts = attempts;
+    return err;
   }
+  if (detected || attempts > 1 || chain_idx > 0) recovered_ctr.add();
 
   ComputeResult r;
   r.volts = eval.out_volts;
@@ -111,14 +224,17 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
   // Relative-error floor: one count for the counting distances, a tenth of
   // a unit for analog-valued ones, so near-zero references (identical
   // sequences) do not blow the ratio up.
-  const bool counting = spec_.kind == dist::DistanceKind::Lcs ||
-                        spec_.kind == dist::DistanceKind::Edit ||
-                        spec_.kind == dist::DistanceKind::Hamming;
   r.relative_error =
       util::relative_error(r.value, r.reference, counting ? 1.0 : 0.1);
   r.tiles = tiles_required(p.size(), q.size());
+  r.backend_used = chain[chain_idx];
+  r.attempts = attempts;
+  r.fallbacks = static_cast<int>(chain_idx);
+  r.newton_iterations = newton_total;
+  r.quarantined_cells = eval.quarantined_cells;
+  r.fault_detected = detected;
   r.convergence_time_s =
-      backend == Backend::FullSpice && eval.convergence_time_s > 0.0
+      r.backend_used == Backend::FullSpice && eval.convergence_time_s > 0.0
           ? eval.convergence_time_s
           : timing_.convergence_time_s(spec_.kind, q.size()) *
                 static_cast<double>(r.tiles);

@@ -53,6 +53,12 @@ struct AnalogEval {
   double out_volts = 0.0;
   /// Measured settling time (FullSpice only; 0 when not measured).
   double convergence_time_s = 0.0;
+  /// Newton iterations spent (SPICE backends; 0 for behavioral).
+  long newton_iterations = 0;
+  /// DP cells quarantined by the wavefront residual check (DESIGN.md §9).
+  std::size_t quarantined_cells = 0;
+  /// True when a detector tripped during the evaluation (even if recovered).
+  bool fault_detected = false;
 };
 
 /// Whole-array transient evaluation.  `config.env` supplies device models;

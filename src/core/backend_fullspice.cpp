@@ -1,12 +1,19 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/array_builder.hpp"
 #include "core/backend.hpp"
 #include "core/dac_adc.hpp"
+#include "core/tuning.hpp"
+#include "fault/detection.hpp"
+#include "fault/injection.hpp"
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "spice/transient.hpp"
+#include "util/rng.hpp"
 
 namespace mda::core {
 
@@ -102,6 +109,24 @@ EncodedInputs encode_inputs(const AcceleratorConfig& config,
   for (double v : p) enc.p_volts.push_back(convert(v));
   for (double v : q) enc.q_volts.push_back(convert(v));
 
+  // Injected per-channel DAC faults corrupt the driven voltages after the
+  // codec, exactly where a broken converter would (bank 0 = P, bank 1 = Q).
+  if (config.faults) {
+    auto corrupt = [&](std::vector<double>& volts, std::size_t bank) {
+      for (std::size_t i = 0; i < volts.size(); ++i) {
+        const auto f = config.faults->dac_fault(bank, i);
+        if (!f) continue;
+        if (f->kind == fault::ConverterFaultKind::StuckCode) {
+          volts[i] = f->stuck_level * full_scale;
+        } else {
+          volts[i] += f->offset_v;
+        }
+      }
+    };
+    corrupt(enc.p_volts, 0);
+    corrupt(enc.q_volts, 1);
+  }
+
   static const obs::Counter encodes("mda.backend.encodes");
   static const obs::Counter clips("mda.backend.dac_clips");
   static const obs::Counter vstep_shrinks("mda.backend.vstep_shrinks");
@@ -181,11 +206,57 @@ AnalogEval eval_full_spice(const AcceleratorConfig& config,
                            const DistanceSpec& spec, const EncodedInputs& enc,
                            double t_stop) {
   AnalogEval result;
+
+  // Injected solver fault: the transient refuses to converge for this
+  // evaluation.  Keyed on the encoded inputs so the fault persists across
+  // retries of the same query — recovery must come from degradation, not
+  // from asking the same diverging solve again.
+  if (config.faults &&
+      config.faults->fullspice_nonconvergence(fault::FaultPlan::eval_key(
+          enc.p_volts.data(), enc.p_volts.size(), enc.q_volts.data(),
+          enc.q_volts.size()))) {
+    static const obs::Counter injected("mda.fault.injected_nonconvergence");
+    injected.add();
+    result.error = "transient failed: injected Newton non-convergence";
+    result.fault_detected = true;
+    return result;
+  }
+
   // Bake the effective Vstep into the generated bias sources.
   AcceleratorConfig cfg = config;
   cfg.vstep = enc.vstep_eff;
   ArrayCircuit array =
       build_array(cfg, spec, enc.p_volts.size(), enc.q_volts.size());
+
+  if (config.faults) {
+    const auto& mems = array.factory->memristors();
+    // Pre-fault resistances are the tuning targets the configuration module
+    // programmed; capture them before breaking anything.
+    std::vector<double> targets;
+    targets.reserve(mems.size());
+    for (const dev::Memristor* m : mems) targets.push_back(m->resistance());
+
+    const fault::InjectionSummary injected = fault::apply_device_faults(
+        mems, array.factory->opamps(), *config.faults);
+    result.fault_detected = injected.total() > 0;
+
+    // Recovery attempts re-run the Sec. 3.3 modulate/verify loop: drifted
+    // devices tune back to target, stuck devices are quarantined (they stay
+    // broken — degradation handles them).
+    if (config.fault_attempt > 0 && config.fault_handling.retune_on_retry &&
+        injected.total() > 0) {
+      static const obs::Counter retunes("mda.fault.retunes");
+      static const obs::Counter quarantined("mda.fault.quarantined_devices");
+      retunes.add();
+      util::Rng rng(fault::FaultPlan::mix(
+          config.faults->config().seed, /*domain=*/0x7E,
+          static_cast<std::uint64_t>(config.fault_attempt), 0));
+      const ArrayTuningReport rep =
+          tune_all(mems, targets, TuningConfig{}, rng);
+      if (rep.quarantined > 0) quarantined.add(rep.quarantined);
+    }
+  }
+
   array.set_step_inputs(enc.p_volts, enc.q_volts, /*t_edge=*/0.0);
 
   spice::TransientSimulator sim(*array.net);
@@ -195,8 +266,18 @@ AnalogEval eval_full_spice(const AcceleratorConfig& config,
                       ? t_stop
                       : default_t_stop(spec.kind, array.m, array.n);
   spice::TransientResult tr = sim.run(params);
+  result.newton_iterations = tr.total_newton_iterations;
   if (!tr.ok) {
     result.error = "transient failed: " + tr.error;
+    return result;
+  }
+  if (fault::watchdog_tripped(tr.total_newton_iterations,
+                              config.fault_handling.newton_budget)) {
+    result.error = "transient watchdog: " +
+                   std::to_string(tr.total_newton_iterations) +
+                   " Newton iterations exceeded budget " +
+                   std::to_string(config.fault_handling.newton_budget);
+    result.fault_detected = true;
     return result;
   }
   const spice::Trace& out = tr.trace("out");

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -7,6 +9,8 @@
 #include "core/array_builder.hpp"
 #include "core/backend.hpp"
 #include "core/dac_adc.hpp"
+#include "fault/detection.hpp"
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "spice/mna.hpp"
 #include "spice/newton.hpp"
@@ -42,12 +46,15 @@ class DcHarness {
       for (auto& dev : net_.devices()) dev->reset_state();
     }
     spice::NewtonResult r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
+    newton_total += r.iterations;
     if (!r.converged) {
       // Cold restart once before giving up.
       restarts.add();
       std::fill(x_.begin(), x_.end(), 0.0);
       r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
+      newton_total += r.iterations;
       if (!r.converged) {
+        warm_ = false;
         throw std::runtime_error("wavefront: DC solve failed to converge");
       }
     }
@@ -59,6 +66,7 @@ class DcHarness {
   std::unique_ptr<blocks::BlockFactory> factory_;
   std::vector<spice::VSource*> sources_;
   NodeId out_ = spice::kGround;
+  long newton_total = 0;  ///< Newton iterations across all solves.
 
  private:
   std::unique_ptr<spice::MnaSystem> mna_;
@@ -159,6 +167,12 @@ class HarnessCache {
     return *it->second;
   }
 
+  [[nodiscard]] long total_newton() const {
+    long total = 0;
+    for (const auto& [w, h] : cache_) total += h->newton_total;
+    return total;
+  }
+
  private:
   std::map<double, std::unique_ptr<DcHarness>> cache_;
 };
@@ -201,6 +215,17 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
            (config.cols > 0 && j % config.cols == 0 && j < n);
   };
 
+  // Per-cell detection (DESIGN.md §9): each solved cell is compared against
+  // the ideal volts-domain recurrence of its kind; a cell whose residual
+  // exceeds the budget is quarantined — replaced by the prediction — so one
+  // dead PE degrades accuracy instead of poisoning the whole wavefront.
+  const bool residual_on = config.fault_handling.cell_residual_check;
+  const double residual_tol = config.fault_handling.cell_residual_tol;
+  // Comparator ambiguity band: skip the check when the |p-q| stage output
+  // sits within a couple of millivolts of Vthre — the circuit and the ideal
+  // recurrence may legitimately pick different branches there.
+  constexpr double kThreBand = 2e-3;
+
   for (std::size_t i = 1; i <= m; ++i) {
     for (std::size_t j = 1; j <= n; ++j) {
       if (spec.kind == dist::DistanceKind::Dtw &&
@@ -210,12 +235,84 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
       }
       const double w =
           spec.pair_weights ? (*spec.pair_weights)[(i - 1) * n + (j - 1)] : 1.0;
+      const double left = at(i, j - 1);
+      const double up = at(i - 1, j);
+      const double diag = at(i - 1, j - 1);
+      const double a_ideal =
+          std::abs(enc.p_volts[i - 1] - enc.q_volts[j - 1]);
+
+      double predicted = 0.0;
+      bool check = residual_on;
+      switch (spec.kind) {
+        case dist::DistanceKind::Dtw:
+          predicted = fault::ideal_dtw_cell(w * a_ideal, left, up, diag);
+          // Cells fed by the v_inf borders predict above the representable
+          // range; the circuit clamps there, so the comparison is void.
+          if (predicted > config.v_max) check = false;
+          break;
+        case dist::DistanceKind::Lcs:
+          predicted = fault::ideal_lcs_cell(a_ideal <= vthre, left, up, diag,
+                                            w, enc.vstep_eff);
+          if (std::abs(a_ideal - vthre) < kThreBand) check = false;
+          break;
+        default:  // Edit
+          predicted = fault::ideal_edit_cell(a_ideal <= vthre, left, up, diag,
+                                             w, enc.vstep_eff);
+          if (std::abs(a_ideal - vthre) < kThreBand) check = false;
+          break;
+      }
+
       DcHarness& h = cache.get(w, make);
-      set_sources(h, {enc.p_volts[i - 1], enc.q_volts[j - 1], at(i, j - 1),
-                      at(i - 1, j), at(i - 1, j - 1)});
-      at(i, j) = h.solve_out();
+      set_sources(h, {enc.p_volts[i - 1], enc.q_volts[j - 1], left, up, diag});
+      double solved = 0.0;
+      bool solved_ok = true;
+      try {
+        solved = h.solve_out();
+      } catch (const std::runtime_error&) {
+        // A non-converging cell is itself a fault: quarantine it when the
+        // detector is on; preserve the abort-the-eval semantics otherwise.
+        if (!residual_on) throw;
+        solved_ok = false;
+      }
+
+      // Injected PE cell faults corrupt the measured output.  Drift heals
+      // on re-tuned retry attempts; stuck cells stay broken (the residual
+      // check is what rescues them).
+      if (solved_ok && config.faults) {
+        if (const auto f = config.faults->cell_fault(i - 1, j - 1)) {
+          const bool heal = config.fault_attempt > 0 &&
+                            config.fault_handling.retune_on_retry &&
+                            f->kind == fault::CellFaultKind::Drift;
+          if (!heal) {
+            switch (f->kind) {
+              case fault::CellFaultKind::StuckLow: solved = 0.0; break;
+              case fault::CellFaultKind::StuckHigh: solved = config.v_max;
+                break;
+              case fault::CellFaultKind::Drift: solved += f->drift_v; break;
+            }
+          }
+        }
+      }
+
+      if (!solved_ok ||
+          (check && fault::residual_exceeds(solved, predicted, residual_tol))) {
+        static const obs::Counter quarantines("mda.fault.quarantined_cells");
+        quarantines.add();
+        at(i, j) = std::clamp(predicted, 0.0, v_inf);
+        ++result.quarantined_cells;
+        result.fault_detected = true;
+      } else {
+        at(i, j) = solved;
+      }
       if (at_tile_edge(i, j)) at(i, j) = edge_adc.quantize(at(i, j));
     }
+  }
+  result.newton_iterations = cache.total_newton();
+  if (fault::watchdog_tripped(result.newton_iterations,
+                              config.fault_handling.newton_budget)) {
+    result.error = "wavefront watchdog: Newton budget exceeded";
+    result.fault_detected = true;
+    return result;
   }
   result.ok = true;
   result.out_volts = at(m, n);
@@ -251,6 +348,7 @@ AnalogEval eval_haud_wavefront(const AcceleratorConfig& config,
       }
     }
     if (!column || weights != prev_weights) {
+      if (column) result.newton_iterations += column->newton_total;
       column = make_haud_column_harness(config, m, weights);
       prev_weights = weights;
     }
@@ -262,8 +360,10 @@ AnalogEval eval_haud_wavefront(const AcceleratorConfig& config,
     }
     finmax.sources_[j]->set_waveform(spice::Waveform::dc(column->solve_out()));
   }
-  result.ok = true;
   result.out_volts = finmax.solve_out();
+  if (column) result.newton_iterations += column->newton_total;
+  result.newton_iterations += finmax.newton_total;
+  result.ok = true;
   return result;
 }
 

@@ -1,6 +1,8 @@
 #include "core/batch_engine.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -24,7 +26,6 @@ struct BatchEngine::Job {
   double submit_s = 0.0;
 
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> abort{false};
 
   std::mutex error_mutex;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
@@ -60,16 +61,16 @@ void BatchEngine::run_chunks(Job& job) {
     tasks.add(static_cast<std::uint64_t>(end - begin));
     const obs::ScopedTimer timer(chunk_time);
     for (std::size_t i = begin; i < end; ++i) {
-      if (job.abort.load(std::memory_order_relaxed)) return;
       try {
         (*job.task)(i);
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lk(job.error_mutex);
-          job.errors.emplace_back(i, std::current_exception());
-        }
-        job.abort.store(true, std::memory_order_relaxed);
-        return;
+        // Per-task fault isolation (DESIGN.md §9): record and keep going —
+        // the rest of the chunk (and batch) still completes; parallel_for
+        // rethrows the lowest-index failure once everything has run.
+        static const obs::Counter task_errors("mda.batch.task_errors");
+        task_errors.add();
+        std::lock_guard<std::mutex> lk(job.error_mutex);
+        job.errors.emplace_back(i, std::current_exception());
       }
     }
   }
@@ -113,7 +114,19 @@ void BatchEngine::parallel_for(
   // same first-exception semantics as the pool path.
   if (t_inside_worker || threads_.empty() || count == 1) {
     inline_jobs.add();
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    // Same isolation semantics as the pool path: every task runs; the
+    // first (lowest-index) exception is rethrown afterwards.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        static const obs::Counter task_errors("mda.batch.task_errors");
+        task_errors.add();
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
   jobs.add();
@@ -170,29 +183,95 @@ const Accelerator& resolve_backend(const Accelerator& acc,
 
 }  // namespace
 
-std::vector<ComputeResult> BatchEngine::compute_batch(
+std::vector<ComputeOutcome> BatchEngine::try_compute_batch(
     const Accelerator& acc, std::span<const BatchQuery> queries) const {
   static const obs::Counter queries_total("mda.batch.queries");
+  static const obs::Counter task_retries("mda.batch.task_retries");
+  static const obs::Counter query_failures("mda.batch.query_failures");
   queries_total.add(static_cast<std::uint64_t>(queries.size()));
   std::optional<Accelerator> storage;
   const Accelerator& target = resolve_backend(acc, opts_.backend, storage);
-  std::vector<ComputeResult> out(queries.size());
+  // ComputeOutcome has no default constructor; gather into optional slots.
+  std::vector<std::optional<ComputeOutcome>> slots(queries.size());
   parallel_for(queries.size(), [&](std::size_t i) {
-    out[i] = target.compute(queries[i].p, queries[i].q);
+    ComputeOutcome outcome = target.try_compute(queries[i].p, queries[i].q);
+    // Per-task retry budget (never shared across tasks, so which queries
+    // retry is independent of scheduling).  Invalid inputs never retry.
+    for (std::size_t r = 0; r < opts_.retry_budget && !outcome.ok() &&
+                            outcome.error().code ==
+                                ComputeErrorCode::BackendFailure;
+         ++r) {
+      task_retries.add();
+      outcome = target.try_compute(queries[i].p, queries[i].q);
+    }
+    if (!outcome.ok()) query_failures.add();
+    slots[i].emplace(std::move(outcome));
   });
+  std::vector<ComputeOutcome> out;
+  out.reserve(slots.size());
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void throw_compute_error(const ComputeError& e) {
+  if (e.code == ComputeErrorCode::InvalidInput) {
+    throw std::invalid_argument(e.message);
+  }
+  throw std::runtime_error(e.message);
+}
+
+/// Fail-open placeholder: NaN value carrying the failure provenance.
+ComputeResult dead_result(const ComputeError& e) {
+  ComputeResult dead;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  dead.value = nan;
+  dead.volts = nan;
+  dead.reference = nan;
+  dead.relative_error = nan;
+  dead.backend_used = e.backend;
+  dead.attempts = e.attempts;
+  dead.newton_iterations = e.newton_iterations;
+  dead.fault_detected = true;
+  return dead;
+}
+
+}  // namespace
+
+std::vector<ComputeResult> BatchEngine::compute_batch(
+    const Accelerator& acc, std::span<const BatchQuery> queries) const {
+  std::vector<ComputeOutcome> outcomes = try_compute_batch(acc, queries);
+  std::vector<ComputeResult> out;
+  out.reserve(outcomes.size());
+  for (ComputeOutcome& o : outcomes) {
+    if (o.ok()) {
+      out.push_back(std::move(o.value()));
+    } else if (opts_.failure_policy == FailurePolicy::FailClosed) {
+      // Outcomes are walked in task order, so the first failure seen is the
+      // lowest-index one — and the whole batch has already completed.
+      throw_compute_error(o.error());
+    } else {
+      out.push_back(dead_result(o.error()));
+    }
+  }
   return out;
 }
 
 std::vector<double> BatchEngine::compute_distances(
     const Accelerator& acc, std::span<const BatchQuery> queries) const {
-  static const obs::Counter queries_total("mda.batch.queries");
-  queries_total.add(static_cast<std::uint64_t>(queries.size()));
-  std::optional<Accelerator> storage;
-  const Accelerator& target = resolve_backend(acc, opts_.backend, storage);
-  std::vector<double> out(queries.size());
-  parallel_for(queries.size(), [&](std::size_t i) {
-    out[i] = target.compute(queries[i].p, queries[i].q).value;
-  });
+  std::vector<ComputeOutcome> outcomes = try_compute_batch(acc, queries);
+  std::vector<double> out;
+  out.reserve(outcomes.size());
+  for (const ComputeOutcome& o : outcomes) {
+    if (o.ok()) {
+      out.push_back(o.value().value);
+    } else if (opts_.failure_policy == FailurePolicy::FailClosed) {
+      throw_compute_error(o.error());
+    } else {
+      out.push_back(std::numeric_limits<double>::quiet_NaN());
+    }
+  }
   return out;
 }
 

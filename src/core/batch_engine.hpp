@@ -33,6 +33,12 @@
 
 namespace mda::core {
 
+/// What the query-level batch APIs do with a query that still fails after
+/// its retry budget: FailClosed surfaces the lowest-index failure as a typed
+/// exception once the whole batch has completed (no other query is lost to
+/// the throw); FailOpen records the failure and yields NaN for that slot.
+enum class FailurePolicy { FailClosed, FailOpen };
+
 struct BatchOptions {
   /// Worker count; 0 = std::thread::hardware_concurrency().
   std::size_t num_threads = 0;
@@ -46,6 +52,12 @@ struct BatchOptions {
   std::optional<Backend> backend;
   /// Base seed for counter-based per-task RNG derivation (task_rng).
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Failure policy of compute_batch / compute_distances (DESIGN.md §9).
+  FailurePolicy failure_policy = FailurePolicy::FailClosed;
+  /// Extra try_compute attempts per failed query (backend failures only;
+  /// per-task, not shared, so results stay bit-identical for any thread
+  /// count).
+  std::size_t retry_budget = 0;
 };
 
 /// One distance query. Spans must outlive the batch call.
@@ -66,9 +78,10 @@ class BatchEngine {
   [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
 
   /// Run task(i) for every i in [0, count), distributed over the pool in
-  /// dynamically claimed chunks.  Blocks until all tasks finish.  If tasks
-  /// throw, the batch is aborted and the recorded exception with the
-  /// lowest task index is rethrown on the caller.
+  /// dynamically claimed chunks.  Blocks until all tasks finish.  A
+  /// throwing task is isolated: its exception is recorded, the remaining
+  /// tasks still run, and the recorded exception with the lowest task index
+  /// is rethrown on the caller once the batch completes.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& task) const;
 
@@ -89,6 +102,13 @@ class BatchEngine {
 
   /// Distance values only (ComputeResult::value), same contract.
   [[nodiscard]] std::vector<double> compute_distances(
+      const Accelerator& acc, std::span<const BatchQuery> queries) const;
+
+  /// Non-throwing batch evaluation: every query yields a ComputeOutcome —
+  /// one poisoned query never sinks the batch.  Failed queries retry up to
+  /// options().retry_budget times (backend failures only).  compute_batch /
+  /// compute_distances are built on this plus the failure policy.
+  [[nodiscard]] std::vector<ComputeOutcome> try_compute_batch(
       const Accelerator& acc, std::span<const BatchQuery> queries) const;
 
   /// Counter-based RNG derivation: an independent generator for task

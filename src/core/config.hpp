@@ -5,6 +5,7 @@
 // configuration lib").
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -14,12 +15,48 @@
 #include "distance/params.hpp"
 #include "distance/registry.hpp"
 
+namespace mda::fault {
+class FaultPlan;
+}  // namespace mda::fault
+
 namespace mda::core {
 
 /// Execution backend selector (see backend.hpp for the fidelity
 /// trade-offs).  Part of AcceleratorConfig since the backend is a property
 /// of how an accelerator instance is operated, not of one compute() call.
 enum class Backend { Behavioral, Wavefront, FullSpice };
+
+/// Recovery policy for faulty computes (DESIGN.md §9).  Defaults give one
+/// re-tuned retry per backend and a FullSpice -> Wavefront -> Behavioral
+/// degradation chain starting at the configured backend.
+struct FaultHandling {
+  /// Extra attempts per backend after the first (0 = no retry).
+  int max_retries = 1;
+  /// Re-tune tunable (drifted) devices before each retry attempt,
+  /// reusing the Sec. 3.3 modulate/verify loop.
+  bool retune_on_retry = true;
+  /// Fall through to lower-fidelity backends when retries are exhausted.
+  bool degrade = true;
+  /// Explicit degradation chain; empty = derive FullSpice -> Wavefront ->
+  /// Behavioral starting at the configured backend.
+  std::vector<Backend> degradation;
+
+  /// Output range check against the module's physical envelope.
+  bool envelope_check = true;
+  double envelope_margin = 0.10;  ///< Relative widening of [0, v_max].
+  /// Cross-check decoded values against the behavioral backend (off by
+  /// default: it doubles the cost of behavioral-only runs).
+  bool cross_check = false;
+  double cross_check_tol = 0.25;  ///< Relative, with the counting floor.
+
+  /// Per-cell residual check in the wavefront backend; deviant cells are
+  /// quarantined (replaced by the ideal prediction).
+  bool cell_residual_check = true;
+  double cell_residual_tol = 0.05;  ///< Absolute residual budget [V].
+
+  /// Newton-iteration watchdog for the SPICE backends (0 = disabled).
+  long newton_budget = 0;
+};
 
 /// Static accelerator build parameters (Table 1 plus array geometry).
 struct AcceleratorConfig {
@@ -43,6 +80,15 @@ struct AcceleratorConfig {
 
   /// Backend used by Accelerator::compute()/try_compute().
   Backend backend = Backend::Wavefront;
+
+  /// Optional fault-injection plan (nullptr = healthy hardware).  Shared so
+  /// per-thread config copies observe the same deterministic plan.
+  std::shared_ptr<const fault::FaultPlan> faults;
+  /// Detection and recovery policy for compute()/try_compute().
+  FaultHandling fault_handling{};
+  /// Internal: recovery attempt index of the current evaluation.  Attempts
+  /// > 0 re-tune tunable faults when fault_handling.retune_on_retry is set.
+  int fault_attempt = 0;
 };
 
 /// Per-computation distance configuration (value-domain units; the
@@ -69,6 +115,14 @@ struct ComputeResult {
   double convergence_time_s = 0.0;  ///< Modeled/measured settling time.
   double input_scale = 1.0;  ///< Applied range-compression factor.
   std::size_t tiles = 1;     ///< Tiling passes used (Sec. 3.1).
+
+  // Fault-recovery provenance (DESIGN.md §9).
+  Backend backend_used = Backend::Wavefront;  ///< Backend that produced value.
+  int attempts = 1;        ///< Evaluation attempts across the whole chain.
+  int fallbacks = 0;       ///< Degradation steps taken (0 = first backend).
+  long newton_iterations = 0;        ///< Newton iterations (SPICE backends).
+  std::size_t quarantined_cells = 0; ///< Wavefront cells quarantined.
+  bool fault_detected = false;       ///< Any detector tripped on the way.
 };
 
 /// Why a computation could not produce a result.
@@ -80,6 +134,12 @@ enum class ComputeErrorCode {
 struct ComputeError {
   ComputeErrorCode code = ComputeErrorCode::BackendFailure;
   std::string message;
+  /// Backend that produced the final failure (BackendFailure only).
+  Backend backend = Backend::Wavefront;
+  /// Newton iterations spent by the failing evaluation (SPICE backends).
+  long newton_iterations = 0;
+  /// Total evaluation attempts before giving up.
+  int attempts = 0;
 };
 
 /// Expected-style result of Accelerator::try_compute() for server callers

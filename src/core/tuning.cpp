@@ -20,6 +20,7 @@ TuningReport tune_memristor(dev::Memristor& m, double target_ohms,
     throw std::invalid_argument("tune_memristor: target must be > 0");
   }
   TuningReport report;
+  int strikes = 0;  // Consecutive writes the device ignored.
   for (int it = 0; it < cfg.max_iters; ++it) {
     report.iterations = it + 1;
     const double measured = measure(m, cfg.measure_noise, rng);
@@ -31,18 +32,35 @@ TuningReport tune_memristor(dev::Memristor& m, double target_ohms,
     // unknown variation factor geometrically; the write itself lands within
     // program_noise of the command.
     const double correction = target_ohms / measured;
+    const double before = m.resistance();
     const double commanded =
-        m.resistance() * correction * (1.0 + rng.normal(0.0, cfg.program_noise));
+        before * correction * (1.0 + rng.normal(0.0, cfg.program_noise));
     // The device exposes only its effective resistance; emulate the write by
     // replacing the configured value (variation is folded into the write).
     m.apply_variation(1.0);
     m.set_resistance(std::max(commanded, 1.0));
+    // Dead-device detection: a commanded change well above the noise floor
+    // that produces almost no effective-resistance movement is a stuck-at
+    // fault, not a tuning miss.  Two consecutive strikes quarantine.
+    const double intended = std::abs(std::max(commanded, 1.0) - before);
+    const double moved = std::abs(m.resistance() - before);
+    const double floor =
+        std::max(10.0 * cfg.measure_noise, cfg.target_tol) * before;
+    if (intended > floor && moved < 0.25 * intended) {
+      if (++strikes >= 2) {
+        report.quarantined = true;
+        break;
+      }
+    } else {
+      strikes = 0;
+    }
   }
   report.final_rel_error =
       std::abs(m.resistance() - target_ohms) / target_ohms;
-  if (!report.converged) {
+  if (!report.converged && !report.quarantined) {
     report.converged = report.final_rel_error <= cfg.target_tol;
   }
+  if (report.quarantined) report.converged = false;
   return report;
 }
 
@@ -88,6 +106,10 @@ ArrayTuningReport tune_all(std::span<dev::Memristor* const> mems,
   for (std::size_t i = 0; i < mems.size(); ++i) {
     const TuningReport r = tune_memristor(*mems[i], targets[i], cfg, rng);
     total_iters += r.iterations;
+    if (r.quarantined) {
+      ++report.quarantined;
+      continue;
+    }
     report.max_rel_error = std::max(report.max_rel_error, r.final_rel_error);
     if (r.converged) {
       ++report.tuned;

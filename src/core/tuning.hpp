@@ -27,6 +27,10 @@ struct TuningReport {
   bool converged = false;
   int iterations = 0;
   double final_rel_error = 0.0;  ///< True (noise-free) relative error.
+  /// Device declared dead: repeated modulate commands produced no measurable
+  /// resistance change (stuck-at fault, DESIGN.md §9).  Quarantined devices
+  /// never count as converged.
+  bool quarantined = false;
 };
 
 /// Tune one memristor to `target_ohms`.
@@ -42,6 +46,11 @@ TuningReport tune_ratio(dev::Memristor& m1, dev::Memristor& m2,
 struct ArrayTuningReport {
   std::size_t tuned = 0;
   std::size_t failed = 0;
+  /// Devices declared dead by the modulate/verify loop (distinct from
+  /// `failed`, which counts responsive-but-unconverged devices).
+  std::size_t quarantined = 0;
+  /// Max relative error over responsive devices (quarantined excluded —
+  /// their error is unbounded by construction).
   double max_rel_error = 0.0;
   double mean_iterations = 0.0;
 };

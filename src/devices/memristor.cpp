@@ -32,6 +32,7 @@ Memristor::Memristor(spice::NodeId a, spice::NodeId b, double initial_ohms,
 }
 
 double Memristor::resistance() const {
+  if (stuck_) return stuck_ohms_;
   switch (model_) {
     case MemristorModel::Fixed:
       return configured_ohms_ * variation_;
@@ -58,6 +59,14 @@ void Memristor::apply_variation(double factor) {
     throw std::invalid_argument("Memristor: variation factor must be > 0");
   }
   variation_ = factor;
+}
+
+void Memristor::force_stuck(double ohms) {
+  if (ohms <= 0.0) {
+    throw std::invalid_argument("Memristor: stuck resistance must be > 0");
+  }
+  stuck_ = true;
+  stuck_ohms_ = ohms;
 }
 
 void Memristor::set_state(double w) { w_ = std::clamp(w, 0.0, 1.0); }

@@ -67,6 +67,16 @@ class Memristor : public spice::Device {
   /// Multiply the configured resistance by `factor` (process variation).
   void apply_variation(double factor);
 
+  /// Pin the effective resistance at `ohms` regardless of subsequent
+  /// set_resistance / apply_variation calls (stuck-at fault injection).
+  /// Commanded state keeps updating underneath so tuning loops observe an
+  /// unresponsive device rather than an error.
+  void force_stuck(double ohms);
+  /// True when the device is pinned by force_stuck.
+  [[nodiscard]] bool stuck() const { return stuck_; }
+  /// Release a stuck-at fault (test teardown).
+  void clear_stuck() { stuck_ = false; }
+
   [[nodiscard]] MemristorModel model() const { return model_; }
   [[nodiscard]] const MemristorParams& params() const { return p_; }
   /// Number of stochastic switching events since reset (test observability).
@@ -85,6 +95,8 @@ class Memristor : public spice::Device {
   MemristorParams p_;
   double configured_ohms_;   ///< Nominal configured resistance.
   double variation_ = 1.0;   ///< Process-variation multiplier.
+  bool stuck_ = false;       ///< Stuck-at fault pins the resistance.
+  double stuck_ohms_ = 0.0;  ///< Pinned resistance when stuck_.
   double w_ = 0.0;           ///< Drift state in [0,1] (1 = LRS).
   bool stochastic_on_;       ///< Binary state for the stochastic model.
   double r_on_eff_;          ///< Ron with device spread applied.

@@ -1,0 +1,72 @@
+#pragma once
+// Fault-injection campaigns (DESIGN.md §9): evaluate many synthetic queries
+// against independently broken accelerator instances and aggregate a
+// survival/accuracy report.  Every per-query artifact — input series, fault
+// plan seed — is a pure function of (campaign seed, query index), and the
+// queries run on the BatchEngine, so a campaign is bit-identical for any
+// thread count (the acceptance contract of `mda faults`).
+//
+// This layer sits ABOVE src/core (it drives Accelerator and BatchEngine);
+// it lives in the mda_campaign library, not mda_fault.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "fault/plan.hpp"
+
+namespace mda::fault {
+
+struct CampaignConfig {
+  core::DistanceSpec spec{};  ///< Distance function under test.
+  core::Backend backend = core::Backend::Wavefront;
+  std::size_t queries = 32;  ///< Independent (P, Q) pairs to evaluate.
+  std::size_t length = 8;    ///< Elements per sequence.
+  std::uint64_t seed = 42;   ///< Campaign seed (inputs + per-query plans).
+  std::size_t threads = 1;   ///< BatchEngine workers (results identical).
+
+  FaultConfig faults{};             ///< Fault rates; seed re-derived per query.
+  core::FaultHandling handling{};   ///< Detection/recovery policy.
+  core::AcceleratorConfig base{};   ///< Array geometry etc.; backend/faults
+                                    ///< are overwritten per query.
+};
+
+/// One query's fate.
+struct QueryOutcome {
+  bool ok = false;
+  double value = 0.0;
+  double reference = 0.0;
+  double rel_error = 0.0;
+  core::Backend backend_used = core::Backend::Wavefront;
+  int attempts = 1;
+  int fallbacks = 0;
+  std::size_t quarantined_cells = 0;
+  bool fault_detected = false;
+  std::string error;  ///< Failure message when !ok.
+};
+
+struct CampaignReport {
+  CampaignConfig config{};
+  std::vector<QueryOutcome> outcomes;
+
+  // Aggregates over `outcomes`.
+  std::size_t survived = 0;   ///< Queries that produced a value.
+  std::size_t failed = 0;     ///< Queries the whole chain gave up on.
+  std::size_t detected = 0;   ///< Queries where a detector tripped.
+  std::size_t recovered = 0;  ///< Survivors that needed retry/fallback.
+  std::size_t fallback_queries = 0;  ///< Survivors served by a lower backend.
+  std::size_t quarantined_cells = 0;
+  double mean_rel_error = 0.0;  ///< Over survivors.
+  double max_rel_error = 0.0;
+
+  /// Human-readable survival/accuracy table (the `mda faults` output).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the campaign.  Deterministic: same config (including seed) gives a
+/// bit-identical report at any `threads`.
+CampaignReport run_campaign(const CampaignConfig& config);
+
+}  // namespace mda::fault

@@ -1,0 +1,40 @@
+#include "fault/detection.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace mda::fault {
+
+Envelope envelope_for(double v_max, double margin) {
+  return Envelope{-margin * v_max, (1.0 + margin) * v_max};
+}
+
+std::optional<std::string> check_envelope(double volts, const Envelope& env) {
+  static const obs::Counter trips("mda.fault.envelope_trips");
+  if (std::isfinite(volts) && env.contains(volts)) return std::nullopt;
+  trips.add(1);
+  std::ostringstream os;
+  os << "output " << volts << " V outside envelope [" << env.lo << ", "
+     << env.hi << "] V";
+  return os.str();
+}
+
+bool residual_exceeds(double measured, double predicted, double tol) {
+  static const obs::Counter trips("mda.fault.residual_trips");
+  if (std::isfinite(measured) && std::abs(measured - predicted) <= tol) {
+    return false;
+  }
+  trips.add(1);
+  return true;
+}
+
+bool watchdog_tripped(long iterations, long budget) {
+  static const obs::Counter trips("mda.fault.watchdog_trips");
+  if (budget <= 0 || iterations <= budget) return false;
+  trips.add(1);
+  return true;
+}
+
+}  // namespace mda::fault

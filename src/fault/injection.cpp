@@ -1,0 +1,46 @@
+#include "fault/injection.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mda::fault {
+
+InjectionSummary apply_device_faults(std::span<dev::Memristor* const> mems,
+                                     std::span<dev::OpAmp* const> opamps,
+                                     const FaultPlan& plan) {
+  static const obs::Counter stuck_ctr("mda.fault.injected_stuck");
+  static const obs::Counter drift_ctr("mda.fault.injected_drift");
+  static const obs::Counter opamp_ctr("mda.fault.injected_opamp");
+  InjectionSummary summary;
+  for (std::size_t i = 0; i < mems.size(); ++i) {
+    const auto f = plan.memristor_fault(i);
+    if (!f) continue;
+    dev::Memristor& m = *mems[i];
+    switch (f->kind) {
+      case MemristorFaultKind::StuckAtRon:
+        m.force_stuck(m.params().r_on);
+        ++summary.stuck;
+        break;
+      case MemristorFaultKind::StuckAtRoff:
+        m.force_stuck(m.params().r_off);
+        ++summary.stuck;
+        break;
+      case MemristorFaultKind::Drift:
+        m.apply_variation(f->drift_factor);
+        ++summary.drifted;
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < opamps.size(); ++i) {
+    const auto f = plan.opamp_fault(i);
+    if (!f) continue;
+    opamps[i]->set_input_offset(opamps[i]->params().input_offset +
+                                f->offset_v);
+    ++summary.opamps;
+  }
+  if (summary.stuck > 0) stuck_ctr.add(summary.stuck);
+  if (summary.drifted > 0) drift_ctr.add(summary.drifted);
+  if (summary.opamps > 0) opamp_ctr.add(summary.opamps);
+  return summary;
+}
+
+}  // namespace mda::fault

@@ -1,0 +1,36 @@
+#pragma once
+// Applying a FaultPlan to freshly built circuits (DESIGN.md §9).
+//
+// Devices are addressed by creation order, which is deterministic for a
+// given array build — the same plan therefore breaks the same devices on
+// every rebuild, retry and thread.  Stuck-at faults pin the memristor's
+// effective resistance (untunable, detected as quarantine by the tuner);
+// drift faults go through Memristor::apply_variation and are recoverable
+// by the Sec. 3.3 re-tuning procedure; op-amp faults inject input-referred
+// offset (a rail fault is an offset far beyond feedback correction).
+
+#include <cstddef>
+#include <span>
+
+#include "devices/memristor.hpp"
+#include "devices/opamp.hpp"
+#include "fault/plan.hpp"
+
+namespace mda::fault {
+
+/// What apply_device_faults did to one built array.
+struct InjectionSummary {
+  std::size_t stuck = 0;    ///< Memristors pinned stuck-at-Ron/Roff.
+  std::size_t drifted = 0;  ///< Memristors with tunable drift applied.
+  std::size_t opamps = 0;   ///< Op-amps with offset/rail faults.
+
+  [[nodiscard]] std::size_t total() const { return stuck + drifted + opamps; }
+};
+
+/// Break the given devices according to `plan` (memristors and op-amps are
+/// visited in creation order).  Emits `mda.fault.injected_*` counters.
+InjectionSummary apply_device_faults(std::span<dev::Memristor* const> mems,
+                                     std::span<dev::OpAmp* const> opamps,
+                                     const FaultPlan& plan);
+
+}  // namespace mda::fault

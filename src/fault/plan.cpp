@@ -1,0 +1,155 @@
+#include "fault/plan.hpp"
+
+#include <cstring>
+
+namespace mda::fault {
+namespace {
+
+// Domain tags keep the draw streams of the fault classes independent even
+// when their site indices coincide.
+constexpr std::uint64_t kDomMemristor = 0x11;
+constexpr std::uint64_t kDomDac = 0x22;
+constexpr std::uint64_t kDomAdc = 0x33;
+constexpr std::uint64_t kDomOpamp = 0x44;
+constexpr std::uint64_t kDomCell = 0x55;
+constexpr std::uint64_t kDomNonconv = 0x66;
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool FaultConfig::any() const {
+  return stuck_rate > 0.0 || drift_rate > 0.0 || dac_rate > 0.0 ||
+         adc_rate > 0.0 || opamp_rate > 0.0 || cell_rate > 0.0 ||
+         nonconvergence_rate > 0.0 || force_nonconvergence;
+}
+
+std::uint64_t FaultPlan::mix(std::uint64_t seed, std::uint64_t domain,
+                             std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = splitmix(seed ^ (domain * 0xD6E8FEB86659FD93ull));
+  h = splitmix(h ^ (a + 0x632BE59BD9B4E019ull));
+  h = splitmix(h ^ (b + 0x2545F4914F6CDD1Dull));
+  return h;
+}
+
+double FaultPlan::unit(std::uint64_t h) {
+  // 53 high bits -> [0, 1), matching util::Rng::uniform's construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::optional<MemristorFault> FaultPlan::memristor_fault(
+    std::size_t index) const {
+  const std::uint64_t h = mix(cfg_.seed, kDomMemristor, index, 0);
+  const double u = unit(h);
+  if (u < cfg_.stuck_rate) {
+    // Second hash bit stream decides the stuck polarity.
+    const bool to_on = (splitmix(h) & 1u) != 0;
+    return MemristorFault{to_on ? MemristorFaultKind::StuckAtRon
+                                : MemristorFaultKind::StuckAtRoff,
+                          1.0};
+  }
+  if (u < cfg_.stuck_rate + cfg_.drift_rate) {
+    // Uniform drift in ±drift_magnitude, excluding the dead zone around 0
+    // so an injected drift is always large enough to matter.
+    const double r = 2.0 * unit(splitmix(h)) - 1.0;  // [-1, 1)
+    const double sign = r < 0.0 ? -1.0 : 1.0;
+    const double mag = 0.25 + 0.75 * (r < 0.0 ? -r : r);  // [0.25, 1)
+    return MemristorFault{MemristorFaultKind::Drift,
+                          1.0 + sign * mag * cfg_.drift_magnitude};
+  }
+  return std::nullopt;
+}
+
+std::optional<ConverterFault> FaultPlan::dac_fault(std::size_t bank,
+                                                   std::size_t channel) const {
+  const std::uint64_t h = mix(cfg_.seed, kDomDac, bank, channel);
+  if (unit(h) >= cfg_.dac_rate) return std::nullopt;
+  ConverterFault f;
+  if ((splitmix(h) & 3u) == 0) {  // 1-in-4 faults are stuck codes
+    f.kind = ConverterFaultKind::StuckCode;
+    f.stuck_level = 2.0 * unit(splitmix(h ^ 0xA5)) - 1.0;
+  } else {
+    f.kind = ConverterFaultKind::Offset;
+    f.offset_v = (unit(splitmix(h ^ 0x5A)) < 0.5 ? -1.0 : 1.0) *
+                 cfg_.dac_offset_v;
+  }
+  return f;
+}
+
+std::optional<ConverterFault> FaultPlan::adc_fault(std::size_t channel) const {
+  const std::uint64_t h = mix(cfg_.seed, kDomAdc, channel, 0);
+  if (unit(h) >= cfg_.adc_rate) return std::nullopt;
+  ConverterFault f;
+  if ((splitmix(h) & 3u) == 0) {
+    f.kind = ConverterFaultKind::StuckCode;
+    f.stuck_level = unit(splitmix(h ^ 0xA5));  // stuck in [0, full scale)
+  } else {
+    f.kind = ConverterFaultKind::Offset;
+    f.offset_v = (unit(splitmix(h ^ 0x5A)) < 0.5 ? -1.0 : 1.0) *
+                 cfg_.adc_offset_v;
+  }
+  return f;
+}
+
+std::optional<OpampFault> FaultPlan::opamp_fault(std::size_t index) const {
+  const std::uint64_t h = mix(cfg_.seed, kDomOpamp, index, 0);
+  if (unit(h) >= cfg_.opamp_rate) return std::nullopt;
+  OpampFault f;
+  if ((splitmix(h) & 3u) == 0) {
+    // Rail fault: an offset far beyond any feedback correction pins the
+    // output at a supply rail through the open-loop gain.
+    f.kind = OpampFaultKind::Rail;
+    f.offset_v = (splitmix(h ^ 0xA5) & 1u) ? 10.0 : -10.0;
+  } else {
+    f.kind = OpampFaultKind::Offset;
+    f.offset_v = (unit(splitmix(h ^ 0x5A)) < 0.5 ? -1.0 : 1.0) *
+                 cfg_.opamp_offset_v;
+  }
+  return f;
+}
+
+std::optional<CellFault> FaultPlan::cell_fault(std::size_t i,
+                                               std::size_t j) const {
+  const std::uint64_t h = mix(cfg_.seed, kDomCell, i, j);
+  if (unit(h) >= cfg_.cell_rate) return std::nullopt;
+  CellFault f;
+  switch (splitmix(h) % 3u) {
+    case 0: f.kind = CellFaultKind::StuckLow; break;
+    case 1: f.kind = CellFaultKind::StuckHigh; break;
+    default:
+      f.kind = CellFaultKind::Drift;
+      f.drift_v = (unit(splitmix(h ^ 0x5A)) < 0.5 ? -1.0 : 1.0) *
+                  cfg_.cell_drift_v;
+      break;
+  }
+  return f;
+}
+
+bool FaultPlan::fullspice_nonconvergence(std::uint64_t eval_key) const {
+  if (cfg_.force_nonconvergence) return true;
+  if (cfg_.nonconvergence_rate <= 0.0) return false;
+  const std::uint64_t h = mix(cfg_.seed, kDomNonconv, eval_key, 0);
+  return unit(h) < cfg_.nonconvergence_rate;
+}
+
+std::uint64_t FaultPlan::eval_key(const double* p, std::size_t np,
+                                  const double* q, std::size_t nq) {
+  std::uint64_t h = splitmix(np * 0x9E3779B97F4A7C15ull + nq);
+  auto fold = [&h](const double* v, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v[i], sizeof(bits));
+      h = splitmix(h ^ bits);
+    }
+  };
+  fold(p, np);
+  fold(q, nq);
+  return h;
+}
+
+}  // namespace mda::fault

@@ -1,0 +1,134 @@
+#pragma once
+// Deterministic fault injection (DESIGN.md §9).
+//
+// A FaultPlan is an immutable, seeded description of which parts of the
+// accelerator are broken and how.  It never stores per-device state:
+// every query is answered by a pure hash draw keyed on
+// (seed, fault domain, index), so the same plan gives the same faults
+// whether devices are visited from one thread or eight, in any order,
+// any number of times — the property the injection-campaign bit-identity
+// tests pin down.
+//
+// Fault classes (rates are independent per-site probabilities):
+//  * memristors  — stuck-at-Ron / stuck-at-Roff (hard, untunable) and
+//                  resistance drift (soft, recoverable by re-tuning);
+//  * converters  — per-channel DAC/ADC static offset and stuck output
+//                  codes;
+//  * op-amps     — input-offset drift and a hard rail fault (output
+//                  driven to a supply rail via a huge input offset);
+//  * wavefront   — per-DP-cell faults of the cell-by-cell backend
+//                  (stuck-low / stuck-high / drifting cell output);
+//  * solver      — forced transient (Newton) non-convergence of the
+//                  FullSpice backend, per evaluation or unconditional.
+
+#include <cstdint>
+#include <optional>
+
+namespace mda::fault {
+
+enum class MemristorFaultKind { StuckAtRon, StuckAtRoff, Drift };
+struct MemristorFault {
+  MemristorFaultKind kind = MemristorFaultKind::Drift;
+  /// Multiplicative resistance drift (Drift only; 1.0 elsewhere).
+  double drift_factor = 1.0;
+};
+
+enum class ConverterFaultKind { Offset, StuckCode };
+struct ConverterFault {
+  ConverterFaultKind kind = ConverterFaultKind::Offset;
+  double offset_v = 0.0;    ///< Static offset (Offset only) [V].
+  double stuck_level = 0.0; ///< Stuck output as a fraction of full scale.
+};
+
+enum class OpampFaultKind { Offset, Rail };
+struct OpampFault {
+  OpampFaultKind kind = OpampFaultKind::Offset;
+  double offset_v = 0.0;  ///< Injected input-referred offset [V].
+};
+
+enum class CellFaultKind { StuckLow, StuckHigh, Drift };
+struct CellFault {
+  CellFaultKind kind = CellFaultKind::Drift;
+  double drift_v = 0.0;  ///< Additive output corruption (Drift only) [V].
+};
+
+/// Rates and magnitudes of every fault class, plus the plan seed.  All
+/// rates default to 0 — a default FaultConfig injects nothing.
+struct FaultConfig {
+  std::uint64_t seed = 0xFA015EEDull;
+
+  // Memristors (per device, in creation order).
+  double stuck_rate = 0.0;       ///< Stuck-at (half Ron, half Roff).
+  double drift_rate = 0.0;       ///< Tunable resistance drift.
+  double drift_magnitude = 0.35; ///< Max relative drift (uniform ±).
+
+  // Converters (per channel).
+  double dac_rate = 0.0;
+  double dac_offset_v = 0.015;
+  double adc_rate = 0.0;
+  double adc_offset_v = 0.010;
+
+  // Op-amps (per device, in creation order; 1-in-4 faults are rail faults).
+  double opamp_rate = 0.0;
+  double opamp_offset_v = 0.004;
+
+  // Wavefront DP cells (per (i, j) cell).
+  double cell_rate = 0.0;
+  double cell_drift_v = 0.12;
+
+  // FullSpice transient solver.
+  double nonconvergence_rate = 0.0;  ///< Per evaluation key.
+  bool force_nonconvergence = false; ///< Every FullSpice eval fails.
+
+  /// True when any fault class can fire.
+  [[nodiscard]] bool any() const;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+  /// Memristor fault for the device at `index` (creation order within one
+  /// built array).
+  [[nodiscard]] std::optional<MemristorFault> memristor_fault(
+      std::size_t index) const;
+
+  /// DAC fault for channel `channel` of input bank `bank` (0 = P, 1 = Q).
+  [[nodiscard]] std::optional<ConverterFault> dac_fault(
+      std::size_t bank, std::size_t channel) const;
+
+  /// ADC fault for readback channel `channel` (single-output arrays use 0).
+  [[nodiscard]] std::optional<ConverterFault> adc_fault(
+      std::size_t channel) const;
+
+  /// Op-amp fault for the device at `index` (creation order).
+  [[nodiscard]] std::optional<OpampFault> opamp_fault(std::size_t index) const;
+
+  /// Wavefront cell fault for DP cell (i, j), zero-based.
+  [[nodiscard]] std::optional<CellFault> cell_fault(std::size_t i,
+                                                    std::size_t j) const;
+
+  /// Forced FullSpice non-convergence for an evaluation identified by
+  /// `eval_key` (hash the encoded inputs; see eval_key()).
+  [[nodiscard]] bool fullspice_nonconvergence(std::uint64_t eval_key) const;
+
+  /// Stable key for one evaluation: fold the bit patterns of the encoded
+  /// input voltages into one 64-bit hash.
+  static std::uint64_t eval_key(const double* p, std::size_t np,
+                                const double* q, std::size_t nq);
+
+  /// splitmix64-style mixer over (seed, domain, a, b): the single source of
+  /// randomness for every draw above.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t domain,
+                           std::uint64_t a, std::uint64_t b);
+
+ private:
+  /// Uniform double in [0, 1) from a mixed key.
+  static double unit(std::uint64_t h);
+
+  FaultConfig cfg_;
+};
+
+}  // namespace mda::fault

@@ -7,12 +7,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "core/accelerator.hpp"
 #include "core/batch_engine.hpp"
 #include "core/montecarlo.hpp"
+#include "fault/plan.hpp"
 #include "mining/kmedoids.hpp"
 #include "mining/knn.hpp"
 #include "mining/motifs.hpp"
@@ -153,6 +155,126 @@ TEST(BatchEngine, ExceptionFromFailingBackendTaskPropagates) {
   queries[37] = {good, empty};
   EXPECT_THROW((void)engine.compute_batch(acc, queries),
                std::invalid_argument);
+}
+
+TEST(BatchEngine, TryComputeBatchIsolatesPerTaskErrors) {
+  // One poisoned query must not sink the batch: every other slot still
+  // carries its result, and the bad slot carries a typed error.
+  const BatchEngine engine = make_engine(4, Backend::Behavioral);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  Accelerator acc;
+  acc.configure(spec);
+  util::Rng rng(17);
+  const std::vector<double> good = random_series(rng, 8);
+  const std::vector<double> empty;
+  std::vector<BatchQuery> queries(16, BatchQuery{good, good});
+  queries[5] = {good, empty};
+  const auto outcomes = engine.try_compute_batch(acc, queries);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 5) {
+      ASSERT_FALSE(outcomes[i].ok());
+      EXPECT_EQ(outcomes[i].error().code, ComputeErrorCode::InvalidInput);
+    } else {
+      ASSERT_TRUE(outcomes[i].ok()) << "query " << i;
+      EXPECT_EQ(outcomes[i].value().value, outcomes[0].value().value);
+    }
+  }
+}
+
+TEST(BatchEngine, FailOpenYieldsNaNSlotsAndCompletesTheBatch) {
+  BatchOptions opts;
+  opts.num_threads = 4;
+  opts.backend = Backend::Behavioral;
+  opts.failure_policy = FailurePolicy::FailOpen;
+  const BatchEngine engine(opts);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  Accelerator acc;
+  acc.configure(spec);
+  util::Rng rng(18);
+  const std::vector<double> good = random_series(rng, 8);
+  const std::vector<double> empty;
+  std::vector<BatchQuery> queries(12, BatchQuery{good, good});
+  queries[2] = {good, empty};
+  queries[9] = {empty, good};
+
+  const std::vector<double> values = engine.compute_distances(acc, queries);
+  ASSERT_EQ(values.size(), queries.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i == 2 || i == 9) {
+      EXPECT_TRUE(std::isnan(values[i])) << i;
+    } else {
+      EXPECT_FALSE(std::isnan(values[i])) << i;
+      EXPECT_EQ(values[i], values[0]);
+    }
+  }
+  const std::vector<ComputeResult> results = engine.compute_batch(acc, queries);
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_TRUE(std::isnan(results[2].value));
+  EXPECT_TRUE(results[2].fault_detected);
+  EXPECT_FALSE(std::isnan(results[3].value));
+}
+
+TEST(BatchEngine, RetryBudgetIsSpentOnBackendFailuresOnly) {
+  // A plan that forces FullSpice non-convergence with degradation disabled
+  // makes every attempt a BackendFailure: the per-task retry budget is
+  // consumed, the batch still completes, and FailOpen records NaN.
+  fault::FaultConfig fc;
+  fc.force_nonconvergence = true;
+  AcceleratorConfig cfg;
+  cfg.backend = Backend::FullSpice;
+  cfg.faults = std::make_shared<const fault::FaultPlan>(fc);
+  cfg.fault_handling.degrade = false;
+  cfg.fault_handling.max_retries = 0;
+  Accelerator acc(cfg);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc.configure(spec);
+  util::Rng rng(19);
+  const std::vector<double> p = random_series(rng, 3);
+  const std::vector<double> q = random_series(rng, 3);
+  const std::vector<BatchQuery> queries(2, BatchQuery{p, q});
+
+  BatchOptions opts;
+  opts.num_threads = 2;
+  opts.retry_budget = 2;
+  opts.failure_policy = FailurePolicy::FailOpen;
+  const BatchEngine engine(opts);
+  const auto outcomes = engine.try_compute_batch(acc, queries);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  for (const auto& o : outcomes) {
+    ASSERT_FALSE(o.ok());
+    EXPECT_EQ(o.error().code, ComputeErrorCode::BackendFailure);
+  }
+  const std::vector<double> values = engine.compute_distances(acc, queries);
+  for (const double v : values) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(BatchEngine, FailurePoliciesAgreeOnHealthyBatches) {
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  Accelerator acc;
+  acc.configure(spec);
+  util::Rng rng(20);
+  std::vector<std::vector<double>> storage;
+  for (int i = 0; i < 8; ++i) storage.push_back(random_series(rng, 6));
+  std::vector<BatchQuery> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back({storage[2 * i], storage[2 * i + 1]});
+  }
+  BatchOptions closed;
+  closed.num_threads = 4;
+  closed.backend = Backend::Wavefront;
+  BatchOptions open = closed;
+  open.failure_policy = FailurePolicy::FailOpen;
+  const std::vector<double> a =
+      BatchEngine(closed).compute_distances(acc, queries);
+  const std::vector<double> b =
+      BatchEngine(open).compute_distances(acc, queries);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
 TEST(BatchEngine, ExceptionWithLowestTaskIndexWins) {

@@ -121,6 +121,67 @@ TEST(Tuning, ArrayTuningReport) {
   EXPECT_GT(r.mean_iterations, 1.0);
 }
 
+TEST(Tuning, StuckDeviceIsQuarantinedNotConverged) {
+  // A stuck-at fault pins the resistance; the modulate/verify loop must
+  // notice the device ignores its commands and quarantine it instead of
+  // burning max_iters and reporting a plain failure (DESIGN.md §9).
+  dev::Memristor m(0, 1, 100e3);
+  m.force_stuck(m.params().r_off);  // pinned at HRS, target is LRS-ish
+  util::Rng rng(12);
+  const TuningReport r = tune_memristor(m, 50e3, TuningConfig{}, rng);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(m.resistance(), m.params().r_off);  // still pinned
+  // Releasing the fault makes the same device tunable again.
+  m.clear_stuck();
+  util::Rng rng2(13);
+  const TuningReport healed = tune_memristor(m, 50e3, TuningConfig{}, rng2);
+  EXPECT_TRUE(healed.converged);
+  EXPECT_FALSE(healed.quarantined);
+  EXPECT_LT(healed.final_rel_error, 0.011);
+}
+
+TEST(Tuning, StuckDeviceAlreadyOnTargetStillConverges) {
+  // A device stuck exactly at its target is indistinguishable from a healthy
+  // converged one — it must NOT be quarantined.
+  dev::Memristor m(0, 1, 100e3);
+  m.force_stuck(80e3);
+  util::Rng rng(14);
+  const TuningReport r = tune_memristor(m, 80e3, TuningConfig{}, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.quarantined);
+}
+
+TEST(Tuning, ArrayWithStuckDevicesQuarantinesAndTunesTheRest) {
+  spice::Netlist net;
+  blocks::BlockFactory f(net, blocks::AnalogEnv{});
+  std::vector<dev::Memristor*> mems;
+  std::vector<double> targets;
+  util::Rng vrng(15);
+  for (int i = 0; i < 120; ++i) {
+    const double target = (i % 2) ? 100e3 : 50e3;
+    auto& m = f.mem(net.node("s" + std::to_string(i)), spice::kGround, target,
+                    "m");
+    m.apply_variation(vrng.uniform(0.7, 1.3));
+    mems.push_back(&m);
+    targets.push_back(target);
+  }
+  // Pin a few devices at the LRS rail, far from every target.
+  const std::size_t stuck_at[] = {7, 58, 113};
+  for (const std::size_t idx : stuck_at) {
+    mems[idx]->force_stuck(mems[idx]->params().r_on);
+  }
+  util::Rng rng(16);
+  const ArrayTuningReport r = tune_all(mems, targets, TuningConfig{}, rng);
+  EXPECT_EQ(r.quarantined, 3u);
+  EXPECT_EQ(r.tuned, 117u);
+  EXPECT_EQ(r.failed, 0u);
+  // Healthy devices converge exactly as in the fault-free array, and the
+  // quarantined ones are excluded from the error statistic.
+  EXPECT_LT(r.max_rel_error, 0.011);
+  for (const std::size_t idx : stuck_at) EXPECT_TRUE(mems[idx]->stuck());
+}
+
 TEST(Tuning, EndToEndCircuitRecovery) {
   // Variation breaks an abs block; tuning restores it (the paper's whole
   // point: post-fabrication tuning recovers solution quality).

@@ -16,7 +16,7 @@ if(NOT DEFINED MDA_SOURCE_DIR)
   message(FATAL_ERROR "check_metrics_names: pass -DMDA_SOURCE_DIR=<repo root>")
 endif()
 
-set(_subsystems "spice|backend|accel|batch|mining|obs")
+set(_subsystems "spice|backend|accel|batch|mining|obs|fault")
 set(_name_re "mda\\.(${_subsystems})\\.[a-z][a-z0-9_]*")
 
 file(GLOB_RECURSE _sources

@@ -26,6 +26,7 @@
 #include "core/array_builder.hpp"
 #include "core/batch_engine.hpp"
 #include "devices/netlist_export.hpp"
+#include "fault/campaign.hpp"
 #include "obs/snapshot.hpp"
 #include "spice/noise.hpp"
 #include "spice/primitives.hpp"
@@ -324,15 +325,88 @@ int cmd_noise(int argc, char** argv) {
   return 0;
 }
 
+int cmd_faults(int argc, char** argv) {
+  fault::CampaignConfig cfg;
+  if (const auto kind_name = flag_str(argc, argv, "kind")) {
+    cfg.spec.kind = dist::kind_from_name(*kind_name);
+  }
+  cfg.spec.threshold = flag_num(argc, argv, "threshold", 0.0);
+  cfg.spec.band = static_cast<int>(flag_num(argc, argv, "band", -1));
+  const auto backend = parse_backend(argc, argv);
+  if (!backend) return 1;
+  cfg.backend = *backend;
+  cfg.queries = static_cast<std::size_t>(flag_num(argc, argv, "queries", 32));
+  cfg.length = static_cast<std::size_t>(flag_num(argc, argv, "length", 8));
+  cfg.seed = static_cast<std::uint64_t>(flag_num(argc, argv, "seed", 42));
+  cfg.threads = static_cast<std::size_t>(flag_num(argc, argv, "threads", 1));
+
+  // Fault rates (per-site probabilities; all default 0 = healthy hardware).
+  cfg.faults.stuck_rate = flag_num(argc, argv, "stuck", 0.0);
+  cfg.faults.drift_rate = flag_num(argc, argv, "drift", 0.0);
+  cfg.faults.cell_rate = flag_num(argc, argv, "cell", 0.0);
+  cfg.faults.dac_rate = flag_num(argc, argv, "dac", 0.0);
+  cfg.faults.adc_rate = flag_num(argc, argv, "adc", 0.0);
+  cfg.faults.opamp_rate = flag_num(argc, argv, "opamp", 0.0);
+  cfg.faults.nonconvergence_rate = flag_num(argc, argv, "nonconv", 0.0);
+  cfg.faults.force_nonconvergence =
+      flag_num(argc, argv, "force-nonconv", 0) != 0;
+  cfg.faults.seed = cfg.seed;
+
+  // Recovery policy knobs.
+  cfg.handling.max_retries =
+      static_cast<int>(flag_num(argc, argv, "retries", 1));
+  cfg.handling.degrade = flag_num(argc, argv, "degrade", 1) != 0;
+  cfg.handling.retune_on_retry = flag_num(argc, argv, "retune", 1) != 0;
+  cfg.handling.envelope_check = flag_num(argc, argv, "envelope", 1) != 0;
+  cfg.handling.cell_residual_check =
+      flag_num(argc, argv, "residual", 1) != 0;
+  cfg.handling.newton_budget =
+      static_cast<long>(flag_num(argc, argv, "newton-budget", 0));
+
+  const fault::CampaignReport report = fault::run_campaign(cfg);
+  std::fputs(report.summary().c_str(), stdout);
+  if (flag_num(argc, argv, "verbose", 0) != 0) {
+    util::Table table({"#", "ok", "value", "reference", "rel err", "backend",
+                       "att", "fb", "quar"});
+    const char* names[] = {"behavioral", "wavefront", "fullspice"};
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+      const fault::QueryOutcome& qo = report.outcomes[i];
+      table.add_row(
+          {std::to_string(i), qo.ok ? "yes" : "NO",
+           qo.ok ? util::Table::fmt(qo.value, 4) : std::string("-"),
+           qo.ok ? util::Table::fmt(qo.reference, 4) : std::string("-"),
+           qo.ok ? util::Table::fmt(100.0 * qo.rel_error, 2) + "%"
+                 : std::string("-"),
+           names[static_cast<int>(qo.backend_used)],
+           std::to_string(qo.attempts), std::to_string(qo.fallbacks),
+           std::to_string(qo.quarantined_cells)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+  // Survival gate: a campaign where every query died exits nonzero so CI
+  // scripts can assert on it directly.
+  return report.survived > 0 || report.outcomes.empty() ? 0 : 2;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: mda <compute|batch|info|export|calibrate|noise> [flags]\n"
+               "usage: mda <compute|batch|faults|info|export|calibrate|noise>"
+               " [flags]\n"
                "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
                "            [--backend=behavioral|wavefront|fullspice]\n"
                "            [--threshold=T] [--band=R] [--pfile/--qfile=CSV]\n"
                "  batch     --kind=dtw --pfile=A.csv --qfile=B.csv\n"
                "            [--threads=N (0=auto)] [--chunk=C] [--backend=...]\n"
                "            all P-rows x Q-rows pairs on the parallel engine\n"
+               "  faults    [--kind=dtw] [--backend=...] [--queries=32]\n"
+               "            [--length=8] [--seed=42] [--threads=1]\n"
+               "            fault rates: [--stuck=R] [--drift=R] [--cell=R]\n"
+               "            [--dac=R] [--adc=R] [--opamp=R] [--nonconv=R]\n"
+               "            [--force-nonconv=1]\n"
+               "            recovery: [--retries=1] [--degrade=0|1]\n"
+               "            [--retune=0|1] [--envelope=0|1] [--residual=0|1]\n"
+               "            [--newton-budget=N] [--verbose=1]\n"
+               "            injection campaign -> survival/accuracy report\n"
                "  info      configuration library, power, timing fits\n"
                "  export    --kind=md [--n=4] [--parasitics=1]\n"
                "  calibrate re-fit the timing model from full SPICE\n"
@@ -354,6 +428,7 @@ int main(int argc, char** argv) {
     int rc = -1;
     if (cmd == "compute") rc = cmd_compute(argc, argv);
     else if (cmd == "batch") rc = cmd_batch(argc, argv);
+    else if (cmd == "faults") rc = cmd_faults(argc, argv);
     else if (cmd == "info") rc = cmd_info(argc, argv);
     else if (cmd == "export") rc = cmd_export(argc, argv);
     else if (cmd == "calibrate") rc = cmd_calibrate(argc, argv);
