@@ -131,6 +131,7 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
   AnalogEval eval;
   std::string last_error;
   long newton_total = 0;
+  long fallback_solves = 0;
   int attempts = 0;
   std::size_t chain_idx = 0;
   bool detected = false;
@@ -151,6 +152,7 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
         last_error = e.what();
       }
       newton_total += eval.newton_iterations;
+      fallback_solves += eval.solver_fallbacks;
       detected = detected || eval.fault_detected;
       if (ok && config_.faults) {
         // Injected readback ADC fault (channel 0: the single distance
@@ -231,6 +233,7 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
   r.attempts = attempts;
   r.fallbacks = static_cast<int>(chain_idx);
   r.newton_iterations = newton_total;
+  r.solver_fallbacks = fallback_solves;
   r.quarantined_cells = eval.quarantined_cells;
   r.fault_detected = detected;
   r.convergence_time_s =

@@ -53,8 +53,12 @@ struct AnalogEval {
   double out_volts = 0.0;
   /// Measured settling time (FullSpice only; 0 when not measured).
   double convergence_time_s = 0.0;
-  /// Newton iterations spent (SPICE backends; 0 for behavioral).
+  /// Newton iterations spent (SPICE backends; 0 for behavioral), including
+  /// every gmin/source-stepping homotopy stage.
   long newton_iterations = 0;
+  /// Solve points that needed a gmin/source-stepping fallback to converge —
+  /// near-failures even when the evaluation succeeded (DESIGN.md §10).
+  long solver_fallbacks = 0;
   /// DP cells quarantined by the wavefront residual check (DESIGN.md §9).
   std::size_t quarantined_cells = 0;
   /// True when a detector tripped during the evaluation (even if recovered).

@@ -267,6 +267,7 @@ AnalogEval eval_full_spice(const AcceleratorConfig& config,
                       : default_t_stop(spec.kind, array.m, array.n);
   spice::TransientResult tr = sim.run(params);
   result.newton_iterations = tr.total_newton_iterations;
+  result.solver_fallbacks = tr.fallback_steps;
   if (!tr.ok) {
     result.error = "transient failed: " + tr.error;
     return result;

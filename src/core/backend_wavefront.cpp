@@ -47,12 +47,14 @@ class DcHarness {
     }
     spice::NewtonResult r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
     newton_total += r.iterations;
+    if (r.used_fallback) ++fallback_total;
     if (!r.converged) {
       // Cold restart once before giving up.
       restarts.add();
       std::fill(x_.begin(), x_.end(), 0.0);
       r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
       newton_total += r.iterations;
+      if (r.used_fallback) ++fallback_total;
       if (!r.converged) {
         warm_ = false;
         throw std::runtime_error("wavefront: DC solve failed to converge");
@@ -66,7 +68,8 @@ class DcHarness {
   std::unique_ptr<blocks::BlockFactory> factory_;
   std::vector<spice::VSource*> sources_;
   NodeId out_ = spice::kGround;
-  long newton_total = 0;  ///< Newton iterations across all solves.
+  long newton_total = 0;    ///< Newton iterations across all solves.
+  long fallback_total = 0;  ///< Solves that needed gmin/source stepping.
 
  private:
   std::unique_ptr<spice::MnaSystem> mna_;
@@ -170,6 +173,12 @@ class HarnessCache {
   [[nodiscard]] long total_newton() const {
     long total = 0;
     for (const auto& [w, h] : cache_) total += h->newton_total;
+    return total;
+  }
+
+  [[nodiscard]] long total_fallbacks() const {
+    long total = 0;
+    for (const auto& [w, h] : cache_) total += h->fallback_total;
     return total;
   }
 
@@ -308,6 +317,7 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
     }
   }
   result.newton_iterations = cache.total_newton();
+  result.solver_fallbacks = cache.total_fallbacks();
   if (fault::watchdog_tripped(result.newton_iterations,
                               config.fault_handling.newton_budget)) {
     result.error = "wavefront watchdog: Newton budget exceeded";
@@ -348,7 +358,10 @@ AnalogEval eval_haud_wavefront(const AcceleratorConfig& config,
       }
     }
     if (!column || weights != prev_weights) {
-      if (column) result.newton_iterations += column->newton_total;
+      if (column) {
+        result.newton_iterations += column->newton_total;
+        result.solver_fallbacks += column->fallback_total;
+      }
       column = make_haud_column_harness(config, m, weights);
       prev_weights = weights;
     }
@@ -361,8 +374,12 @@ AnalogEval eval_haud_wavefront(const AcceleratorConfig& config,
     finmax.sources_[j]->set_waveform(spice::Waveform::dc(column->solve_out()));
   }
   result.out_volts = finmax.solve_out();
-  if (column) result.newton_iterations += column->newton_total;
+  if (column) {
+    result.newton_iterations += column->newton_total;
+    result.solver_fallbacks += column->fallback_total;
+  }
   result.newton_iterations += finmax.newton_total;
+  result.solver_fallbacks += finmax.fallback_total;
   result.ok = true;
   return result;
 }

@@ -120,7 +120,10 @@ struct ComputeResult {
   Backend backend_used = Backend::Wavefront;  ///< Backend that produced value.
   int attempts = 1;        ///< Evaluation attempts across the whole chain.
   int fallbacks = 0;       ///< Degradation steps taken (0 = first backend).
-  long newton_iterations = 0;        ///< Newton iterations (SPICE backends).
+  long newton_iterations = 0;        ///< Newton iterations (SPICE backends),
+                                     ///< including all homotopy stages.
+  long solver_fallbacks = 0;         ///< Solve points recovered only by a
+                                     ///< gmin/source-stepping homotopy.
   std::size_t quarantined_cells = 0; ///< Wavefront cells quarantined.
   bool fault_detected = false;       ///< Any detector tripped on the way.
 };

@@ -41,9 +41,10 @@ bool DenseLu::factor(int n, const std::vector<double>& a) {
   return true;
 }
 
-void DenseLu::solve(std::vector<double>& b) const {
+void DenseLu::solve(std::vector<double>& b) {
   const int n = n_;
-  std::vector<double> y(static_cast<std::size_t>(n));
+  y_.resize(static_cast<std::size_t>(n));
+  std::vector<double>& y = y_;
   auto at = [&](int r, int c) -> double {
     return lu_[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
                static_cast<std::size_t>(c)];

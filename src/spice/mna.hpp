@@ -2,10 +2,20 @@
 // Modified nodal analysis: maps a Netlist onto a linear system
 //   J * x = rhs,   x = [node voltages | branch currents]
 // and solves one linearised step (one Newton iteration) at a given iterate.
+//
+// The sparsity pattern of the Jacobian is a property of the netlist, not of
+// the iterate: devices stamp the same (row, col) pairs every Newton
+// iteration and only the stamped values change.  MnaSystem exploits that by
+// caching the merged CSC structure plus a triplet->slot accumulation tape
+// the first time a pattern is seen, so every subsequent linearised solve is
+// a value scatter (no sort, no dedup, no allocation) followed by an LU
+// refactorisation that reuses the previous pivot order (DESIGN.md §10).
 
 #include <vector>
 
+#include "spice/dense.hpp"
 #include "spice/netlist.hpp"
+#include "spice/sparse.hpp"
 #include "spice/types.hpp"
 
 namespace mda::spice {
@@ -32,6 +42,10 @@ class MnaSystem {
   [[nodiscard]] bool is_voltage_unknown(int i) const { return i < num_nodes_; }
 
  private:
+  /// Rebuild the CSC pattern cache and accumulation tape from the triplets
+  /// currently in rows_/cols_.  Invalidates any cached LU factorisation.
+  void rebuild_structure_cache();
+
   Netlist* netlist_;
   Tolerances tol_;
   int num_nodes_ = 0;
@@ -42,6 +56,20 @@ class MnaSystem {
   std::vector<int> cols_;
   std::vector<double> vals_;
   std::vector<double> rhs_;
+  // Structure cache: the triplet pattern it was built from (fingerprint),
+  // the merged CSC matrix whose values are refilled in place, and the
+  // accumulation tape replaying from_triplets' exact duplicate-summation
+  // order (accum slot <- triplet index) for bit-identical assembly.
+  std::vector<int> pat_rows_;
+  std::vector<int> pat_cols_;
+  std::vector<int> accum_trip_;
+  std::vector<int> accum_slot_;
+  CscMatrix csc_;
+  // Solver state reused across linearised solves.
+  SparseLu sparse_lu_;
+  bool lu_valid_ = false;  ///< sparse_lu_ holds a refactorable factorisation.
+  DenseLu dense_lu_;
+  std::vector<double> dense_;  ///< Reused n^2 assembly buffer (dense path).
 };
 
 }  // namespace mda::spice

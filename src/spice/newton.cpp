@@ -27,7 +27,7 @@ NewtonResult NewtonSolver::iterate(std::vector<double>& x, double t, double dt,
                                    double gmin_extra, double source_scale) {
   const Tolerances& tol = mna_->tolerances();
   NewtonResult res;
-  std::vector<double> x_new;
+  std::vector<double>& x_new = x_new_;
   StampContext ctx;
   ctx.t = t;
   ctx.dt = dt;
@@ -96,6 +96,11 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
   NewtonResult res = iterate(x, t, dt, dc, method, 0.0, 1.0);
   if (res.converged) return res;
 
+  // Every homotopy stage below spends real linearised solves; the returned
+  // iteration count accumulates all of them so TransientResult /
+  // ComputeResult provenance and the fault watchdog see the true cost.
+  long total_iterations = res.iterations;
+
   // gmin stepping: solve with a large artificial conductance to ground and
   // progressively remove it.
   util::log_debug() << "Newton failed at t=" << t << "; trying gmin stepping";
@@ -105,6 +110,7 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
   for (double gmin = 1e-2; gmin >= 1e-13; gmin /= 10.0) {
     gmin_steps.add();
     NewtonResult r = iterate(x_try, t, dt, dc, method, gmin, 1.0);
+    total_iterations += r.iterations;
     if (!r.converged) {
       ok = false;
       break;
@@ -112,8 +118,11 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
   }
   if (ok) {
     NewtonResult r = iterate(x_try, t, dt, dc, method, 0.0, 1.0);
+    total_iterations += r.iterations;
     if (r.converged) {
       x = x_try;
+      r.iterations = static_cast<int>(total_iterations);
+      r.used_fallback = true;
       return r;
     }
   }
@@ -124,9 +133,12 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
   source_retries.add();
   x_try.assign(x.size(), 0.0);
   ok = true;
+  NewtonResult last;
   for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
     NewtonResult r =
         iterate(x_try, t, dt, dc, method, 0.0, std::min(scale, 1.0));
+    total_iterations += r.iterations;
+    last = r;
     if (!r.converged) {
       ok = false;
       break;
@@ -134,11 +146,13 @@ NewtonResult NewtonSolver::solve(std::vector<double>& x, double t, double dt,
   }
   if (ok) {
     x = x_try;
-    NewtonResult r;
-    r.converged = true;
-    return r;
+    last.iterations = static_cast<int>(total_iterations);
+    last.used_fallback = true;
+    return last;
   }
   failures.add();
+  res.iterations = static_cast<int>(total_iterations);
+  res.used_fallback = true;
   return res;
 }
 

@@ -11,8 +11,14 @@ namespace mda::spice {
 
 struct NewtonResult {
   bool converged = false;
+  /// Linearised solves spent on this solve point, including every homotopy
+  /// stage (gmin / source stepping) when fallbacks were needed — the number
+  /// the fault watchdog budgets against (DESIGN.md §9).
   int iterations = 0;
   double max_delta = 0.0;  ///< Largest unknown change at the last iteration.
+  /// True when the plain iteration failed and a gmin / source stepping
+  /// homotopy produced (or attempted) the result.
+  bool used_fallback = false;
 };
 
 class NewtonSolver {
@@ -32,6 +38,7 @@ class NewtonSolver {
                        double source_scale);
 
   MnaSystem* mna_;
+  std::vector<double> x_new_;  ///< Reused linearised-solve output buffer.
 };
 
 }  // namespace mda::spice

@@ -86,6 +86,8 @@ void CscMatrix::multiply(const std::vector<double>& x,
 bool SparseLu::factor(const CscMatrix& a) {
   n_ = a.n;
   const int n = n_;
+  factored_ = false;
+  a_nnz_ = static_cast<int>(a.values.size());
   l_colptr_.assign(static_cast<std::size_t>(n) + 1, 0);
   u_colptr_.assign(static_cast<std::size_t>(n) + 1, 0);
   l_rowidx_.clear();
@@ -94,10 +96,15 @@ bool SparseLu::factor(const CscMatrix& a) {
   u_values_.clear();
   perm_.assign(static_cast<std::size_t>(n), -1);
   pinv_.assign(static_cast<std::size_t>(n), -1);
+  eptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  eorder_.clear();
+  eorder_.reserve(static_cast<std::size_t>(a_nnz_));
 
   // Dense work vector (values by original row index) and visit marks.
-  std::vector<double> work(static_cast<std::size_t>(n), 0.0);
-  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  work_.assign(static_cast<std::size_t>(n), 0.0);
+  mark_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<double>& work = work_;
+  std::vector<int>& mark = mark_;
   std::vector<int> pattern;      // reach set, in reverse topological order
   std::vector<int> stack_node;   // DFS stacks
   std::vector<int> stack_edge;
@@ -146,6 +153,12 @@ bool SparseLu::factor(const CscMatrix& a) {
         }
       }
     }
+    // Record the processing (topological) order so refactor() can replay the
+    // numeric sweep with the exact same arithmetic sequence.
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+      eorder_.push_back(*it);
+    }
+    eptr_[static_cast<std::size_t>(j) + 1] = static_cast<int>(eorder_.size());
 
     // --- Numeric: sparse triangular solve x = L \ A(:,j). ---
     for (int r : pattern) work[static_cast<std::size_t>(r)] = 0.0;
@@ -168,35 +181,59 @@ bool SparseLu::factor(const CscMatrix& a) {
       }
     }
 
-    // --- Pivot: largest magnitude among not-yet-pivotal rows. ---
+    // --- Pivot: partial pivoting with sticky pivot memory. ---
+    // Plain magnitude pivoting picks an excellent (low-fill) pivot sequence
+    // under DC operating-point values, but transient values — dominated by
+    // huge C/dt companion conductances — steer the argmax towards a
+    // catastrophically filled ordering (20x worse on large arrays), and its
+    // winner races between near-tied rows as Newton values drift by ULPs.
+    // So a repivoting factor() prefers the pivot the *previous* successful
+    // factor() chose for this column whenever that row is still available
+    // and within threshold_pivot_ratio of the magnitude winner (the
+    // SuperLU/SPICE threshold-pivoting rule); only genuinely degraded
+    // columns fall back to the argmax.  Fill stays at the quality of the
+    // first factorisation and pivots become stable across Newton value
+    // drift, which is what makes refactor() reuse pay off.
     int pivot_row = -1;
-    double pivot_abs = 0.0;
+    double max_abs = 0.0;
     for (int r : pattern) {
       if (pinv_[static_cast<std::size_t>(r)] >= 0) continue;
       const double v = std::abs(work[static_cast<std::size_t>(r)]);
-      if (v > pivot_abs) {
-        pivot_abs = v;
+      if (v > max_abs) {
+        max_abs = v;
         pivot_row = r;
       }
     }
-    if (pivot_row < 0 || pivot_abs < 1e-300) return false;  // singular
-
+    if (pivot_row < 0 || max_abs < 1e-300) return false;  // singular
+    if (static_cast<int>(pivot_mem_.size()) == n) {
+      const int prev = pivot_mem_[static_cast<std::size_t>(j)];
+      if (prev >= 0 && prev != pivot_row &&
+          mark[static_cast<std::size_t>(prev)] == j &&
+          pinv_[static_cast<std::size_t>(prev)] < 0 &&
+          std::abs(work[static_cast<std::size_t>(prev)]) >=
+              threshold_pivot_ratio * max_abs) {
+        pivot_row = prev;
+      }
+    }
     perm_[static_cast<std::size_t>(j)] = pivot_row;
     pinv_[static_cast<std::size_t>(pivot_row)] = j;
     const double pivot_val = work[static_cast<std::size_t>(pivot_row)];
 
     // --- Store U(:,j) (pivotal rows) and L(:,j) (non-pivotal / pivot_row). ---
+    // Exact zeros are stored too: the L/U structure must depend only on the
+    // A pattern and the pivot sequence (never on values) so that refactor()
+    // always finds a slot for every entry of the replayed sweep.  A stored
+    // 0.0 only ever contributes `x -= 0.0 * y` updates downstream, which
+    // leave every nonzero bit pattern untouched.
     for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
       const int r = *it;
       const double v = work[static_cast<std::size_t>(r)];
       const int piv = pinv_[static_cast<std::size_t>(r)];
       if (r == pivot_row) continue;
       if (piv >= 0 && piv < j) {
-        if (v != 0.0) {
-          u_rowidx_.push_back(piv);
-          u_values_.push_back(v);
-        }
-      } else if (v != 0.0) {
+        u_rowidx_.push_back(piv);
+        u_values_.push_back(v);
+      } else {
         l_rowidx_.push_back(r);
         l_values_.push_back(v / pivot_val);
       }
@@ -209,16 +246,118 @@ bool SparseLu::factor(const CscMatrix& a) {
     u_colptr_[static_cast<std::size_t>(j) + 1] =
         static_cast<int>(u_rowidx_.size());
   }
+  factored_ = true;
+  pivot_mem_ = perm_;
   return true;
 }
 
-void SparseLu::solve(std::vector<double>& b) const {
+bool SparseLu::refactor(const CscMatrix& a) {
+  if (!factored_ || a.n != n_ ||
+      static_cast<int>(a.values.size()) != a_nnz_) {
+    return false;
+  }
+  const int n = n_;
+  // Any early return below leaves partially overwritten L/U values; mark the
+  // factorisation stale so a full factor() is required before solving.
+  factored_ = false;
+  std::vector<double>& work = work_;
+
+  for (int j = 0; j < n; ++j) {
+    const int s0 = eptr_[static_cast<std::size_t>(j)];
+    const int s1 = eptr_[static_cast<std::size_t>(j) + 1];
+    // Load A(:,j) over a zeroed reach set.
+    for (int s = s0; s < s1; ++s) {
+      work[static_cast<std::size_t>(eorder_[static_cast<std::size_t>(s)])] =
+          0.0;
+    }
+    for (int k = a.col_ptr[static_cast<std::size_t>(j)];
+         k < a.col_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      work[static_cast<std::size_t>(a.row_idx[static_cast<std::size_t>(k)])] =
+          a.values[static_cast<std::size_t>(k)];
+    }
+    // Replay the elimination in the recorded topological order.  A row is
+    // pivotal "at time j" exactly when its final pivot position is < j.
+    for (int s = s0; s < s1; ++s) {
+      const int r = eorder_[static_cast<std::size_t>(s)];
+      const int piv = pinv_[static_cast<std::size_t>(r)];
+      if (piv >= j) continue;
+      const double xr = work[static_cast<std::size_t>(r)];
+      if (xr == 0.0) continue;
+      for (int k = l_colptr_[static_cast<std::size_t>(piv)];
+           k < l_colptr_[static_cast<std::size_t>(piv) + 1]; ++k) {
+        work[static_cast<std::size_t>(l_rowidx_[static_cast<std::size_t>(k)])] -=
+            l_values_[static_cast<std::size_t>(k)] * xr;
+      }
+    }
+
+    // Inherited pivot guard, two severities: the relative threshold rejects
+    // a numerically degraded pivot (KLU semantics, the default); bit-exact
+    // mode additionally demands that factor()'s exact candidate scan (same
+    // post-order traversal, strict >) would land on the cached pivot row
+    // again, so the replay provably repeats a fresh factor()'s arithmetic.
+    const int prow = perm_[static_cast<std::size_t>(j)];
+    const double pivot_val = work[static_cast<std::size_t>(prow)];
+    const double pivot_abs = std::abs(pivot_val);
+    double cand_abs = 0.0;
+    for (int s = s0; s < s1; ++s) {
+      const int r = eorder_[static_cast<std::size_t>(s)];
+      if (pinv_[static_cast<std::size_t>(r)] < j) continue;  // already pivotal
+      const double v = std::abs(work[static_cast<std::size_t>(r)]);
+      if (v > cand_abs) cand_abs = v;
+    }
+    // Degradation guard.  In bit-exact mode the bar is threshold_pivot_ratio
+    // itself: a fresh factor() prefers this very pivot (its pivot memory)
+    // exactly as long as it clears that ratio, so passing the guard means
+    // the replay repeats a fresh factor()'s arithmetic bit for bit.  The
+    // default bar is the looser KLU-style pivot_degradation_tol: the column
+    // stays numerically sound even though a repivoting factor() would have
+    // switched to the magnitude winner.
+    const double bar = bit_exact_ ? threshold_pivot_ratio : pivot_degradation_tol;
+    if (pivot_abs < 1e-300 || pivot_abs < bar * cand_abs) {
+      return false;  // pivot degraded
+    }
+
+    // Write the new values into the cached slots (same order factor() stored
+    // them).  Storage is exhaustive — factor() keeps exact zeros — so every
+    // replayed entry has a slot; a mismatch means the cached structure is
+    // stale and the caller must repivot.
+    int lk = l_colptr_[static_cast<std::size_t>(j)];
+    int uk = u_colptr_[static_cast<std::size_t>(j)];
+    const int lend = l_colptr_[static_cast<std::size_t>(j) + 1];
+    const int uend = u_colptr_[static_cast<std::size_t>(j) + 1] - 1;  // diag
+    for (int s = s0; s < s1; ++s) {
+      const int r = eorder_[static_cast<std::size_t>(s)];
+      if (r == prow) continue;
+      const int piv = pinv_[static_cast<std::size_t>(r)];
+      const double v = work[static_cast<std::size_t>(r)];
+      if (piv < j) {
+        if (uk >= uend || u_rowidx_[static_cast<std::size_t>(uk)] != piv) {
+          return false;
+        }
+        u_values_[static_cast<std::size_t>(uk++)] = v;
+      } else {
+        if (lk >= lend || l_rowidx_[static_cast<std::size_t>(lk)] != r) {
+          return false;
+        }
+        l_values_[static_cast<std::size_t>(lk++)] = v / pivot_val;
+      }
+    }
+    if (lk != lend || uk != uend) return false;
+    u_values_[static_cast<std::size_t>(uend)] = pivot_val;
+  }
+  factored_ = true;
+  return true;
+}
+
+void SparseLu::solve(std::vector<double>& b) {
   const int n = n_;
   // Forward solve L y = P b, where rows of L are in original indices and the
   // pivotal order is perm_.  y is indexed by pivot position.
-  std::vector<double> y(static_cast<std::size_t>(n));
+  solve_y_.resize(static_cast<std::size_t>(n));
+  std::vector<double>& y = solve_y_;
   // Work in "original row" space: w starts as b; eliminate in pivot order.
-  std::vector<double> w = b;
+  solve_w_.assign(b.begin(), b.end());
+  std::vector<double>& w = solve_w_;
   for (int j = 0; j < n; ++j) {
     const int prow = perm_[static_cast<std::size_t>(j)];
     const double yj = w[static_cast<std::size_t>(prow)];

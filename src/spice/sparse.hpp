@@ -5,6 +5,13 @@
 // Circuit matrices are extremely sparse (a handful of entries per row) and
 // moderately sized (up to ~10^5 unknowns for full-array netlists), which this
 // implementation handles comfortably without external dependencies.
+//
+// Newton iterations change matrix *values*, never the sparsity pattern, so
+// SparseLu splits the classic analyze+factor step from a value-only
+// refactor(): the pivot order, elimination order and L/U pattern from the
+// last full factor() are replayed against the new values (the KLU trick).
+// A refactor refuses — and the caller falls back to a full repivoting
+// factor() — when the inherited pivot degrades below a relative threshold.
 
 #include <cstddef>
 #include <vector>
@@ -28,20 +35,62 @@ struct CscMatrix {
 };
 
 /// Sparse LU with partial pivoting (Gilbert-Peierls).  Factor once, solve
-/// many right-hand sides.
+/// many right-hand sides; refactor when only the values changed.
 class SparseLu {
  public:
-  /// Factor A.  Returns false if the matrix is numerically singular.
+  /// Factor A with fresh partial pivoting.  Returns false if the matrix is
+  /// numerically singular.
   bool factor(const CscMatrix& a);
 
+  /// Re-factor a matrix with the same sparsity pattern as the last
+  /// successful factor(), reusing its pivot order and L/U structure — no
+  /// symbolic analysis, no pivot search, no allocation.  Returns false (and
+  /// leaves the factorisation invalid — call factor()) when:
+  ///  * no prior factor() succeeded, or the pattern fingerprint mismatches;
+  ///  * the inherited pivot magnitude in some column drops below
+  ///    `pivot_degradation_tol` times the best candidate a fresh
+  ///    partial-pivoting scan would consider (KLU-style guard);
+  ///  * in bit-exact mode (set_bit_exact), the bar rises to
+  ///    `threshold_pivot_ratio` — the exact ratio at which a repivoting
+  ///    factor() would stop keeping this pivot (sticky pivot memory), so a
+  ///    successful bit-exact refactor provably replays the same pivots;
+  ///  * new values do not line up with the cached L/U structure.
+  /// Whenever the inherited pivots coincide with what a fresh factor()
+  /// would pick (always true on success in bit-exact mode), the L/U factors
+  /// are bit-identical to factor()'s: the replay tape repeats the same
+  /// elimination order, i.e. the exact same arithmetic sequence.
+  bool refactor(const CscMatrix& a);
+
   /// Solve A x = b (b is overwritten with x).  Requires a prior successful
-  /// factor().
-  void solve(std::vector<double>& b) const;
+  /// factor() / refactor().
+  void solve(std::vector<double>& b);
 
   [[nodiscard]] int dimension() const { return n_; }
 
+  /// Strict mode: refactor() additionally bails whenever a fresh pivot scan
+  /// would pick a different row (see Tolerances::lu_refactor_bit_exact).
+  void set_bit_exact(bool on) { bit_exact_ = on; }
+
+  /// Relative pivot threshold below which refactor() bails out (KLU uses a
+  /// comparable growth guard before repivoting).
+  static constexpr double pivot_degradation_tol = 1e-3;
+
+  /// Sticky-pivot acceptance ratio (the SuperLU/SPICE threshold-pivoting
+  /// relaxation): a repivoting factor() keeps the pivot row the previous
+  /// successful factor() chose for a column whenever its magnitude is at
+  /// least this fraction of the column maximum, falling back to the
+  /// magnitude winner only for genuinely degraded columns.  Keeps fill at
+  /// first-factorisation quality (transient C/dt values steer a plain
+  /// argmax into ~20x worse orderings on large arrays) and makes the pivot
+  /// sequence stable across Newton value drift.  Also the refactor() bail
+  /// bar in bit-exact mode.
+  static constexpr double threshold_pivot_ratio = 0.1;
+
  private:
   int n_ = 0;
+  bool factored_ = false;
+  bool bit_exact_ = false;
+  int a_nnz_ = 0;  ///< nnz of the factored matrix (pattern fingerprint).
   // L is unit-lower-triangular, U upper-triangular, both in CSC over the
   // pivoted row ordering; perm_[k] = original row chosen as pivot k.
   std::vector<int> l_colptr_, l_rowidx_;
@@ -50,6 +99,18 @@ class SparseLu {
   std::vector<double> u_values_;
   std::vector<int> perm_;   ///< pivot position -> original row
   std::vector<int> pinv_;   ///< original row -> pivot position (or -1)
+  /// Pivot rows of the last successful factor(), preferred (when still
+  /// numerically acceptable) by the next factor() — see
+  /// threshold_pivot_ratio.  Survives refactor() bail-outs.
+  std::vector<int> pivot_mem_;
+  // Elimination replay tape for refactor(): eorder_[eptr_[j]..eptr_[j+1])
+  // is column j's reach set in the exact (topological) order factor()
+  // processed it.
+  std::vector<int> eptr_, eorder_;
+  // Reusable workspaces (factor/refactor numeric sweep and solve).
+  std::vector<double> work_;
+  std::vector<int> mark_;
+  std::vector<double> solve_y_, solve_w_;
 };
 
 }  // namespace mda::spice

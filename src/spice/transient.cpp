@@ -96,6 +96,7 @@ TransientResult TransientSimulator::run(const TransientParams& params) {
         result.steps == 0 ? Integration::BackwardEuler : params.method;
     NewtonResult r = newton_.solve(x, t + dt, dt, /*dc=*/false, method);
     result.total_newton_iterations += r.iterations;
+    if (r.used_fallback) ++result.fallback_steps;
     if (!r.converged) {
       rejects.add();
       x = x_prev;
@@ -133,8 +134,11 @@ TransientResult TransientSimulator::run(const TransientParams& params) {
         break;
       }
     }
-    // Adaptive growth: quick Newton convergence means the step was easy.
-    if (r.iterations <= 4) {
+    // Adaptive growth: quick *direct* Newton convergence means the step was
+    // easy.  A fallback-recovered step was a near-failure whatever its
+    // iteration count says — growing dt right after one invites the next
+    // reject, so require a plain solve.
+    if (r.iterations <= 4 && !r.used_fallback) {
       dt = std::min(dt * params.grow, params.dt_max);
     }
   }

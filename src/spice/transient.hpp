@@ -33,6 +33,9 @@ struct TransientResult {
   std::vector<double> final_x;     ///< Final solution vector.
   int steps = 0;
   long total_newton_iterations = 0;
+  /// Solve points (accepted or rejected) that needed a gmin/source-stepping
+  /// homotopy to converge — nonzero means the circuit was near-failing.
+  int fallback_steps = 0;
   double t_end = 0.0;              ///< Time actually reached.
 
   /// Trace lookup by probe name; throws std::out_of_range if missing.

@@ -17,6 +17,20 @@ struct Tolerances {
   double gmin = 1e-12;        ///< Minimum conductance to ground per node [S].
   int max_newton_iters = 400; ///< Iteration cap per solve.
   double v_step_limit = 0.5;  ///< Max per-iteration voltage update [V].
+  /// Reuse the previous LU pivot order via SparseLu::refactor() on
+  /// fixed-pattern Newton iterations (DESIGN.md §10).  Disable to force a
+  /// full repivoting factorisation every linearised solve (reference mode
+  /// for bit-identity tests and benches).
+  bool allow_lu_refactor = true;
+  /// Strict refactor guard: raise the refactor bail bar from
+  /// SparseLu::pivot_degradation_tol to SparseLu::threshold_pivot_ratio —
+  /// the exact ratio at which a repivoting factor() would abandon the
+  /// inherited pivot.  A refactor that clears the higher bar therefore
+  /// replays precisely the pivots a fresh factor() would choose, so results
+  /// are bit-identical to factoring from scratch every solve (DESIGN.md
+  /// §10).  Default off: keep the inherited pivot down to
+  /// pivot_degradation_tol of the best candidate (KLU semantics).
+  bool lu_refactor_bit_exact = false;
 };
 
 }  // namespace mda::spice

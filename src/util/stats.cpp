@@ -30,7 +30,9 @@ double stddev(std::span<const double> values) {
   const double m = mean(values);
   double acc = 0.0;
   for (double v : values) acc += (v - m) * (v - m);
-  return std::sqrt(acc / static_cast<double>(values.size()));
+  // Bessel-corrected (N-1) sample estimator: these values are spreads across
+  // seeds/trials in bench summaries, i.e. samples of a larger population.
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
 }
 
 double percentile(std::span<const double> values, double p) {

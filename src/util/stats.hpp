@@ -7,7 +7,7 @@
 
 namespace mda::util {
 
-/// Summary of a sample: count, mean, stddev (population), min, max, median.
+/// Summary of a sample: count, mean, stddev (sample, N-1), min, max, median.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
@@ -23,7 +23,8 @@ Summary summarize(std::span<const double> values);
 /// Arithmetic mean (0 for empty input).
 double mean(std::span<const double> values);
 
-/// Population standard deviation (0 for empty input).
+/// Sample standard deviation (Bessel-corrected, N-1 denominator); 0 for
+/// fewer than two values.
 double stddev(std::span<const double> values);
 
 /// p-th percentile with linear interpolation, p in [0, 100].

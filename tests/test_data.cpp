@@ -19,7 +19,9 @@ TEST(Normalize, ZnormalizeMoments) {
   Series s = {1.0, 2.0, 3.0, 4.0, 5.0};
   const Series z = znormalize(s);
   EXPECT_NEAR(util::mean(z), 0.0, 1e-12);
-  EXPECT_NEAR(util::stddev(z), 1.0, 1e-9);
+  // znormalize divides by the population sigma; util::stddev reports the
+  // Bessel-corrected sample estimator, hence the sqrt(N/(N-1)) factor.
+  EXPECT_NEAR(util::stddev(z), std::sqrt(5.0 / 4.0), 1e-9);
 }
 
 TEST(Normalize, ConstantSeriesBecomesZeros) {

@@ -113,6 +113,114 @@ TEST_P(RandomSystem, SparseMatchesDense) {
 INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystem,
                          ::testing::Values(3, 10, 50, 200, 500));
 
+// Build a diagonally dominant random sparse system and return its triplets.
+struct RandomTriplets {
+  std::vector<int> rows, cols;
+  std::vector<double> vals;
+};
+
+RandomTriplets make_random_triplets(int n, std::uint64_t seed) {
+  mda::util::Rng rng(seed);
+  RandomTriplets t;
+  for (int i = 0; i < n; ++i) {
+    double diag = 1.0;
+    for (int k = 0; k < 4; ++k) {
+      const int j = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      t.rows.push_back(i);
+      t.cols.push_back(j);
+      t.vals.push_back(v);
+      diag += std::abs(v);
+    }
+    t.rows.push_back(i);
+    t.cols.push_back(i);
+    t.vals.push_back(diag);
+  }
+  return t;
+}
+
+class RefactorSystem : public ::testing::TestWithParam<int> {};
+
+// refactor() must replay factor()'s exact arithmetic: with values a fresh
+// factor would pivot identically on, L/U — and therefore every solve — are
+// bit-identical to a from-scratch factorisation.
+TEST_P(RefactorSystem, RefactorBitIdenticalToFactor) {
+  const int n = GetParam();
+  RandomTriplets t = make_random_triplets(n, 99 + static_cast<std::uint64_t>(n));
+  const CscMatrix a0 =
+      CscMatrix::from_triplets(n, t.rows, t.cols, t.vals);
+
+  SparseLu cached;
+  ASSERT_TRUE(cached.factor(a0));
+
+  mda::util::Rng rng(7);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.uniform(-5.0, 5.0);
+
+  // Several Newton-like value updates on the fixed pattern: mild scaling
+  // keeps the diagonal dominant, so the inherited pivot order stays optimal.
+  for (int round = 0; round < 5; ++round) {
+    for (double& v : t.vals) v *= rng.uniform(0.9, 1.1);
+    const CscMatrix a = CscMatrix::from_triplets(n, t.rows, t.cols, t.vals);
+
+    ASSERT_TRUE(cached.refactor(a)) << "round " << round;
+    std::vector<double> x_refactor = b;
+    cached.solve(x_refactor);
+
+    SparseLu fresh;
+    ASSERT_TRUE(fresh.factor(a));
+    std::vector<double> x_factor = b;
+    fresh.solve(x_factor);
+
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(x_refactor[static_cast<std::size_t>(i)],
+                x_factor[static_cast<std::size_t>(i)])
+          << "round " << round << " unknown " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RefactorSystem,
+                         ::testing::Values(10, 50, 200, 500));
+
+TEST(SparseLuRefactor, PivotDegradationFallsBackToFactor) {
+  // Factor with a dominant diagonal so the diagonal is the pivot ...
+  const CscMatrix strong = CscMatrix::from_triplets(
+      2, {0, 0, 1, 1}, {0, 1, 0, 1}, {10.0, 1.0, 1.0, 10.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(strong));
+
+  // ... then collapse A(0,0): the inherited pivot is 1e9 times smaller than
+  // the off-diagonal candidate a fresh partial-pivoting pass would take.
+  const CscMatrix degraded = CscMatrix::from_triplets(
+      2, {0, 0, 1, 1}, {0, 1, 0, 1}, {1e-9, 1.0, 1.0, 10.0});
+  EXPECT_FALSE(lu.refactor(degraded));
+
+  // The caller's fallback — a full repivoting factor() — must succeed and
+  // solve correctly.
+  ASSERT_TRUE(lu.factor(degraded));
+  std::vector<double> b = {1.0, 11.0};
+  lu.solve(b);
+  std::vector<double> ax;
+  degraded.multiply(b, ax);
+  EXPECT_NEAR(ax[0], 1.0, 1e-9);
+  EXPECT_NEAR(ax[1], 11.0, 1e-9);
+}
+
+TEST(SparseLuRefactor, RequiresPriorFactor) {
+  const CscMatrix m =
+      CscMatrix::from_triplets(2, {0, 1}, {0, 1}, {1.0, 1.0});
+  SparseLu lu;
+  EXPECT_FALSE(lu.refactor(m));
+  ASSERT_TRUE(lu.factor(m));
+  EXPECT_TRUE(lu.refactor(m));
+  // Pattern fingerprint mismatch (different nnz) is rejected.
+  const CscMatrix bigger = CscMatrix::from_triplets(
+      2, {0, 1, 0}, {0, 1, 1}, {1.0, 1.0, 0.5});
+  EXPECT_FALSE(lu.refactor(bigger));
+}
+
 TEST(DenseLu, SingularDetected) {
   DenseLu lu;
   EXPECT_FALSE(lu.factor(2, {1.0, 2.0, 2.0, 4.0}));

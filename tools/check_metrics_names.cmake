@@ -26,6 +26,7 @@ file(GLOB_RECURSE _sources
 
 set(_bad "")
 set(_count 0)
+set(_seen "")
 foreach(_file IN LISTS _sources)
   file(READ "${_file}" _text)
   # Registration sites: named handles (obs::Counter c("...")) and direct
@@ -37,6 +38,7 @@ foreach(_file IN LISTS _sources)
     string(REGEX MATCH "\"([^\"]*)\"" _ignored "${_use}")
     set(_metric "${CMAKE_MATCH_1}")
     math(EXPR _count "${_count} + 1")
+    list(APPEND _seen "${_metric}")
     if(NOT _metric MATCHES "^${_name_re}$")
       file(RELATIVE_PATH _rel "${MDA_SOURCE_DIR}" "${_file}")
       list(APPEND _bad "  ${_rel}: '${_metric}'")
@@ -48,5 +50,33 @@ if(_bad)
   list(JOIN _bad "\n" _bad_lines)
   message(FATAL_ERROR "metric names violating mda.<subsystem>.<name> "
           "(subsystem in ${_subsystems}):\n${_bad_lines}")
+endif()
+
+# Contract metrics: names other tooling depends on (bench_solver --json, the
+# fault watchdog, DESIGN.md §10 dashboards).  Renaming one of these must be a
+# deliberate, reviewed change — so the build fails if a registration site for
+# any of them disappears.
+set(_required
+    "mda.spice.sparse_lu_factors"
+    "mda.spice.sparse_lu_refactors"
+    "mda.spice.refactor_fallbacks"
+    "mda.spice.mna_pattern_builds"
+    "mda.spice.sparse_lu_solves"
+    "mda.spice.dense_lu_solves"
+    "mda.spice.singular_systems"
+    "mda.spice.newton_iterations"
+    "mda.spice.newton_solves")
+set(_missing "")
+foreach(_name IN LISTS _required)
+  list(FIND _seen "${_name}" _found)
+  if(_found EQUAL -1)
+    list(APPEND _missing "  ${_name}")
+  endif()
+endforeach()
+if(_missing)
+  list(JOIN _missing "\n" _missing_lines)
+  message(FATAL_ERROR "contract metric names no longer registered anywhere "
+          "(update DESIGN.md + this list if the rename is intended):\n"
+          "${_missing_lines}")
 endif()
 message(STATUS "check_metrics_names: ${_count} registration sites OK")
