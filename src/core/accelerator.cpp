@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/array_builder.hpp"
+#include "core/array_cache.hpp"
 #include "core/dac_adc.hpp"
 #include "distance/registry.hpp"
 #include "fault/detection.hpp"
@@ -32,7 +33,15 @@ std::vector<Backend> degradation_chain(Backend start, const FaultHandling& fh) {
 }  // namespace
 
 Accelerator::Accelerator(AcceleratorConfig config)
-    : config_(config), timing_(TimingModel::defaults()) {}
+    : config_(std::move(config)), timing_(TimingModel::defaults()) {
+  // Configure-once, stream-many (DESIGN.md §11): the accelerator owns one
+  // instance cache shared by every per-attempt/per-thread config copy made
+  // from config_.  Campaigns may pre-install a cache shared across their
+  // per-query accelerators.
+  if (!config_.array_cache && config_.cache_capacity > 0) {
+    config_.array_cache = std::make_shared<ArrayCache>(config_.cache_capacity);
+  }
+}
 
 void Accelerator::configure(DistanceSpec spec) {
   // Validate against the configuration library (throws for unknown kinds).
@@ -69,6 +78,20 @@ double Accelerator::latency_s(std::size_t m, std::size_t n) const {
                                                std::max<std::size_t>(1, 4)));
   const double adc_time = 1.0 / 8.8e9;
   return analog + dac_time + adc_time;
+}
+
+double Accelerator::configuration_time_s() const {
+  const power::PeInventory inv = measure_pe_inventory(spec_.kind);
+  // The whole fabric is programmed for the function, independent of any one
+  // query's length: matrix-structured kinds fill the rows x cols PE grid,
+  // linear kinds one PE row.
+  const std::size_t cells = dist::is_matrix_structure(spec_.kind)
+                                ? config_.rows * config_.cols
+                                : config_.cols;
+  const double devices =
+      static_cast<double>(cells) * static_cast<double>(inv.memristor_paths);
+  return devices * static_cast<double>(kTuneIterations) *
+         (kModulatePulseS + kVerifyReadS);
 }
 
 power::PowerBreakdown Accelerator::power(std::size_t n) const {

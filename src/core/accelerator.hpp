@@ -63,6 +63,24 @@ class Accelerator {
   /// converter (DAC/ADC) serialisation.
   [[nodiscard]] double latency_s(std::size_t m, std::size_t n) const;
 
+  /// Modeled time for the control/configuration module to program the whole
+  /// fabric for the active distance function (Sec. 3.3(2), Fig. 4): every
+  /// source-to-ground memristor path of every PE runs the modulate/verify
+  /// loop serially through the shared write driver and 0.1 V probe.  This
+  /// is the cost the configure-once/stream-many deployment (Fig. 1,
+  /// DESIGN.md §11) amortises over a query stream — pay it once per
+  /// configuration instead of once per query.
+  [[nodiscard]] double configuration_time_s() const;
+
+  /// Program-and-verify model constants (see configuration_time_s).  The
+  /// paper: "the two steps can be iterated several times for better
+  /// precision" — kTuneIterations is a conservative ceiling on the
+  /// closed-loop convergence the tuning module (core/tuning.hpp) shows for
+  /// a 1% target tolerance (typically ~2 iterations, see bench_tuning).
+  static constexpr int kTuneIterations = 5;
+  static constexpr double kModulatePulseS = 100e-9;  ///< Write pulse width.
+  static constexpr double kVerifyReadS = 100e-9;     ///< Probe read + settle.
+
   /// Accelerator power in the active configuration at array size n
   /// (Sec. 4.3 accounting).
   [[nodiscard]] power::PowerBreakdown power(std::size_t n = 0) const;

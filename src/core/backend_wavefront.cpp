@@ -1,190 +1,21 @@
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
 #include <stdexcept>
 
-#include "blocks/diode_select.hpp"
-#include "blocks/subtractor.hpp"
 #include "core/array_builder.hpp"
+#include "core/array_cache.hpp"
 #include "core/backend.hpp"
 #include "core/dac_adc.hpp"
+#include "core/dc_harness.hpp"
 #include "fault/detection.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
-#include "spice/mna.hpp"
-#include "spice/newton.hpp"
 #include "spice/transient.hpp"
 #include "util/log.hpp"
 
 namespace mda::core {
 namespace {
-
-using spice::NodeId;
-
-/// A single PE (or auxiliary stage) circuit with source-driven inputs,
-/// DC-solved once per wavefront cell.  Warm-starts Newton from the previous
-/// cell's solution — neighbouring cells sit at similar operating points.
-class DcHarness {
- public:
-  DcHarness() : factory_(nullptr) {}
-
-  /// Finish construction after `build` populated the netlist.
-  void finalize() {
-    factory_->finalize_parasitics();
-    mna_ = std::make_unique<spice::MnaSystem>(net_);
-    newton_ = std::make_unique<spice::NewtonSolver>(*mna_);
-    x_.assign(static_cast<std::size_t>(mna_->num_unknowns()), 0.0);
-    warm_ = false;
-  }
-
-  double solve_out() {
-    static const obs::Counter cell_solves("mda.backend.wavefront_cell_solves");
-    static const obs::Counter restarts("mda.backend.wavefront_cold_restarts");
-    cell_solves.add();
-    if (!warm_) {
-      for (auto& dev : net_.devices()) dev->reset_state();
-    }
-    spice::NewtonResult r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
-    newton_total += r.iterations;
-    if (r.used_fallback) ++fallback_total;
-    if (!r.converged) {
-      // Cold restart once before giving up.
-      restarts.add();
-      std::fill(x_.begin(), x_.end(), 0.0);
-      r = newton_->solve(x_, 0.0, 0.0, /*dc=*/true);
-      newton_total += r.iterations;
-      if (r.used_fallback) ++fallback_total;
-      if (!r.converged) {
-        warm_ = false;
-        throw std::runtime_error("wavefront: DC solve failed to converge");
-      }
-    }
-    warm_ = true;
-    return x_[static_cast<std::size_t>(out_)];
-  }
-
-  spice::Netlist net_;
-  std::unique_ptr<blocks::BlockFactory> factory_;
-  std::vector<spice::VSource*> sources_;
-  NodeId out_ = spice::kGround;
-  long newton_total = 0;    ///< Newton iterations across all solves.
-  long fallback_total = 0;  ///< Solves that needed gmin/source stepping.
-
- private:
-  std::unique_ptr<spice::MnaSystem> mna_;
-  std::unique_ptr<spice::NewtonSolver> newton_;
-  std::vector<double> x_;
-  bool warm_ = false;
-};
-
-/// Add a source-driven input node.
-NodeId add_source(DcHarness& h, const std::string& name) {
-  const NodeId node = h.net_.node(name);
-  h.sources_.push_back(&h.net_.add<spice::VSource>(node, spice::kGround,
-                                                   spice::Waveform::dc(0.0)));
-  return node;
-}
-
-void set_sources(DcHarness& h, std::initializer_list<double> values) {
-  if (values.size() != h.sources_.size()) {
-    throw std::logic_error("wavefront: source count mismatch");
-  }
-  std::size_t k = 0;
-  for (double v : values) {
-    h.sources_[k++]->set_waveform(spice::Waveform::dc(v));
-  }
-}
-
-/// Build a matrix-PE harness: sources are (p, q, left, up, diag).
-std::unique_ptr<DcHarness> make_matrix_pe_harness(dist::DistanceKind kind,
-                                                  const AcceleratorConfig& cfg,
-                                                  double vthre_volts,
-                                                  double vstep_volts,
-                                                  double weight) {
-  auto h = std::make_unique<DcHarness>();
-  h->factory_ = std::make_unique<blocks::BlockFactory>(h->net_, cfg.env);
-  MatrixPeInputs in;
-  in.p = add_source(*h, "in/p");
-  in.q = add_source(*h, "in/q");
-  in.left = add_source(*h, "in/left");
-  in.up = add_source(*h, "in/up");
-  in.diag = add_source(*h, "in/diag");
-  PeBias bias;
-  bias.vthre = h->factory_->bias(vthre_volts, "bias/vthre");
-  bias.vstep = h->factory_->bias(vstep_volts, "bias/vstep");
-  PeBuild pe;
-  switch (kind) {
-    case dist::DistanceKind::Dtw:
-      pe = build_dtw_pe(*h->factory_, in, weight, "pe");
-      break;
-    case dist::DistanceKind::Lcs:
-      pe = build_lcs_pe(*h->factory_, in, bias, weight, "pe");
-      break;
-    case dist::DistanceKind::Edit:
-      pe = build_edit_pe(*h->factory_, in, bias, weight, "pe");
-      break;
-    default:
-      throw std::logic_error("not a matrix PE kind");
-  }
-  h->out_ = pe.out;
-  h->finalize();
-  return h;
-}
-
-/// HauD column harness: m PE (p, q) source pairs feeding the shared column
-/// diode-OR rail, followed by the converter — one DC solve per column.
-/// Sources are ordered p_0, q_0, p_1, q_1, ...
-std::unique_ptr<DcHarness> make_haud_column_harness(
-    const AcceleratorConfig& cfg, std::size_t m,
-    const std::vector<double>& weights) {
-  auto h = std::make_unique<DcHarness>();
-  h->factory_ = std::make_unique<blocks::BlockFactory>(h->net_, cfg.env);
-  std::vector<NodeId> comp_outs;
-  comp_outs.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    const NodeId p = add_source(*h, "in/p" + std::to_string(i));
-    const NodeId q = add_source(*h, "in/q" + std::to_string(i));
-    PeBuild pe = build_hausdorff_pe(*h->factory_, p, q, weights[i],
-                                    "pe_" + std::to_string(i));
-    comp_outs.push_back(pe.out);
-  }
-  blocks::DiodeMaxHandles col_max =
-      blocks::make_diode_max(*h->factory_, comp_outs, "colmax");
-  h->out_ = blocks::make_diff_amp(*h->factory_, h->factory_->rails().vcc,
-                                  col_max.out, 1.0, "conv")
-                .out;
-  h->finalize();
-  return h;
-}
-
-/// Per-weight harness cache (weights are usually all 1.0).
-class HarnessCache {
- public:
-  template <typename MakeFn>
-  DcHarness& get(double weight, MakeFn&& make) {
-    auto it = cache_.find(weight);
-    if (it == cache_.end()) {
-      it = cache_.emplace(weight, make(weight)).first;
-    }
-    return *it->second;
-  }
-
-  [[nodiscard]] long total_newton() const {
-    long total = 0;
-    for (const auto& [w, h] : cache_) total += h->newton_total;
-    return total;
-  }
-
-  [[nodiscard]] long total_fallbacks() const {
-    long total = 0;
-    for (const auto& [w, h] : cache_) total += h->fallback_total;
-    return total;
-  }
-
- private:
-  std::map<double, std::unique_ptr<DcHarness>> cache_;
-};
 
 AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
                                  const DistanceSpec& spec,
@@ -193,7 +24,18 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
   const std::size_t m = enc.p_volts.size();
   const std::size_t n = enc.q_volts.size();
   const double vthre = spec.threshold * config.voltage_resolution * enc.scale;
-  HarnessCache cache;
+
+  // Configure-once, stream-many (DESIGN.md §11): the per-weight harness
+  // pool persists across same-configuration queries; begin_query() resets
+  // each pooled harness to fresh-built numeric state, so the wavefront
+  // replays a cold run's arithmetic bit for bit.
+  ArrayCache::Lease lease = ArrayCache::checkout(
+      config.array_cache,
+      make_instance_key(InstanceType::MatrixWavefront, config, spec, enc, m,
+                        n),
+      [] { return std::make_unique<MatrixWavefrontInstance>(); });
+  auto* inst = static_cast<MatrixWavefrontInstance*>(lease.get());
+  inst->begin_query();
   auto make = [&](double w) {
     return make_matrix_pe_harness(spec.kind, config, vthre, enc.vstep_eff, w);
   };
@@ -242,8 +84,9 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
         at(i, j) = v_inf;
         continue;
       }
-      const double w =
-          spec.pair_weights ? (*spec.pair_weights)[(i - 1) * n + (j - 1)] : 1.0;
+      const double w = quantize_weight(
+          spec.pair_weights ? (*spec.pair_weights)[(i - 1) * n + (j - 1)]
+                            : 1.0);
       const double left = at(i, j - 1);
       const double up = at(i - 1, j);
       const double diag = at(i - 1, j - 1);
@@ -271,7 +114,8 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
           break;
       }
 
-      DcHarness& h = cache.get(w, make);
+      DcHarness& h =
+          inst->harnesses.get(weight_key(w), [&] { return make(w); });
       set_sources(h, {enc.p_volts[i - 1], enc.q_volts[j - 1], left, up, diag});
       double solved = 0.0;
       bool solved_ok = true;
@@ -316,8 +160,8 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
       if (at_tile_edge(i, j)) at(i, j) = edge_adc.quantize(at(i, j));
     }
   }
-  result.newton_iterations = cache.total_newton();
-  result.solver_fallbacks = cache.total_fallbacks();
+  result.newton_iterations = inst->harnesses.total_newton();
+  result.solver_fallbacks = inst->harnesses.total_fallbacks();
   if (fault::watchdog_tripped(result.newton_iterations,
                               config.fault_handling.newton_budget)) {
     result.error = "wavefront watchdog: Newton budget exceeded";
@@ -336,34 +180,43 @@ AnalogEval eval_haud_wavefront(const AcceleratorConfig& config,
   const std::size_t m = enc.p_volts.size();
   const std::size_t n = enc.q_volts.size();
 
-  // Final diode max over the n column minima.
-  DcHarness finmax;
-  finmax.factory_ =
-      std::make_unique<blocks::BlockFactory>(finmax.net_, config.env);
-  std::vector<NodeId> fin_inputs;
-  for (std::size_t j = 0; j < n; ++j) {
-    fin_inputs.push_back(add_source(finmax, "in/c" + std::to_string(j)));
-  }
-  finmax.out_ =
-      blocks::make_diode_max(*finmax.factory_, fin_inputs, "max").out;
-  finmax.finalize();
+  ArrayCache::Lease lease = ArrayCache::checkout(
+      config.array_cache,
+      make_instance_key(InstanceType::HaudWavefront, config, spec, enc, m, n),
+      [] { return std::make_unique<HaudWavefrontInstance>(); });
+  auto* inst = static_cast<HaudWavefrontInstance*>(lease.get());
 
-  std::unique_ptr<DcHarness> column;
-  std::vector<double> prev_weights;
+  // Final diode max over the n column minima.
+  if (!inst->finmax) {
+    inst->finmax = make_haud_finmax_harness(config, n);
+  } else {
+    inst->finmax->reset_for_query();
+  }
+  DcHarness& finmax = *inst->finmax;
+
+  // Column harness lifecycle mirrors the fresh path: the fresh path built a
+  // new (cold) harness at every weights-change boundary, so a pooled
+  // harness is reset — and its counters banked — at exactly those points.
+  DcHarness* column = nullptr;
+  std::uint64_t prev_digest = 0;
   for (std::size_t j = 0; j < n; ++j) {
     std::vector<double> weights(m, 1.0);
     if (spec.pair_weights) {
       for (std::size_t i = 0; i < m; ++i) {
-        weights[i] = (*spec.pair_weights)[i * n + j];
+        weights[i] = quantize_weight((*spec.pair_weights)[i * n + j]);
       }
     }
-    if (!column || weights != prev_weights) {
+    const std::uint64_t digest = weights_digest(weights);
+    if (!column || digest != prev_digest) {
       if (column) {
         result.newton_iterations += column->newton_total;
         result.solver_fallbacks += column->fallback_total;
       }
-      column = make_haud_column_harness(config, m, weights);
-      prev_weights = weights;
+      column = &inst->columns.get(digest, [&] {
+        return make_haud_column_harness(config, m, weights);
+      });
+      column->reset_for_query();
+      prev_digest = digest;
     }
     for (std::size_t i = 0; i < m; ++i) {
       column->sources_[2 * i]->set_waveform(
@@ -389,19 +242,30 @@ AnalogEval eval_row_wavefront(const AcceleratorConfig& config,
                               const EncodedInputs& enc) {
   // The row structure is cheap enough to DC-solve whole.
   AnalogEval result;
-  AcceleratorConfig cfg = config;
-  cfg.vstep = enc.vstep_eff;
-  ArrayCircuit array =
-      build_array(cfg, spec, enc.p_volts.size(), enc.q_volts.size());
-  array.set_dc_inputs(enc.p_volts, enc.q_volts);
-  spice::TransientSimulator sim(*array.net);
-  std::vector<double> x = sim.dc_operating_point();
+  ArrayCache::Lease lease = ArrayCache::checkout(
+      config.array_cache,
+      make_instance_key(InstanceType::RowWavefront, config, spec, enc,
+                        enc.p_volts.size(), enc.q_volts.size()),
+      [] { return std::make_unique<SimArrayInstance>(); });
+  auto* inst = static_cast<SimArrayInstance*>(lease.get());
+  if (!inst->built) {
+    AcceleratorConfig cfg = config;
+    cfg.vstep = enc.vstep_eff;
+    inst->array =
+        build_array(cfg, spec, enc.p_volts.size(), enc.q_volts.size());
+    inst->sim = std::make_unique<spice::TransientSimulator>(*inst->array.net);
+    inst->built = true;
+  } else {
+    inst->begin_query();
+  }
+  inst->array.set_dc_inputs(enc.p_volts, enc.q_volts);
+  std::vector<double> x = inst->sim->dc_operating_point();
   if (x.empty()) {
     result.error = "row-array DC operating point failed";
     return result;
   }
   result.ok = true;
-  result.out_volts = x[static_cast<std::size_t>(array.out)];
+  result.out_volts = x[static_cast<std::size_t>(inst->array.out)];
   return result;
 }
 

@@ -21,6 +21,8 @@ class FaultPlan;
 
 namespace mda::core {
 
+class ArrayCache;
+
 /// Execution backend selector (see backend.hpp for the fidelity
 /// trade-offs).  Part of AcceleratorConfig since the backend is a property
 /// of how an accelerator instance is operated, not of one compute() call.
@@ -80,6 +82,17 @@ struct AcceleratorConfig {
 
   /// Backend used by Accelerator::compute()/try_compute().
   Backend backend = Backend::Wavefront;
+
+  /// LRU capacity (distinct configurations) of the cross-query instance
+  /// cache (DESIGN.md §11): built arrays/harnesses are reset and reused
+  /// between same-configuration queries instead of rebuilt.  0 disables
+  /// cross-query reuse (fresh build per query).
+  std::size_t cache_capacity = 8;
+  /// The instance cache itself.  Installed by the Accelerator constructor
+  /// when cache_capacity > 0 (or pre-seeded by a campaign so per-query
+  /// accelerators share one pool); shared so per-thread config copies reuse
+  /// the same instances.
+  std::shared_ptr<ArrayCache> array_cache;
 
   /// Optional fault-injection plan (nullptr = healthy hardware).  Shared so
   /// per-thread config copies observe the same deterministic plan.

@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/array_cache.hpp"
 #include "core/batch_engine.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,13 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   core::AcceleratorConfig base = config.base;
   base.backend = config.backend;
   base.fault_handling = config.handling;
+  // One instance cache shared across the per-query accelerators (DESIGN.md
+  // §11): wavefront harnesses are fault-plan-invariant (cell faults apply at
+  // the measured-value level), so the whole campaign amortises one build.
+  // FullSpice arrays bypass the cache whenever a plan is active.
+  if (!base.array_cache && base.cache_capacity > 0) {
+    base.array_cache = std::make_shared<core::ArrayCache>(base.cache_capacity);
+  }
 
   CampaignReport report;
   report.config = config;

@@ -8,7 +8,7 @@ namespace mda::spice {
 
 namespace {
 // Below this size a dense solve is faster than sparse assembly overhead.
-constexpr int kDenseThreshold = 80;
+constexpr int kDenseThreshold = 16;
 }  // namespace
 
 MnaSystem::MnaSystem(Netlist& netlist, Tolerances tol)
@@ -27,10 +27,29 @@ MnaSystem::MnaSystem(Netlist& netlist, Tolerances tol)
   sparse_lu_.set_bit_exact(tol_.lu_refactor_bit_exact);
 }
 
+void MnaSystem::reset_solver_state() {
+  // Stream fast-path (DESIGN.md §11): when refactoring is enabled the
+  // factorisation is kept across the query boundary.  The next linearised
+  // solve re-enters it through refactor_cold_exact(), which either replays
+  // a *cold* factor()'s exact arithmetic or rejects — and rejection drops
+  // the LU together with the sticky pivot memory before the cold factor()
+  // runs.  Either way the query is bit-identical to one on a freshly
+  // constructed MnaSystem.
+  lu_stream_pending_ = lu_valid_ && tol_.allow_lu_refactor;
+  lu_valid_ = false;
+  if (!lu_stream_pending_) sparse_lu_.reset();
+}
+
 void MnaSystem::rebuild_structure_cache() {
   static const obs::Counter pattern_builds("mda.spice.mna_pattern_builds");
   pattern_builds.add();
   lu_valid_ = false;
+  // A pattern change orphans any factorisation held across a query
+  // boundary; drop it (and the pivot memory) so the next factor() is cold.
+  if (lu_stream_pending_) {
+    lu_stream_pending_ = false;
+    sparse_lu_.reset();
+  }
   pat_rows_ = rows_;
   pat_cols_ = cols_;
 
@@ -115,6 +134,7 @@ bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
   static const obs::Counter sparse_refactors("mda.spice.sparse_lu_refactors");
   static const obs::Counter refactor_fallbacks("mda.spice.refactor_fallbacks");
   static const obs::Counter sparse_solves("mda.spice.sparse_lu_solves");
+  static const obs::Counter stream_reuses("mda.spice.lu_stream_reuses");
   static const obs::Counter singular("mda.spice.singular_systems");
 
   x_out = rhs_;
@@ -146,6 +166,23 @@ bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
   for (std::size_t i = 0; i < accum_trip_.size(); ++i) {
     csc_.values[static_cast<std::size_t>(accum_slot_[i])] +=
         vals_[static_cast<std::size_t>(accum_trip_[i])];
+  }
+
+  // Cross-query reuse (DESIGN.md §11): a factorisation carried over a
+  // reset_solver_state() boundary may only be re-entered through the
+  // cold-exact guard, which certifies the replay is bit-identical to the
+  // cold factor() below.  On rejection the pivot memory is cleared too, so
+  // the fallback factor() cannot see any state from the previous query.
+  if (lu_stream_pending_) {
+    lu_stream_pending_ = false;
+    if (sparse_lu_.refactor_cold_exact(csc_)) {
+      stream_reuses.add();
+      lu_valid_ = true;
+      sparse_lu_.solve(x_out);
+      sparse_solves.add();
+      return true;
+    }
+    sparse_lu_.reset();
   }
 
   if (lu_valid_ && tol_.allow_lu_refactor) {

@@ -41,6 +41,18 @@ class MnaSystem {
   /// True if unknown index `i` is a node voltage (false: branch current).
   [[nodiscard]] bool is_voltage_unknown(int i) const { return i < num_nodes_; }
 
+  /// Reset cross-solve solver state while keeping the structural caches
+  /// (CSC pattern, accumulation tape, workspaces).  After this call the
+  /// next solve_linearized() produces the exact results of a freshly
+  /// constructed MnaSystem over the same netlist — the hook the cross-query
+  /// instance cache (DESIGN.md §11) uses to make cached solves bit-identical
+  /// to cold ones.  When refactoring is enabled, the LU factorisation is
+  /// kept across the boundary and re-entered through
+  /// SparseLu::refactor_cold_exact(), whose guard certifies the replay
+  /// repeats a cold factor()'s arithmetic bit for bit; any guard failure
+  /// falls back to a genuinely cold factor (pivot memory cleared first).
+  void reset_solver_state();
+
  private:
   /// Rebuild the CSC pattern cache and accumulation tape from the triplets
   /// currently in rows_/cols_.  Invalidates any cached LU factorisation.
@@ -68,6 +80,9 @@ class MnaSystem {
   // Solver state reused across linearised solves.
   SparseLu sparse_lu_;
   bool lu_valid_ = false;  ///< sparse_lu_ holds a refactorable factorisation.
+  /// A factorisation survived reset_solver_state(); the next sparse solve
+  /// may reuse it only through the cold-exact guard (see solve_linearized).
+  bool lu_stream_pending_ = false;
   DenseLu dense_lu_;
   std::vector<double> dense_;  ///< Reused n^2 assembly buffer (dense path).
 };

@@ -83,6 +83,13 @@ void CscMatrix::multiply(const std::vector<double>& x,
   }
 }
 
+void SparseLu::reset() {
+  factored_ = false;
+  a_nnz_ = 0;
+  n_ = 0;
+  pivot_mem_.clear();
+}
+
 bool SparseLu::factor(const CscMatrix& a) {
   n_ = a.n;
   const int n = n_;
@@ -251,7 +258,13 @@ bool SparseLu::factor(const CscMatrix& a) {
   return true;
 }
 
-bool SparseLu::refactor(const CscMatrix& a) {
+bool SparseLu::refactor(const CscMatrix& a) { return refactor_impl(a, false); }
+
+bool SparseLu::refactor_cold_exact(const CscMatrix& a) {
+  return refactor_impl(a, true);
+}
+
+bool SparseLu::refactor_impl(const CscMatrix& a, bool cold_exact) {
   if (!factored_ || a.n != n_ ||
       static_cast<int>(a.values.size()) != a_nnz_) {
     return false;
@@ -298,23 +311,47 @@ bool SparseLu::refactor(const CscMatrix& a) {
     const int prow = perm_[static_cast<std::size_t>(j)];
     const double pivot_val = work[static_cast<std::size_t>(prow)];
     const double pivot_abs = std::abs(pivot_val);
-    double cand_abs = 0.0;
-    for (int s = s0; s < s1; ++s) {
-      const int r = eorder_[static_cast<std::size_t>(s)];
-      if (pinv_[static_cast<std::size_t>(r)] < j) continue;  // already pivotal
-      const double v = std::abs(work[static_cast<std::size_t>(r)]);
-      if (v > cand_abs) cand_abs = v;
-    }
-    // Degradation guard.  In bit-exact mode the bar is threshold_pivot_ratio
-    // itself: a fresh factor() prefers this very pivot (its pivot memory)
-    // exactly as long as it clears that ratio, so passing the guard means
-    // the replay repeats a fresh factor()'s arithmetic bit for bit.  The
-    // default bar is the looser KLU-style pivot_degradation_tol: the column
-    // stays numerically sound even though a repivoting factor() would have
-    // switched to the magnitude winner.
-    const double bar = bit_exact_ ? threshold_pivot_ratio : pivot_degradation_tol;
-    if (pivot_abs < 1e-300 || pivot_abs < bar * cand_abs) {
-      return false;  // pivot degraded
+    if (cold_exact) {
+      // Cold-equivalence guard: rerun factor()'s pivot scan exactly — its
+      // post-order traversal (the reverse of the stored topological tape)
+      // with strict >, over the rows not yet pivotal at time j — and demand
+      // it lands on the inherited pivot row.  An empty pivot memory plays
+      // no part in that scan, so success means a cold factor() would have
+      // chosen these very pivots and therefore run this very arithmetic.
+      int argmax_row = -1;
+      double max_abs = 0.0;
+      for (int s = s1 - 1; s >= s0; --s) {
+        const int r = eorder_[static_cast<std::size_t>(s)];
+        if (pinv_[static_cast<std::size_t>(r)] < j) continue;
+        const double v = std::abs(work[static_cast<std::size_t>(r)]);
+        if (v > max_abs) {
+          max_abs = v;
+          argmax_row = r;
+        }
+      }
+      if (argmax_row != prow || max_abs < 1e-300) {
+        return false;  // a cold factor() would pivot differently
+      }
+    } else {
+      double cand_abs = 0.0;
+      for (int s = s0; s < s1; ++s) {
+        const int r = eorder_[static_cast<std::size_t>(s)];
+        if (pinv_[static_cast<std::size_t>(r)] < j) continue;  // already pivotal
+        const double v = std::abs(work[static_cast<std::size_t>(r)]);
+        if (v > cand_abs) cand_abs = v;
+      }
+      // Degradation guard.  In bit-exact mode the bar is threshold_pivot_ratio
+      // itself: a fresh factor() prefers this very pivot (its pivot memory)
+      // exactly as long as it clears that ratio, so passing the guard means
+      // the replay repeats a fresh factor()'s arithmetic bit for bit.  The
+      // default bar is the looser KLU-style pivot_degradation_tol: the column
+      // stays numerically sound even though a repivoting factor() would have
+      // switched to the magnitude winner.
+      const double bar =
+          bit_exact_ ? threshold_pivot_ratio : pivot_degradation_tol;
+      if (pivot_abs < 1e-300 || pivot_abs < bar * cand_abs) {
+        return false;  // pivot degraded
+      }
     }
 
     // Write the new values into the cached slots (same order factor() stored

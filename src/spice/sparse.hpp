@@ -61,6 +61,20 @@ class SparseLu {
   /// elimination order, i.e. the exact same arithmetic sequence.
   bool refactor(const CscMatrix& a);
 
+  /// Value-only refactor that is provably bit-identical to a *cold* full
+  /// factor() — one on a freshly constructed SparseLu with empty pivot
+  /// memory.  Per column it re-runs factor()'s exact pivot scan (same
+  /// post-order traversal, strict >) over the replayed values and succeeds
+  /// only when the scan lands on the inherited pivot row, in which case the
+  /// replay repeats a cold factor()'s arithmetic sequence bit for bit.
+  /// Returns false (factorisation left invalid) as soon as any column's
+  /// argmax moved; the caller must then reset() and factor() so pivot
+  /// memory cannot leak into the fallback.  Used by the cross-query
+  /// instance cache (DESIGN.md §11) to re-enter a stream query without
+  /// paying the symbolic analysis + pivot search, while preserving the
+  /// cached == fresh-build bit-identity contract.
+  bool refactor_cold_exact(const CscMatrix& a);
+
   /// Solve A x = b (b is overwritten with x).  Requires a prior successful
   /// factor() / refactor().
   void solve(std::vector<double>& b);
@@ -70,6 +84,14 @@ class SparseLu {
   /// Strict mode: refactor() additionally bails whenever a fresh pivot scan
   /// would pick a different row (see Tolerances::lu_refactor_bit_exact).
   void set_bit_exact(bool on) { bit_exact_ = on; }
+
+  /// Forget all numeric state — factorisation, pattern fingerprint and the
+  /// sticky pivot memory — so the next factor() behaves exactly like one on
+  /// a freshly constructed SparseLu.  Allocations are kept.  Used by the
+  /// cross-query instance cache (DESIGN.md §11): pivot memory influences
+  /// subsequent pivot choices, so it must not leak between queries that are
+  /// contractually bit-identical to cold runs.
+  void reset();
 
   /// Relative pivot threshold below which refactor() bails out (KLU uses a
   /// comparable growth guard before repivoting).
@@ -87,6 +109,10 @@ class SparseLu {
   static constexpr double threshold_pivot_ratio = 0.1;
 
  private:
+  /// Shared body of refactor() / refactor_cold_exact(); `cold_exact` swaps
+  /// the degradation guard for the cold pivot-scan equivalence check.
+  bool refactor_impl(const CscMatrix& a, bool cold_exact);
+
   int n_ = 0;
   bool factored_ = false;
   bool bit_exact_ = false;

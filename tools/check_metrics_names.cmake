@@ -16,7 +16,7 @@ if(NOT DEFINED MDA_SOURCE_DIR)
   message(FATAL_ERROR "check_metrics_names: pass -DMDA_SOURCE_DIR=<repo root>")
 endif()
 
-set(_subsystems "spice|backend|accel|batch|mining|obs|fault")
+set(_subsystems "spice|backend|accel|batch|mining|obs|fault|cache")
 set(_name_re "mda\\.(${_subsystems})\\.[a-z][a-z0-9_]*")
 
 file(GLOB_RECURSE _sources
@@ -65,7 +65,13 @@ set(_required
     "mda.spice.dense_lu_solves"
     "mda.spice.singular_systems"
     "mda.spice.newton_iterations"
-    "mda.spice.newton_solves")
+    "mda.spice.newton_solves"
+    "mda.cache.hits"
+    "mda.cache.misses"
+    "mda.cache.builds_avoided"
+    "mda.cache.evictions"
+    "mda.cache.bytes"
+    "mda.cache.entries")
 set(_missing "")
 foreach(_name IN LISTS _required)
   list(FIND _seen "${_name}" _found)

@@ -163,7 +163,10 @@ int cmd_batch(int argc, char** argv) {
       static_cast<std::size_t>(flag_num(argc, argv, "threads", 0));
   opts.chunk_size = static_cast<std::size_t>(flag_num(argc, argv, "chunk", 0));
 
-  core::Accelerator acc;
+  core::AcceleratorConfig acfg;
+  acfg.cache_capacity =
+      static_cast<std::size_t>(flag_num(argc, argv, "cache", 8));
+  core::Accelerator acc(acfg);
   acc.configure(spec);
   core::BatchEngine engine(opts);
 
@@ -219,7 +222,10 @@ int cmd_compute(int argc, char** argv) {
 
   const auto backend = parse_backend(argc, argv);
   if (!backend) return 1;
-  core::Accelerator acc;
+  core::AcceleratorConfig acfg;
+  acfg.cache_capacity =
+      static_cast<std::size_t>(flag_num(argc, argv, "cache", 8));
+  core::Accelerator acc(acfg);
   acc.configure(spec, *backend);
   const core::ComputeResult r = acc.compute(*p, *q);
   std::printf("function:        %s\n", dist::kind_name(spec.kind).c_str());
@@ -339,6 +345,8 @@ int cmd_faults(int argc, char** argv) {
   cfg.length = static_cast<std::size_t>(flag_num(argc, argv, "length", 8));
   cfg.seed = static_cast<std::uint64_t>(flag_num(argc, argv, "seed", 42));
   cfg.threads = static_cast<std::size_t>(flag_num(argc, argv, "threads", 1));
+  cfg.base.cache_capacity =
+      static_cast<std::size_t>(flag_num(argc, argv, "cache", 8));
 
   // Fault rates (per-site probabilities; all default 0 = healthy hardware).
   cfg.faults.stuck_rate = flag_num(argc, argv, "stuck", 0.0);
@@ -395,8 +403,10 @@ void usage() {
                "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
                "            [--backend=behavioral|wavefront|fullspice]\n"
                "            [--threshold=T] [--band=R] [--pfile/--qfile=CSV]\n"
+               "            [--cache=N  instance-cache LRU capacity, 0=off]\n"
                "  batch     --kind=dtw --pfile=A.csv --qfile=B.csv\n"
                "            [--threads=N (0=auto)] [--chunk=C] [--backend=...]\n"
+               "            [--cache=N]\n"
                "            all P-rows x Q-rows pairs on the parallel engine\n"
                "  faults    [--kind=dtw] [--backend=...] [--queries=32]\n"
                "            [--length=8] [--seed=42] [--threads=1]\n"
@@ -405,7 +415,7 @@ void usage() {
                "            [--force-nonconv=1]\n"
                "            recovery: [--retries=1] [--degrade=0|1]\n"
                "            [--retune=0|1] [--envelope=0|1] [--residual=0|1]\n"
-               "            [--newton-budget=N] [--verbose=1]\n"
+               "            [--newton-budget=N] [--verbose=1] [--cache=N]\n"
                "            injection campaign -> survival/accuracy report\n"
                "  info      configuration library, power, timing fits\n"
                "  export    --kind=md [--n=4] [--parasitics=1]\n"
