@@ -1,6 +1,7 @@
 #include "core/accelerator.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -107,7 +108,10 @@ power::PowerBreakdown Accelerator::power(std::size_t n) const {
 
 ComputeOutcome Accelerator::try_compute_with(Backend backend,
                                              std::span<const double> p,
-                                             std::span<const double> q) const {
+                                             std::span<const double> q,
+                                             const EncodedInputs* pre_enc,
+                                             const AnalogEval* first_eval)
+    const {
   static const obs::Counter computes("mda.accel.computes");
   static const obs::Counter failures("mda.accel.failures");
   static const obs::Histogram compute_time("mda.accel.compute_time_s");
@@ -132,13 +136,17 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
   static const obs::Counter recovered_ctr("mda.fault.recovered");
 
   EncodedInputs enc;
-  try {
-    enc = encode_inputs(config_, spec_, p, q);
-  } catch (const std::exception& e) {
-    failures.add();
-    ComputeError err{ComputeErrorCode::BackendFailure, e.what()};
-    err.backend = backend;
-    return err;
+  if (pre_enc != nullptr) {
+    enc = *pre_enc;  // Already encoded (and counted) by the batch caller.
+  } else {
+    try {
+      enc = encode_inputs(config_, spec_, p, q);
+    } catch (const std::exception& e) {
+      failures.add();
+      ComputeError err{ComputeErrorCode::BackendFailure, e.what()};
+      err.backend = backend;
+      return err;
+    }
   }
 
   const bool counting = spec_.kind == dist::DistanceKind::Lcs ||
@@ -163,16 +171,25 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
     for (int attempt = 0; attempt <= fh.max_retries; ++attempt) {
       ++attempts;
       if (attempt > 0) retries_ctr.add();
-      AcceleratorConfig cfg = config_;
-      cfg.fault_attempt = attempt;
       bool ok = false;
-      try {
-        eval = evaluate(chain[c], cfg, spec_, enc);
+      if (first_eval != nullptr && c == 0 && attempt == 0) {
+        // The chain's first attempt was evaluated (and its backend metrics
+        // counted) by the lockstep batch; consume it here and let every
+        // later attempt run the normal path.
+        eval = *first_eval;
         ok = eval.ok;
         if (!ok) last_error = eval.error;
-      } catch (const std::exception& e) {
-        eval = AnalogEval{};
-        last_error = e.what();
+      } else {
+        AcceleratorConfig cfg = config_;
+        cfg.fault_attempt = attempt;
+        try {
+          eval = evaluate(chain[c], cfg, spec_, enc);
+          ok = eval.ok;
+          if (!ok) last_error = eval.error;
+        } catch (const std::exception& e) {
+          eval = AnalogEval{};
+          last_error = e.what();
+        }
       }
       newton_total += eval.newton_iterations;
       fallback_solves += eval.solver_fallbacks;
@@ -281,6 +298,59 @@ ComputeResult Accelerator::unwrap(ComputeOutcome outcome) {
 ComputeOutcome Accelerator::try_compute(std::span<const double> p,
                                         std::span<const double> q) const {
   return try_compute_with(config_.backend, p, q);
+}
+
+std::vector<ComputeOutcome> Accelerator::try_compute_lockstep(
+    std::span<const QueryView> queries) const {
+  static const obs::Counter groups("mda.accel.lockstep_groups");
+  static const obs::Counter lanes("mda.accel.lockstep_lanes");
+  static const obs::Counter scalar_lanes("mda.accel.lockstep_scalar_lanes");
+
+  const std::size_t count = queries.size();
+  std::vector<std::optional<ComputeOutcome>> slots(count);
+  // A lane joins the batched first attempt only when that attempt would be
+  // a plain FullSpice evaluation: configured backend FullSpice, no fault
+  // plan, valid inputs, encodable.  Everything else takes the scalar path,
+  // which is the serial code verbatim.
+  const bool batchable = config_.backend == Backend::FullSpice &&
+                         config_.faults == nullptr;
+  std::vector<std::size_t> group;
+  std::vector<EncodedInputs> encs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const QueryView& qv = queries[i];
+    bool valid = batchable && !qv.p.empty() && !qv.q.empty() &&
+                 (!dist::requires_equal_length(spec_.kind) ||
+                  qv.p.size() == qv.q.size());
+    if (valid) {
+      try {
+        encs.push_back(encode_inputs(config_, spec_, qv.p, qv.q));
+        group.push_back(i);
+        continue;
+      } catch (const std::exception&) {
+        // encode_inputs counts nothing before throwing; the scalar rerun
+        // below repeats the failure with serial accounting.
+      }
+    }
+    scalar_lanes.add();
+    slots[i].emplace(try_compute_with(config_.backend, qv.p, qv.q));
+  }
+
+  if (!group.empty()) {
+    groups.add();
+    lanes.add(static_cast<std::uint64_t>(group.size()));
+    const std::vector<AnalogEval> evals =
+        eval_full_spice_batch(config_, spec_, encs);
+    for (std::size_t s = 0; s < group.size(); ++s) {
+      const std::size_t i = group[s];
+      slots[i].emplace(try_compute_with(config_.backend, queries[i].p,
+                                        queries[i].q, &encs[s], &evals[s]));
+    }
+  }
+
+  std::vector<ComputeOutcome> out;
+  out.reserve(count);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
 }
 
 ComputeResult Accelerator::compute(std::span<const double> p,

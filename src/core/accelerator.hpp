@@ -16,6 +16,7 @@
 // reports failures as a ComputeOutcome instead of throwing.
 
 #include <span>
+#include <vector>
 
 #include "core/backend.hpp"
 #include "core/config.hpp"
@@ -23,6 +24,12 @@
 #include "power/power_model.hpp"
 
 namespace mda::core {
+
+/// One (P, Q) query by reference; the spans must outlive the call.
+struct QueryView {
+  std::span<const double> p;
+  std::span<const double> q;
+};
 
 class Accelerator {
  public:
@@ -55,6 +62,16 @@ class Accelerator {
   /// ComputeOutcome errors instead of exceptions.
   [[nodiscard]] ComputeOutcome try_compute(std::span<const double> p,
                                            std::span<const double> q) const;
+
+  /// Evaluate a group of queries with the first FullSpice attempt of every
+  /// eligible query batched through the lockstep solver (DESIGN.md §12).
+  /// Outcome i — and every accelerator/solver metric — is bit-identical to
+  /// try_compute(queries[i].p, queries[i].q) run serially.  Queries that are
+  /// invalid, configured for a non-FullSpice backend, or under an active
+  /// fault plan run the scalar path; a query whose batched first attempt
+  /// fails continues the serial retry/degradation chain from that result.
+  [[nodiscard]] std::vector<ComputeOutcome> try_compute_lockstep(
+      std::span<const QueryView> queries) const;
 
   /// Tiling passes needed for sequences longer than the array (Sec. 3.1).
   [[nodiscard]] std::size_t tiles_required(std::size_t m, std::size_t n) const;
@@ -90,8 +107,13 @@ class Accelerator {
   void replace_timing_model(TimingModel model) { timing_ = model; }
 
  private:
+  /// `pre_enc` supplies already-encoded (and already-counted) inputs;
+  /// `first_eval` supplies the result of the chain's first attempt (batched
+  /// elsewhere) — the retry/degradation chain continues from it unchanged.
   ComputeOutcome try_compute_with(Backend backend, std::span<const double> p,
-                                  std::span<const double> q) const;
+                                  std::span<const double> q,
+                                  const EncodedInputs* pre_enc = nullptr,
+                                  const AnalogEval* first_eval = nullptr) const;
   static ComputeResult unwrap(ComputeOutcome outcome);
 
   AcceleratorConfig config_;

@@ -141,9 +141,11 @@ std::unique_ptr<ArrayCache::Instance> ArrayCache::take(const InstanceKey& key) {
   it->second.idle.pop_back();
   ++stats_.hits;
   hits_ctr().add();
-  const std::size_t avoided = inst->builds();
-  stats_.builds_avoided += avoided;
-  builds_avoided_ctr().add(avoided);
+  // One checkout hit avoids exactly one instance build, whatever the
+  // instance carries inside (a HauD instance holds a column pool *plus* the
+  // final max stage, but a miss would have built it with one BuildFn call).
+  ++stats_.builds_avoided;
+  builds_avoided_ctr().add();
   stats_.resident_bytes -= std::min(stats_.resident_bytes,
                                     inst->approx_bytes());
   publish_gauges_locked();

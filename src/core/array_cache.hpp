@@ -78,8 +78,6 @@ class ArrayCache {
     virtual ~Instance() = default;
     /// Rough resident footprint (mda.cache.bytes gauge).
     [[nodiscard]] virtual std::size_t approx_bytes() const { return 0; }
-    /// Sub-circuits this instance carries (mda.cache.builds_avoided).
-    [[nodiscard]] virtual std::size_t builds() const { return 1; }
   };
 
   using BuildFn = std::function<std::unique_ptr<Instance>()>;
@@ -157,9 +155,6 @@ struct MatrixWavefrontInstance : ArrayCache::Instance {
   [[nodiscard]] std::size_t approx_bytes() const override {
     return harnesses.approx_bytes();
   }
-  [[nodiscard]] std::size_t builds() const override {
-    return harnesses.size();
-  }
 };
 
 /// HauD wavefront: per-weights-column harness pool + the final diode max.
@@ -169,9 +164,6 @@ struct HaudWavefrontInstance : ArrayCache::Instance {
 
   [[nodiscard]] std::size_t approx_bytes() const override {
     return columns.approx_bytes() + (finmax ? finmax->approx_bytes() : 0);
-  }
-  [[nodiscard]] std::size_t builds() const override {
-    return columns.size() + (finmax ? 1 : 0);
   }
 };
 

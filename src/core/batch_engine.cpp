@@ -193,10 +193,9 @@ std::vector<ComputeOutcome> BatchEngine::try_compute_batch(
   const Accelerator& target = resolve_backend(acc, opts_.backend, storage);
   // ComputeOutcome has no default constructor; gather into optional slots.
   std::vector<std::optional<ComputeOutcome>> slots(queries.size());
-  parallel_for(queries.size(), [&](std::size_t i) {
-    ComputeOutcome outcome = target.try_compute(queries[i].p, queries[i].q);
-    // Per-task retry budget (never shared across tasks, so which queries
-    // retry is independent of scheduling).  Invalid inputs never retry.
+  // Per-task retry budget (never shared across tasks, so which queries
+  // retry is independent of scheduling).  Invalid inputs never retry.
+  auto apply_retries = [&](std::size_t i, ComputeOutcome outcome) {
     for (std::size_t r = 0; r < opts_.retry_budget && !outcome.ok() &&
                             outcome.error().code ==
                                 ComputeErrorCode::BackendFailure;
@@ -206,7 +205,36 @@ std::vector<ComputeOutcome> BatchEngine::try_compute_batch(
     }
     if (!outcome.ok()) query_failures.add();
     slots[i].emplace(std::move(outcome));
-  });
+  };
+
+  // Lockstep batch formation (DESIGN.md §12): FullSpice streams are chunked
+  // into fixed width-W groups whose first attempts share one batched solve.
+  // Group boundaries depend only on the query index, never on scheduling.
+  const std::size_t width = std::max<std::size_t>(1, opts_.solver_batch_width);
+  if (width >= 2 && queries.size() >= 2 &&
+      target.config().backend == Backend::FullSpice &&
+      target.config().faults == nullptr) {
+    static const obs::Counter lockstep_groups("mda.batch.lockstep_groups");
+    const std::size_t ngroups = (queries.size() + width - 1) / width;
+    parallel_for(ngroups, [&](std::size_t g) {
+      const std::size_t begin = g * width;
+      const std::size_t end = std::min(queries.size(), begin + width);
+      std::vector<QueryView> views;
+      views.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        views.push_back(QueryView{queries[i].p, queries[i].q});
+      }
+      lockstep_groups.add();
+      std::vector<ComputeOutcome> outcomes = target.try_compute_lockstep(views);
+      for (std::size_t i = begin; i < end; ++i) {
+        apply_retries(i, std::move(outcomes[i - begin]));
+      }
+    });
+  } else {
+    parallel_for(queries.size(), [&](std::size_t i) {
+      apply_retries(i, target.try_compute(queries[i].p, queries[i].q));
+    });
+  }
   std::vector<ComputeOutcome> out;
   out.reserve(slots.size());
   for (auto& s : slots) out.push_back(std::move(*s));

@@ -58,6 +58,16 @@ struct BatchOptions {
   /// per-task, not shared, so results stay bit-identical for any thread
   /// count).
   std::size_t retry_budget = 0;
+  /// Lockstep solver batch width for FullSpice computes (DESIGN.md §12):
+  /// try_compute_batch partitions the query list into fixed groups
+  /// [g*W, (g+1)*W) and evaluates each group through
+  /// Accelerator::try_compute_lockstep, so structure-matched lanes share
+  /// batched SoA LU work.  Groups are fixed by index — results stay
+  /// bit-identical for any num_threads AND any width (1 disables batching
+  /// and is the pre-batching scalar path).  8 measured best on the kNN
+  /// stream: one AVX-512 op per 8 lanes, and the SoA working set still
+  /// fits in L2 (wider is memory-bandwidth-flat, BENCH_batchsolve.json).
+  std::size_t solver_batch_width = 8;
 };
 
 /// One distance query. Spans must outlive the batch call.

@@ -10,6 +10,7 @@
 // one extra unknown row each by the MNA setup.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spice/types.hpp"
@@ -52,6 +53,19 @@ class Stamper {
   /// negative indices are ground and ignored).
   void add(int row, int col, double g) {
     if (row < 0 || col < 0 || g == 0.0) return;
+    if (replay_) {
+      // Replay mode: the entry must land on the next recorded slot — a
+      // dropped, regrown or reordered entry is a pattern change the caller
+      // must handle with a full assembly.
+      if (trip_cur_ == trip_end_ ||
+          rows_[static_cast<std::size_t>(trip_cur_)] != row ||
+          cols_[static_cast<std::size_t>(trip_cur_)] != col) {
+        replay_failed_ = true;
+        return;
+      }
+      vals_[static_cast<std::size_t>(trip_cur_++)] = g;
+      return;
+    }
     rows_.push_back(row);
     cols_.push_back(col);
     vals_.push_back(g);
@@ -68,7 +82,53 @@ class Stamper {
   /// Current injection `i` INTO node n (RHS contribution).
   void inject(int row, double i) {
     if (row < 0) return;
+    if (replay_) {
+      // The injection row sequence must repeat the recording so the RHS
+      // accumulation order (and hence every bit of the sum) is preserved.
+      if (inj_cur_ == inj_end_ ||
+          (*replay_log_)[static_cast<std::size_t>(inj_cur_)].first != row) {
+        replay_failed_ = true;
+        return;
+      }
+      ++inj_cur_;
+      rhs_[static_cast<std::size_t>(row)] += i;
+      return;
+    }
     rhs_[static_cast<std::size_t>(row)] += i;
+    if (inject_log_ != nullptr) inject_log_->emplace_back(row, i);
+  }
+
+  /// Record every applied injection (row, value) in call order, so the
+  /// batched solver's partial restamp (DESIGN.md §12) can replay a linear
+  /// device's RHS contributions with the exact same accumulation order.
+  /// Null (the default) disables logging; the scalar path never sets it.
+  void set_inject_log(std::vector<std::pair<int, double>>* log) {
+    inject_log_ = log;
+  }
+
+  /// Switch into replay mode for one device's restamp (DESIGN.md §12):
+  /// add() overwrites vals_ over the recorded triplet span
+  /// [trip_begin, trip_end) after checking each recorded (row, col), and
+  /// inject() accumulates into rhs_ after checking the recorded injection
+  /// rows [inj_begin, inj_end) of `log`.  No allocation, no scratch copy —
+  /// the restamp lands directly on the recorded slots.
+  void begin_replay(int trip_begin, int trip_end,
+                    const std::vector<std::pair<int, double>>* log,
+                    int inj_begin, int inj_end) {
+    replay_ = true;
+    replay_failed_ = false;
+    trip_cur_ = trip_begin;
+    trip_end_ = trip_end;
+    replay_log_ = log;
+    inj_cur_ = inj_begin;
+    inj_end_ = inj_end;
+  }
+
+  /// True when the replayed device reproduced the recorded stamp pattern
+  /// exactly: every slot overwritten, every injection row matched, nothing
+  /// extra.  False means the caller must fall back to a full assembly.
+  [[nodiscard]] bool replay_matched() const {
+    return !replay_failed_ && trip_cur_ == trip_end_ && inj_cur_ == inj_end_;
   }
 
  private:
@@ -76,6 +136,13 @@ class Stamper {
   std::vector<int>& cols_;
   std::vector<double>& vals_;
   std::vector<double>& rhs_;
+  std::vector<std::pair<int, double>>* inject_log_ = nullptr;
+  // Replay-mode state (see begin_replay).
+  bool replay_ = false;
+  bool replay_failed_ = false;
+  int trip_cur_ = 0, trip_end_ = 0;
+  int inj_cur_ = 0, inj_end_ = 0;
+  const std::vector<std::pair<int, double>>* replay_log_ = nullptr;
 };
 
 class AcStamper;

@@ -6,21 +6,18 @@
 
 namespace mda::spice {
 
-namespace {
-// Below this size a dense solve is faster than sparse assembly overhead.
-constexpr int kDenseThreshold = 16;
-}  // namespace
-
 MnaSystem::MnaSystem(Netlist& netlist, Tolerances tol)
     : netlist_(&netlist), tol_(tol) {
   num_nodes_ = netlist.num_nodes();
   int branch = num_nodes_;
+  dev_nonlinear_.reserve(netlist.devices().size());
   for (auto& dev : netlist.devices()) {
     const int nb = dev->num_branches();
     if (nb > 0) {
       dev->assign_branch_row(branch);
       branch += nb;
     }
+    dev_nonlinear_.push_back(dev->nonlinear() ? 1 : 0);
     if (dev->nonlinear()) has_nonlinear_ = true;
   }
   num_unknowns_ = branch;
@@ -43,6 +40,7 @@ void MnaSystem::reset_solver_state() {
 void MnaSystem::rebuild_structure_cache() {
   static const obs::Counter pattern_builds("mda.spice.mna_pattern_builds");
   pattern_builds.add();
+  ++structure_epoch_;
   lu_valid_ = false;
   // A pattern change orphans any factorisation held across a query
   // boundary; drop it (and the pivot memory) so the next factor() is cold.
@@ -114,17 +112,135 @@ void MnaSystem::rebuild_structure_cache() {
 
 bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
                                  std::vector<double>& x_out) {
+  assemble_linearized(ctx, gmin_extra);
+  return solve_assembled(x_out);
+}
+
+void MnaSystem::assemble_linearized(const StampContext& ctx,
+                                    double gmin_extra) {
   rows_.clear();
   cols_.clear();
   vals_.clear();
   rhs_.assign(static_cast<std::size_t>(num_unknowns_), 0.0);
   Stamper stamper(rows_, cols_, vals_, rhs_);
-  for (auto& dev : netlist_->devices()) dev->stamp(stamper, ctx);
+  replay_valid_ = false;
+  if (record_stamps_) {
+    inject_log_.clear();
+    dev_trip_end_.clear();
+    dev_inj_end_.clear();
+    stamper.set_inject_log(&inject_log_);
+    for (auto& dev : netlist_->devices()) {
+      dev->stamp(stamper, ctx);
+      dev_trip_end_.push_back(static_cast<int>(rows_.size()));
+      dev_inj_end_.push_back(static_cast<int>(inject_log_.size()));
+    }
+  } else {
+    for (auto& dev : netlist_->devices()) dev->stamp(stamper, ctx);
+  }
   // gmin to ground on every node keeps floating subcircuits solvable and
   // implements gmin stepping when gmin_extra > 0.
   const double g = tol_.gmin + gmin_extra;
   for (int n = 0; n < num_nodes_; ++n) stamper.add(n, n, g);
+  if (record_stamps_) {
+    rec_t_ = ctx.t;
+    rec_dt_ = ctx.dt;
+    rec_dc_ = ctx.dc;
+    rec_method_ = ctx.method;
+    rec_source_scale_ = ctx.source_scale;
+    rec_gmin_extra_ = gmin_extra;
+    replay_valid_ = true;
+    // Split the recorded RHS accumulation into a per-slot prefix (linear
+    // injections before the slot's first nonlinear one — precomputable) and
+    // per-device linear tails (replayed in order by reassemble).  For most
+    // circuits the tails are empty and a reassembly's RHS work is one copy.
+    base_rhs_.assign(static_cast<std::size_t>(num_unknowns_), 0.0);
+    slot_first_nl_.assign(static_cast<std::size_t>(num_unknowns_), -1);
+    int inj = 0;
+    for (std::size_t d = 0; d < dev_inj_end_.size(); ++d) {
+      const int iend = dev_inj_end_[d];
+      if (dev_nonlinear_[d] != 0) {
+        for (; inj < iend; ++inj) {
+          const auto row = static_cast<std::size_t>(
+              inject_log_[static_cast<std::size_t>(inj)].first);
+          if (slot_first_nl_[row] < 0) slot_first_nl_[row] = inj;
+        }
+      } else {
+        inj = iend;
+      }
+    }
+    lin_tail_.clear();
+    dev_tail_end_.clear();
+    inj = 0;
+    for (std::size_t d = 0; d < dev_inj_end_.size(); ++d) {
+      const int iend = dev_inj_end_[d];
+      if (dev_nonlinear_[d] == 0) {
+        for (; inj < iend; ++inj) {
+          const auto& [row, val] = inject_log_[static_cast<std::size_t>(inj)];
+          const int first_nl = slot_first_nl_[static_cast<std::size_t>(row)];
+          if (first_nl < 0 || inj < first_nl) {
+            base_rhs_[static_cast<std::size_t>(row)] += val;
+          } else {
+            lin_tail_.emplace_back(row, val);
+          }
+        }
+      } else {
+        inj = iend;
+      }
+      dev_tail_end_.push_back(static_cast<int>(lin_tail_.size()));
+    }
+  }
+  pattern_dirty_ = true;
+}
 
+bool MnaSystem::reassemble_linearized(const StampContext& ctx,
+                                      double gmin_extra) {
+  // The recording is only valid within the solve point it was made at:
+  // device companion state is frozen between accept_step() calls, and the
+  // fingerprint below pins every other stamp input.  (gmin_extra and
+  // source_scale only differ during homotopy fallbacks, which run scalar.)
+  if (!replay_valid_ || ctx.t != rec_t_ || ctx.dt != rec_dt_ ||
+      ctx.dc != rec_dc_ || ctx.method != rec_method_ ||
+      ctx.source_scale != rec_source_scale_ || gmin_extra != rec_gmin_extra_) {
+    return false;
+  }
+  // Start from the precomputed per-slot RHS prefix, then walk the devices:
+  // linear devices contribute only their (usually empty) tail injections —
+  // their triplet values in vals_ are untouched and still correct — while
+  // nonlinear devices restamp live at the current iterate, writing straight
+  // onto their recorded triplet slots.  Replay mode checks every row/col
+  // and injection row, so any pattern deviation (a zero-dropped or regrown
+  // entry, a changed injection) falls back to a full assembly.
+  auto& devs = netlist_->devices();
+  rhs_ = base_rhs_;
+  Stamper stamper(rows_, cols_, vals_, rhs_);
+  int trip = 0;
+  int inj = 0;
+  int tail = 0;
+  for (std::size_t d = 0; d < devs.size(); ++d) {
+    const int tend = dev_trip_end_[d];
+    const int iend = dev_inj_end_[d];
+    const int tail_end = dev_tail_end_[d];
+    if (dev_nonlinear_[d] != 0) {
+      stamper.begin_replay(trip, tend, &inject_log_, inj, iend);
+      devs[d]->stamp(stamper, ctx);
+      if (!stamper.replay_matched()) return false;
+    } else {
+      for (; tail < tail_end; ++tail) {
+        rhs_[static_cast<std::size_t>(
+            lin_tail_[static_cast<std::size_t>(tail)].first)] +=
+            lin_tail_[static_cast<std::size_t>(tail)].second;
+      }
+    }
+    trip = tend;
+    inj = iend;
+    tail = tail_end;
+  }
+  // The gmin tail after the last device span is value-constant (gmin_extra
+  // matched the recording), so rows_/cols_/vals_ are already correct.
+  return true;
+}
+
+bool MnaSystem::solve_assembled(std::vector<double>& x_out) {
   // Factor/solve accounting: the first linearised solve on a pattern pays a
   // full pivoting factorisation; later ones only refactor values, and
   // refactor_fallbacks counts pivot-degradation escapes back to a full
@@ -156,17 +272,7 @@ bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
     return true;
   }
 
-  // Devices stamp a fixed pattern, so this comparison is an equality check
-  // on identical vectors in steady state; any structural change (different
-  // device operating regions, dc vs transient stamps) rebuilds the cache.
-  if (rows_ != pat_rows_ || cols_ != pat_cols_) rebuild_structure_cache();
-
-  // Value-only assembly: replay the accumulation tape into the cached slots.
-  std::fill(csc_.values.begin(), csc_.values.end(), 0.0);
-  for (std::size_t i = 0; i < accum_trip_.size(); ++i) {
-    csc_.values[static_cast<std::size_t>(accum_slot_[i])] +=
-        vals_[static_cast<std::size_t>(accum_trip_[i])];
-  }
+  prepare_sparse_values();
 
   // Cross-query reuse (DESIGN.md §11): a factorisation carried over a
   // reset_solver_state() boundary may only be re-entered through the
@@ -205,6 +311,25 @@ bool MnaSystem::solve_linearized(const StampContext& ctx, double gmin_extra,
   sparse_lu_.solve(x_out);
   sparse_solves.add();
   return true;
+}
+
+void MnaSystem::prepare_sparse_values() {
+  // Devices stamp a fixed pattern, so this comparison is an equality check
+  // on identical vectors in steady state; any structural change (different
+  // device operating regions, dc vs transient stamps) rebuilds the cache.
+  // Replayed reassemblies cannot move triplets, so the compare is skipped
+  // until the next full assembly dirties the pattern.
+  if (pattern_dirty_) {
+    if (rows_ != pat_rows_ || cols_ != pat_cols_) rebuild_structure_cache();
+    pattern_dirty_ = false;
+  }
+
+  // Value-only assembly: replay the accumulation tape into the cached slots.
+  std::fill(csc_.values.begin(), csc_.values.end(), 0.0);
+  for (std::size_t i = 0; i < accum_trip_.size(); ++i) {
+    csc_.values[static_cast<std::size_t>(accum_slot_[i])] +=
+        vals_[static_cast<std::size_t>(accum_trip_[i])];
+  }
 }
 
 }  // namespace mda::spice

@@ -11,6 +11,8 @@
 // a value scatter (no sort, no dedup, no allocation) followed by an LU
 // refactorisation that reuses the previous pivot order (DESIGN.md §10).
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "spice/dense.hpp"
@@ -19,6 +21,8 @@
 #include "spice/types.hpp"
 
 namespace mda::spice {
+
+class BatchNewtonSolver;
 
 class MnaSystem {
  public:
@@ -41,6 +45,9 @@ class MnaSystem {
   /// True if unknown index `i` is a node voltage (false: branch current).
   [[nodiscard]] bool is_voltage_unknown(int i) const { return i < num_nodes_; }
 
+  /// At or below this size a dense solve beats sparse assembly overhead.
+  static constexpr int kDenseThreshold = 16;
+
   /// Reset cross-solve solver state while keeping the structural caches
   /// (CSC pattern, accumulation tape, workspaces).  After this call the
   /// next solve_linearized() produces the exact results of a freshly
@@ -53,10 +60,43 @@ class MnaSystem {
   /// falls back to a genuinely cold factor (pivot memory cleared first).
   void reset_solver_state();
 
+  /// Monotone generation counter for the cached CSC pattern: bumped by every
+  /// rebuild_structure_cache().  The batched solver memoizes cross-lane
+  /// pattern comparisons against it.
+  [[nodiscard]] std::uint64_t structure_epoch() const {
+    return structure_epoch_;
+  }
+
  private:
+  friend class BatchNewtonSolver;
+
   /// Rebuild the CSC pattern cache and accumulation tape from the triplets
   /// currently in rows_/cols_.  Invalidates any cached LU factorisation.
   void rebuild_structure_cache();
+
+  /// Full assembly of the linearised system at ctx.x into rows_/cols_/vals_
+  /// and rhs_ (the stamping half of solve_linearized()).  When
+  /// record_stamps_ is set, per-device triplet spans and the RHS injection
+  /// log are recorded so reassemble_linearized() can replay them.
+  void assemble_linearized(const StampContext& ctx, double gmin_extra);
+
+  /// Partial restamp (DESIGN.md §12): within one solve point, linear
+  /// devices' stamps do not depend on the iterate, so later Newton
+  /// iterations replay their recorded triplet values and RHS injections and
+  /// live-restamp only the nonlinear devices (verified to land on the
+  /// recorded slots).  Byte-identical to assemble_linearized() when it
+  /// returns true; returns false — caller must assemble fully — on a
+  /// missing/mismatched recording or a nonlinear stamp-pattern change.
+  bool reassemble_linearized(const StampContext& ctx, double gmin_extra);
+
+  /// The solving half of solve_linearized(): dense or sparse LU over the
+  /// assembled system, with the pattern/refactor/factor ladder and solver
+  /// accounting.
+  bool solve_assembled(std::vector<double>& x_out);
+
+  /// Pattern check/rebuild + value scatter into the cached CSC slots (the
+  /// sparse-path preamble of solve_assembled, shared with the batch driver).
+  void prepare_sparse_values();
 
   Netlist* netlist_;
   Tolerances tol_;
@@ -85,6 +125,36 @@ class MnaSystem {
   bool lu_stream_pending_ = false;
   DenseLu dense_lu_;
   std::vector<double> dense_;  ///< Reused n^2 assembly buffer (dense path).
+  std::uint64_t structure_epoch_ = 0;
+  // Partial-restamp recording (batched solver only; the scalar path keeps
+  // record_stamps_ false and pays nothing).
+  bool record_stamps_ = false;
+  bool replay_valid_ = false;
+  std::vector<std::uint8_t> dev_nonlinear_;  ///< Cached Device::nonlinear().
+  std::vector<int> dev_trip_end_;  ///< Per device: end index into rows_.
+  std::vector<int> dev_inj_end_;   ///< Per device: end index into inject_log_.
+  std::vector<std::pair<int, double>> inject_log_;
+  /// Per-slot prefix of the RHS accumulation, computed once at record time:
+  /// every linear injection that lands before the slot's first nonlinear
+  /// injection (all of them, for slots no nonlinear device touches).  The
+  /// remaining linear injections — the per-slot tails — are kept in
+  /// lin_tail_ with per-device spans, so a reassembly is "copy base, then
+  /// walk devices replaying tails and restamping nonlinear devices", which
+  /// folds every slot in exactly the recorded order (same-slot order is
+  /// device order; different slots never interact), hence bit-identical to
+  /// a full assembly.
+  std::vector<double> base_rhs_;
+  std::vector<int> slot_first_nl_;  ///< Slot -> log index of first nl inject.
+  std::vector<std::pair<int, double>> lin_tail_;
+  std::vector<int> dev_tail_end_;  ///< Per device: end index into lin_tail_.
+  double rec_t_ = 0.0, rec_dt_ = 0.0;
+  bool rec_dc_ = false;
+  Integration rec_method_ = Integration::BackwardEuler;
+  double rec_source_scale_ = 1.0, rec_gmin_extra_ = 0.0;
+  /// rows_/cols_ may have changed since the last pattern compare in
+  /// prepare_sparse_values() (full assemblies push fresh triplets; a
+  /// successful replay never touches them).
+  bool pattern_dirty_ = true;
 };
 
 }  // namespace mda::spice

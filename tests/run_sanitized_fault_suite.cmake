@@ -5,7 +5,12 @@
 # objects.
 #
 # Usage: cmake -DMDA_SOURCE_DIR=<repo root> -DMDA_SAN_BINARY_DIR=<build dir>
-#              -P run_sanitized_fault_suite.cmake
+#              [-DMDA_GTEST_FILTER=<filter>] -P run_sanitized_fault_suite.cmake
+#
+# MDA_GTEST_FILTER overrides the default fault-suite filter; the batched
+# solver job points it at the batch-identity suite while sharing this
+# script's nested build (both jobs pass the same MDA_SAN_BINARY_DIR, so the
+# second run's configure+build is an incremental no-op).
 
 if(NOT DEFINED MDA_SOURCE_DIR OR NOT DEFINED MDA_SAN_BINARY_DIR)
   message(FATAL_ERROR "run_sanitized_fault_suite: pass -DMDA_SOURCE_DIR and "
@@ -33,16 +38,20 @@ if(NOT _rc EQUAL 0)
   message(FATAL_ERROR "sanitized build failed (${_rc})")
 endif()
 
-# The fault suite proper plus the stuck-at tuning tests and the batch-engine
-# isolation/retry tests it hardens.  halt_on_error promotes UBSan reports to
-# failures; leak checking is disabled (one-time registries are reachable by
-# design, and some CI kernels lack ptrace for the leak checker).
+# Default filter: the fault suite proper plus the stuck-at tuning tests and
+# the batch-engine isolation/retry tests it hardens.  halt_on_error promotes
+# UBSan reports to failures; leak checking is disabled (one-time registries
+# are reachable by design, and some CI kernels lack ptrace for the leak
+# checker).
+if(NOT DEFINED MDA_GTEST_FILTER)
+  set(MDA_GTEST_FILTER "Fault*:Tuning.Stuck*:Tuning.ArrayWithStuck*:BatchEngine.TryCompute*:BatchEngine.FailOpen*:BatchEngine.RetryBudget*")
+endif()
 set(ENV{ASAN_OPTIONS} "detect_leaks=0")
 set(ENV{UBSAN_OPTIONS} "halt_on_error=1:print_stacktrace=1")
 execute_process(
   COMMAND ${MDA_SAN_BINARY_DIR}/tests/mda_tests
-          --gtest_filter=Fault*:Tuning.Stuck*:Tuning.ArrayWithStuck*:BatchEngine.TryCompute*:BatchEngine.FailOpen*:BatchEngine.RetryBudget*
+          --gtest_filter=${MDA_GTEST_FILTER}
   RESULT_VARIABLE _rc)
 if(NOT _rc EQUAL 0)
-  message(FATAL_ERROR "sanitized fault suite failed (${_rc})")
+  message(FATAL_ERROR "sanitized suite failed (${_rc}): ${MDA_GTEST_FILTER}")
 endif()

@@ -247,6 +247,25 @@ TEST(ArrayCacheMechanics, ConcurrentCheckoutsGrowThePool) {
   EXPECT_EQ(cache->stats().hits, 2u);
 }
 
+TEST(ArrayCacheMechanics, BuildsAvoidedCountsOnePerHit) {
+  // Regression: HauD wavefront instances used to report their sub-circuit
+  // count (column pool + final max stage) per checkout hit, double-counting
+  // builds_avoided relative to every other kind (198 vs 99 on the 100-query
+  // stream).  A hit avoids exactly one BuildFn call, whatever the instance
+  // carries inside: builds_avoided must track hits one to one.
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Hausdorff;
+  core::AcceleratorConfig cfg;
+  cfg.backend = core::Backend::Wavefront;
+  core::Accelerator acc(cfg);
+  acc.configure(spec);
+  const Stream stream = make_stream(spec.kind, 6, 5);
+  for (const auto& q : stream.queries) (void)acc.compute(q.p, q.q);
+  const core::ArrayCache::Stats stats = acc.config().array_cache->stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.builds_avoided, stats.hits);
+}
+
 TEST(ArrayCacheMechanics, NullCacheDegradesToLocalBuild) {
   auto build = [] { return std::make_unique<core::ArrayCache::Instance>(); };
   const auto lease =
