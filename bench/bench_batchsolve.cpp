@@ -77,14 +77,6 @@ core::DistanceSpec spec_for(dist::DistanceKind kind) {
   return spec;
 }
 
-bool bitwise_equal(const core::ComputeResult& a, const core::ComputeResult& b) {
-  return std::memcmp(&a.value, &b.value, sizeof a.value) == 0 &&
-         std::memcmp(&a.volts, &b.volts, sizeof a.volts) == 0 &&
-         a.newton_iterations == b.newton_iterations &&
-         a.solver_fallbacks == b.solver_fallbacks &&
-         a.attempts == b.attempts && a.backend_used == b.backend_used;
-}
-
 constexpr std::size_t kWidths[] = {1, 2, 4, 8};
 
 struct WidthRun {
@@ -113,7 +105,7 @@ KindRun run_kind(dist::DistanceKind kind, std::size_t queries,
     core::Accelerator acc(cfg);
     acc.configure(spec);
     const auto t0 = std::chrono::steady_clock::now();
-    for (const auto& q : s.candidates) want.push_back(acc.compute(s.p, q));
+    for (const auto& q : s.candidates) want.push_back(acc.try_compute(s.p, q).unwrap());
     run.scalar_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -135,7 +127,7 @@ KindRun run_kind(dist::DistanceKind kind, std::size_t queries,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     for (std::size_t i = 0; i < want.size(); ++i) {
-      if (!bitwise_equal(want[i], got[i])) run.widths[w].bit_identical = false;
+      if (!core::bitwise_equal(want[i], got[i])) run.widths[w].bit_identical = false;
     }
   }
   return run;

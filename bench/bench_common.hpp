@@ -6,6 +6,7 @@
 // pair from different classes in one dataset").
 
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -86,5 +87,105 @@ inline bool flag_present(int argc, char** argv, const std::string& name) {
   }
   return false;
 }
+
+/// Minimal streaming JSON emitter shared by the bench --json modes
+/// (bench_stream, bench_serve): handles the comma/indent bookkeeping so each
+/// bench only names keys and values.  Containers opened with one_line=true
+/// render their members on a single line ("a": 1, "b": 2) — the compact
+/// per-entry objects in the committed BENCH_*.json baselines.  Numbers use
+/// the stream's default formatting, matching the hand-rolled emitters this
+/// class replaces.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object(const std::string& key = "", bool one_line = false) {
+    open('{', key, one_line);
+    return *this;
+  }
+  JsonWriter& begin_array(const std::string& key = "", bool one_line = false) {
+    open('[', key, one_line);
+    return *this;
+  }
+  JsonWriter& end() {
+    const Scope s = stack_.back();
+    stack_.pop_back();
+    if (s.count > 0 && !s.one_line) {
+      out_ << "\n" << std::string(2 * stack_.size(), ' ');
+    }
+    out_ << (s.open == '{' ? '}' : ']');
+    if (stack_.empty()) out_ << "\n";
+    return *this;
+  }
+
+  JsonWriter& field(const std::string& key, bool v) {
+    pre(key);
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, const char* v) {
+    pre(key);
+    quote(v);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, const std::string& v) {
+    pre(key);
+    quote(v);
+    return *this;
+  }
+  template <typename T>
+  JsonWriter& field(const std::string& key, T v) {
+    pre(key);
+    out_ << v;
+    return *this;
+  }
+  /// Bare value inside an array (arrays have no keys).
+  template <typename T>
+  JsonWriter& value(T v) {
+    return field(std::string(), v);
+  }
+
+ private:
+  struct Scope {
+    char open;
+    bool one_line;
+    std::size_t count;
+  };
+
+  void open(char c, const std::string& key, bool one_line) {
+    // A container nested inside a one_line container stays on that line.
+    const bool inherited = !stack_.empty() && stack_.back().one_line;
+    pre(key);
+    out_ << c;
+    stack_.push_back({c, one_line || inherited, 0});
+  }
+  void pre(const std::string& key) {
+    if (!stack_.empty()) {
+      Scope& s = stack_.back();
+      if (s.count++ > 0) out_ << (s.one_line ? ", " : ",");
+      if (!s.one_line) out_ << "\n" << std::string(2 * stack_.size(), ' ');
+    }
+    if (!key.empty()) {
+      quote(key);
+      out_ << ": ";
+    }
+  }
+  void quote(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+};
 
 }  // namespace mda::bench

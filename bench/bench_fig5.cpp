@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
           spec.threshold = 0.3;  // application threshold for LCS/EdD/HamD
           acc.configure(spec, core::Backend::Wavefront);
           const core::ComputeResult r =
-              acc.compute(pair.p, pair.q);
+              acc.try_compute(pair.p, pair.q).unwrap();
           errs.push_back(r.relative_error);
           (pair.same_class ? errs_same : errs_diff)
               .push_back(r.relative_error);

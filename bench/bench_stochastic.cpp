@@ -85,9 +85,9 @@ int main(int argc, char** argv) {
   std::vector<double> p = {1.0, -0.5, 2.0, 0.3, -1.2, 0.8};
   std::vector<double> q = {0.8, -0.2, 1.5, 0.9, -1.0, 0.2};
   const core::ComputeResult rs =
-      stochastic_acc.compute(p, q);
+      stochastic_acc.try_compute(p, q).unwrap();
   const core::ComputeResult rf =
-      fixed_acc.compute(p, q);
+      fixed_acc.try_compute(p, q).unwrap();
   std::printf("\nMD with stochastic memristors: %.4f vs fixed model %.4f "
               "(reference %.4f) — deviation only from the static +-5%% "
               "device spread\n", rs.value, rf.value, rs.reference);

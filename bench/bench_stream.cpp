@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/accelerator.hpp"
 #include "core/array_cache.hpp"
 #include "core/backend.hpp"
@@ -72,15 +73,6 @@ core::DistanceSpec spec_for(dist::DistanceKind kind) {
   return spec;
 }
 
-bool bitwise_equal(const core::ComputeResult& a, const core::ComputeResult& b) {
-  return std::memcmp(&a.value, &b.value, sizeof a.value) == 0 &&
-         std::memcmp(&a.volts, &b.volts, sizeof a.volts) == 0 &&
-         a.newton_iterations == b.newton_iterations &&
-         a.solver_fallbacks == b.solver_fallbacks &&
-         a.quarantined_cells == b.quarantined_cells &&
-         a.attempts == b.attempts && a.backend_used == b.backend_used;
-}
-
 struct KindRun {
   double fresh_s = 0.0;
   double cached_s = 0.0;
@@ -112,7 +104,7 @@ double run_stream(const core::Accelerator& acc, const Stream& s,
                   std::vector<core::ComputeResult>* results) {
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& q : s.candidates) {
-    core::ComputeResult r = acc.compute(s.p, q);
+    core::ComputeResult r = acc.try_compute(s.p, q).unwrap();
     if (results) results->push_back(r);
   }
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -142,7 +134,7 @@ KindRun run_kind(dist::DistanceKind kind, core::Backend backend,
   run.fresh_s = run_stream(fresh, s, &want);
   run.cached_s = run_stream(cached, s, &got);
   for (std::size_t i = 0; i < want.size(); ++i) {
-    if (!bitwise_equal(want[i], got[i])) run.bit_identical = false;
+    if (!core::bitwise_equal(want[i], got[i])) run.bit_identical = false;
   }
   run.queries = got.size();
   run.hw_config_s = cached.configuration_time_s();
@@ -162,22 +154,13 @@ const char* backend_name(core::Backend b) {
   return "?";
 }
 
-long flag_num(int argc, char** argv, const char* name, long fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) return std::stol(arg.substr(prefix.size()));
-  }
-  return fallback;
-}
-
 int run_json_bench(const std::string& path, int argc, char** argv) {
   const auto queries =
-      static_cast<std::size_t>(flag_num(argc, argv, "queries", 100));
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "queries", 100));
   const auto wf_length =
-      static_cast<std::size_t>(flag_num(argc, argv, "length", 5));
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "length", 5));
   const auto fs_length =
-      static_cast<std::size_t>(flag_num(argc, argv, "fs-length", 4));
+      static_cast<std::size_t>(bench::flag_value(argc, argv, "fs-length", 4));
 
   const core::Backend backends[] = {core::Backend::Wavefront,
                                     core::Backend::FullSpice};
@@ -187,24 +170,23 @@ int run_json_bench(const std::string& path, int argc, char** argv) {
     std::fprintf(stderr, "[bench_stream] cannot open %s\n", path.c_str());
     return 1;
   }
-  out << "{\n"
-      << "  \"bench\": \"stream_cache\",\n"
-      << "  \"scenario\": {\n"
-      << "    \"shape\": \"knn\",\n"
-      << "    \"queries\": " << queries << ",\n"
-      << "    \"wavefront_length\": " << wf_length << ",\n"
-      << "    \"fullspice_length\": " << fs_length << "\n"
-      << "  },\n"
-      << "  \"backends\": {\n";
-  for (std::size_t b = 0; b < 2; ++b) {
-    const core::Backend backend = backends[b];
+  bench::JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", "stream_cache");
+  w.begin_object("scenario");
+  w.field("shape", "knn");
+  w.field("queries", queries);
+  w.field("wavefront_length", wf_length);
+  w.field("fullspice_length", fs_length);
+  w.end();
+  w.begin_object("backends");
+  for (const core::Backend backend : backends) {
     const std::size_t length =
         backend == core::Backend::FullSpice ? fs_length : wf_length;
     double fresh_total = 0.0, cached_total = 0.0;
     double hw_once_total = 0.0, hw_per_query_total = 0.0;
-    out << "    \"" << backend_name(backend) << "\": {\n"
-        << "      \"kinds\": {\n";
-    std::size_t k = 0;
+    w.begin_object(backend_name(backend));
+    w.begin_object("kinds");
     for (const dist::DistanceKind kind : dist::kAllKinds) {
       std::fprintf(stderr, "[bench_stream] %s %s (%zu queries, length %zu)\n",
                    backend_name(backend), dist::kind_name(kind).c_str(),
@@ -216,36 +198,36 @@ int run_json_bench(const std::string& path, int argc, char** argv) {
       hw_per_query_total +=
           static_cast<double>(run.queries) * run.hw_config_s + run.hw_query_s;
       all_identical = all_identical && run.bit_identical;
-      out << "        \"" << dist::kind_name(kind) << "\": {"
-          << "\"fresh_seconds\": " << run.fresh_s
-          << ", \"cached_seconds\": " << run.cached_s
-          << ", \"speedup\": " << run.speedup()
-          << ", \"cache_hits\": " << run.hits
-          << ", \"builds_avoided\": " << run.builds_avoided
-          << ", \"hw_configuration_seconds\": " << run.hw_config_s
-          << ", \"hw_stream_query_seconds\": " << run.hw_query_s
-          << ", \"hw_stream_speedup\": " << run.hw_stream_speedup()
-          << ", \"bit_identical\": " << (run.bit_identical ? "true" : "false")
-          << "}" << (++k < std::size(dist::kAllKinds) ? ",\n" : "\n");
+      w.begin_object(dist::kind_name(kind), /*one_line=*/true);
+      w.field("fresh_seconds", run.fresh_s);
+      w.field("cached_seconds", run.cached_s);
+      w.field("speedup", run.speedup());
+      w.field("cache_hits", run.hits);
+      w.field("builds_avoided", run.builds_avoided);
+      w.field("hw_configuration_seconds", run.hw_config_s);
+      w.field("hw_stream_query_seconds", run.hw_query_s);
+      w.field("hw_stream_speedup", run.hw_stream_speedup());
+      w.field("bit_identical", run.bit_identical);
+      w.end();
     }
+    w.end();  // kinds
     const double agg =
         cached_total > 0.0 ? fresh_total / cached_total : 0.0;
     const double hw_agg =
         hw_once_total > 0.0 ? hw_per_query_total / hw_once_total : 0.0;
-    out << "      },\n"
-        << "      \"fresh_seconds\": " << fresh_total << ",\n"
-        << "      \"cached_seconds\": " << cached_total << ",\n"
-        << "      \"speedup\": " << agg << ",\n"
-        << "      \"hw_stream_speedup\": " << hw_agg << "\n"
-        << "    }" << (b == 0 ? ",\n" : "\n");
+    w.field("fresh_seconds", fresh_total);
+    w.field("cached_seconds", cached_total);
+    w.field("speedup", agg);
+    w.field("hw_stream_speedup", hw_agg);
+    w.end();  // backend
     std::fprintf(stderr,
                  "[bench_stream] %s wall-clock speedup %.2fx, "
                  "modeled hw stream speedup %.1fx\n",
                  backend_name(backend), agg, hw_agg);
   }
-  out << "  },\n"
-      << "  \"all_bit_identical\": " << (all_identical ? "true" : "false")
-      << "\n}\n";
+  w.end();  // backends
+  w.field("all_bit_identical", all_identical);
+  w.end();
   out.close();
   std::fprintf(stderr, "[bench_stream] wrote %s (bit-identical %s)\n",
                path.c_str(), all_identical ? "yes" : "no");
@@ -265,7 +247,7 @@ void BM_StreamWavefront(benchmark::State& state) {
   acc.configure(spec_for(kind));
   for (auto _ : state) {
     for (const auto& q : s.candidates) {
-      benchmark::DoNotOptimize(acc.compute(s.p, q));
+      benchmark::DoNotOptimize(acc.try_compute(s.p, q).unwrap());
     }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

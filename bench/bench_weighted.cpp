@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       spec.elem_weights = elem_w;
     }
     acc.configure(spec, core::Backend::Wavefront);
-    const core::ComputeResult r = acc.compute(p, q);
+    const core::ComputeResult r = acc.try_compute(p, q).unwrap();
     core::DistanceSpec plain;
     plain.kind = kind;
     plain.threshold = 0.5;

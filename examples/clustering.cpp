@@ -40,7 +40,7 @@ int main() {
   mining::DistanceFn fn = [acc, &analog_calls](std::span<const double> a,
                                                std::span<const double> b) {
     ++analog_calls;
-    return acc->compute(a, b).value;
+    return acc->try_compute(a, b).unwrap().value;
   };
 
   mining::KMedoidsConfig kcfg;

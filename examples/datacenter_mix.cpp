@@ -107,7 +107,7 @@ int main() {
       first = false;
       ++reconfigurations;
     }
-    const core::ComputeResult r = accelerator.compute(job.p, job.q);
+    const core::ComputeResult r = accelerator.try_compute(job.p, job.q).unwrap();
     Stats& s = stats[job.kind];
     ++s.jobs;
     s.err_sum += r.relative_error;

@@ -44,7 +44,7 @@ int main() {
             256, kHeartRate * (1.0 + 0.02 * record), abnormal,
             100 + static_cast<std::uint64_t>(record))),
         kStrip);
-    const core::ComputeResult r = accelerator.compute(reference, strip);
+    const core::ComputeResult r = accelerator.try_compute(reference, strip).unwrap();
     const double normalized = r.value / static_cast<double>(kStrip);
     const bool flag = normalized < flag_threshold;
     if (flag && abnormal) ++flagged_abnormal;

@@ -49,7 +49,7 @@ int main() {
     const auto probe_bits = data::make_iris_probe(
         enrolled, genuine ? 0.08 : 0.5, 100 + static_cast<std::uint64_t>(k));
     const auto probe = bits_to_series(probe_bits);
-    const core::ComputeResult r = accelerator.compute(templ, probe);
+    const core::ComputeResult r = accelerator.try_compute(templ, probe).unwrap();
     const double fraction = r.value / static_cast<double>(kBits);
     const bool accept = fraction < kAcceptFraction;
     if (accept != genuine) ++errors;

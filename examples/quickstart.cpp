@@ -32,7 +32,7 @@ int main() {
     accelerator.configure(spec);
 
     // Wavefront backend: every PE is solved as a real circuit.
-    const core::ComputeResult r = accelerator.compute(p, q);
+    const core::ComputeResult r = accelerator.try_compute(p, q).unwrap();
     table.add_row({dist::kind_name(kind), util::Table::fmt(r.value, 3),
                    util::Table::fmt(r.reference, 3),
                    util::Table::fmt(100.0 * r.relative_error, 2) + "%",

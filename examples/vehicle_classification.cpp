@@ -46,7 +46,7 @@ int main() {
       [accelerator, &analog_calls](std::span<const double> a,
                                    std::span<const double> b) {
         ++analog_calls;
-        return accelerator->compute(a, b).value;
+        return accelerator->try_compute(a, b).unwrap().value;
       });
   knn.fit(train);
 

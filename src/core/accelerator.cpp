@@ -109,6 +109,7 @@ power::PowerBreakdown Accelerator::power(std::size_t n) const {
 ComputeOutcome Accelerator::try_compute_with(Backend backend,
                                              std::span<const double> p,
                                              std::span<const double> q,
+                                             int base_attempt,
                                              const EncodedInputs* pre_enc,
                                              const AnalogEval* first_eval)
     const {
@@ -181,7 +182,7 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
         if (!ok) last_error = eval.error;
       } else {
         AcceleratorConfig cfg = config_;
-        cfg.fault_attempt = attempt;
+        cfg.fault_attempt = base_attempt + attempt;
         try {
           eval = evaluate(chain[c], cfg, spec_, enc);
           ok = eval.ok;
@@ -284,24 +285,41 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
   return r;
 }
 
-ComputeResult Accelerator::unwrap(ComputeOutcome outcome) {
-  if (!outcome.ok()) {
-    const ComputeError& e = outcome.error();
-    if (e.code == ComputeErrorCode::InvalidInput) {
-      throw std::invalid_argument(e.message);
-    }
-    throw std::runtime_error(e.message);
-  }
-  return std::move(outcome.value());
-}
-
 ComputeOutcome Accelerator::try_compute(std::span<const double> p,
                                         std::span<const double> q) const {
   return try_compute_with(config_.backend, p, q);
 }
 
+std::optional<ComputeError> Accelerator::spec_mismatch(
+    const QueryRequest& req) const {
+  if (!req.kind) return std::nullopt;
+  if (*req.kind != spec_.kind) {
+    return ComputeError{ComputeErrorCode::InvalidInput,
+                        "compute: request kind " + dist::kind_name(*req.kind) +
+                            " does not match configured " +
+                            dist::kind_name(spec_.kind)};
+  }
+  if (req.threshold != spec_.threshold) {
+    return ComputeError{ComputeErrorCode::InvalidInput,
+                        "compute: request threshold does not match "
+                        "configured spec"};
+  }
+  if (req.band != spec_.band) {
+    return ComputeError{
+        ComputeErrorCode::InvalidInput,
+        "compute: request band does not match configured spec"};
+  }
+  return std::nullopt;
+}
+
+ComputeOutcome Accelerator::try_compute(const QueryRequest& req) const {
+  if (auto err = spec_mismatch(req)) return std::move(*err);
+  return try_compute_with(req.backend.value_or(config_.backend), req.p, req.q,
+                          req.fault_attempt);
+}
+
 std::vector<ComputeOutcome> Accelerator::try_compute_lockstep(
-    std::span<const QueryView> queries) const {
+    std::span<const QueryRequest> queries) const {
   static const obs::Counter groups("mda.accel.lockstep_groups");
   static const obs::Counter lanes("mda.accel.lockstep_lanes");
   static const obs::Counter scalar_lanes("mda.accel.lockstep_scalar_lanes");
@@ -309,21 +327,28 @@ std::vector<ComputeOutcome> Accelerator::try_compute_lockstep(
   const std::size_t count = queries.size();
   std::vector<std::optional<ComputeOutcome>> slots(count);
   // A lane joins the batched first attempt only when that attempt would be
-  // a plain FullSpice evaluation: configured backend FullSpice, no fault
-  // plan, valid inputs, encodable.  Everything else takes the scalar path,
-  // which is the serial code verbatim.
-  const bool batchable = config_.backend == Backend::FullSpice &&
-                         config_.faults == nullptr;
+  // a plain FullSpice evaluation: effective backend FullSpice, no fault
+  // plan, first attempt (fault_attempt == 0), spec-compatible, valid
+  // inputs, encodable.  Everything else takes the scalar path, which is
+  // the serial code verbatim.
+  const bool batchable = config_.faults == nullptr;
   std::vector<std::size_t> group;
   std::vector<EncodedInputs> encs;
   for (std::size_t i = 0; i < count; ++i) {
-    const QueryView& qv = queries[i];
-    bool valid = batchable && !qv.p.empty() && !qv.q.empty() &&
+    const QueryRequest& req = queries[i];
+    const Backend backend = req.backend.value_or(config_.backend);
+    if (auto err = spec_mismatch(req)) {
+      scalar_lanes.add();
+      slots[i].emplace(std::move(*err));
+      continue;
+    }
+    bool valid = batchable && backend == Backend::FullSpice &&
+                 req.fault_attempt == 0 && !req.p.empty() && !req.q.empty() &&
                  (!dist::requires_equal_length(spec_.kind) ||
-                  qv.p.size() == qv.q.size());
+                  req.p.size() == req.q.size());
     if (valid) {
       try {
-        encs.push_back(encode_inputs(config_, spec_, qv.p, qv.q));
+        encs.push_back(encode_inputs(config_, spec_, req.p, req.q));
         group.push_back(i);
         continue;
       } catch (const std::exception&) {
@@ -332,7 +357,8 @@ std::vector<ComputeOutcome> Accelerator::try_compute_lockstep(
       }
     }
     scalar_lanes.add();
-    slots[i].emplace(try_compute_with(config_.backend, qv.p, qv.q));
+    slots[i].emplace(
+        try_compute_with(backend, req.p, req.q, req.fault_attempt));
   }
 
   if (!group.empty()) {
@@ -342,8 +368,8 @@ std::vector<ComputeOutcome> Accelerator::try_compute_lockstep(
         eval_full_spice_batch(config_, spec_, encs);
     for (std::size_t s = 0; s < group.size(); ++s) {
       const std::size_t i = group[s];
-      slots[i].emplace(try_compute_with(config_.backend, queries[i].p,
-                                        queries[i].q, &encs[s], &evals[s]));
+      slots[i].emplace(try_compute_with(Backend::FullSpice, queries[i].p,
+                                        queries[i].q, 0, &encs[s], &evals[s]));
     }
   }
 
@@ -351,17 +377,6 @@ std::vector<ComputeOutcome> Accelerator::try_compute_lockstep(
   out.reserve(count);
   for (auto& s : slots) out.push_back(std::move(*s));
   return out;
-}
-
-ComputeResult Accelerator::compute(std::span<const double> p,
-                                   std::span<const double> q) const {
-  return unwrap(try_compute_with(config_.backend, p, q));
-}
-
-ComputeResult Accelerator::compute(std::span<const double> p,
-                                   std::span<const double> q,
-                                   Backend backend) const {
-  return unwrap(try_compute_with(backend, p, q));
 }
 
 }  // namespace mda::core

@@ -6,30 +6,29 @@
 // Usage:
 //   mda::core::Accelerator acc;                       // 128x128 fabric
 //   acc.configure({.kind = dist::DistanceKind::Dtw}); // from the config lib
-//   auto r = acc.compute(P, Q);                       // analog evaluation
-//   r.value, r.relative_error, r.convergence_time_s, ...
+//   auto outcome = acc.try_compute(P, Q);             // analog evaluation
+//   if (outcome.ok()) outcome.value().value, ...;
 //
-// The execution backend is part of AcceleratorConfig (set it at
-// construction, via set_backend(), or with the configure() overload); the
-// legacy per-call compute(p, q, backend) overload is deprecated.  Server
-// callers that must not unwind per failed query use try_compute(), which
-// reports failures as a ComputeOutcome instead of throwing.
+// try_compute / ComputeOutcome is the single entry point: invalid inputs and
+// backend failures come back as typed errors, never exceptions — the shape
+// server callers need (DESIGN.md §13).  Callers that prefer unwinding call
+// ComputeOutcome::unwrap().  Per-call knobs (backend override, starting
+// fault attempt, tenant/deadline envelope) travel in core::QueryRequest —
+// the same struct the wire protocol, BatchEngine and campaigns use — via
+// the try_compute(QueryRequest) overload.  The execution backend default is
+// part of AcceleratorConfig (set it at construction, via set_backend(), or
+// with the configure() overload).
 
 #include <span>
 #include <vector>
 
 #include "core/backend.hpp"
 #include "core/config.hpp"
+#include "core/query.hpp"
 #include "core/timing_model.hpp"
 #include "power/power_model.hpp"
 
 namespace mda::core {
-
-/// One (P, Q) query by reference; the spans must outlive the call.
-struct QueryView {
-  std::span<const double> p;
-  std::span<const double> q;
-};
 
 class Accelerator {
  public:
@@ -40,7 +39,7 @@ class Accelerator {
   void configure(DistanceSpec spec);
   /// Select a distance function and the execution backend in one step.
   void configure(DistanceSpec spec, Backend backend);
-  /// Change the execution backend of subsequent compute()/try_compute().
+  /// Change the execution backend of subsequent try_compute() calls.
   void set_backend(Backend backend) { config_.backend = backend; }
 
   [[nodiscard]] const AcceleratorConfig& config() const { return config_; }
@@ -48,30 +47,28 @@ class Accelerator {
   [[nodiscard]] const ConfigEntry& active_entry() const;
 
   /// Evaluate the configured distance on P and Q using the configured
-  /// backend.  Throws std::invalid_argument on bad inputs and
-  /// std::runtime_error on backend failure (simulation non-convergence).
-  ComputeResult compute(std::span<const double> p,
-                        std::span<const double> q) const;
-
-  [[deprecated("pass the backend via AcceleratorConfig::backend / "
-               "set_backend() and call compute(p, q)")]]
-  ComputeResult compute(std::span<const double> p, std::span<const double> q,
-                        Backend backend) const;
-
-  /// Non-throwing variant: invalid inputs and backend failures come back as
+  /// backend.  Invalid inputs and backend failures come back as
   /// ComputeOutcome errors instead of exceptions.
   [[nodiscard]] ComputeOutcome try_compute(std::span<const double> p,
                                            std::span<const double> q) const;
 
+  /// The unified-API entry point: honours the request's backend override,
+  /// starting fault attempt and (when set) its kind/threshold/band, which
+  /// must match the configured spec — a mismatch is an InvalidInput error,
+  /// not a silent reconfiguration.  A default-knob request behaves exactly
+  /// like try_compute(req.p, req.q).
+  [[nodiscard]] ComputeOutcome try_compute(const QueryRequest& req) const;
+
   /// Evaluate a group of queries with the first FullSpice attempt of every
   /// eligible query batched through the lockstep solver (DESIGN.md §12).
   /// Outcome i — and every accelerator/solver metric — is bit-identical to
-  /// try_compute(queries[i].p, queries[i].q) run serially.  Queries that are
-  /// invalid, configured for a non-FullSpice backend, or under an active
-  /// fault plan run the scalar path; a query whose batched first attempt
-  /// fails continues the serial retry/degradation chain from that result.
+  /// try_compute(queries[i]) run serially.  Queries that are invalid,
+  /// resolve to a non-FullSpice backend, carry a nonzero starting fault
+  /// attempt, or run under an active fault plan take the scalar path; a
+  /// query whose batched first attempt fails continues the serial
+  /// retry/degradation chain from that result.
   [[nodiscard]] std::vector<ComputeOutcome> try_compute_lockstep(
-      std::span<const QueryView> queries) const;
+      std::span<const QueryRequest> queries) const;
 
   /// Tiling passes needed for sequences longer than the array (Sec. 3.1).
   [[nodiscard]] std::size_t tiles_required(std::size_t m, std::size_t n) const;
@@ -107,14 +104,20 @@ class Accelerator {
   void replace_timing_model(TimingModel model) { timing_ = model; }
 
  private:
-  /// `pre_enc` supplies already-encoded (and already-counted) inputs;
-  /// `first_eval` supplies the result of the chain's first attempt (batched
-  /// elsewhere) — the retry/degradation chain continues from it unchanged.
+  /// `base_attempt` offsets AcceleratorConfig::fault_attempt for the whole
+  /// chain (QueryRequest::fault_attempt); `pre_enc` supplies already-encoded
+  /// (and already-counted) inputs; `first_eval` supplies the result of the
+  /// chain's first attempt (batched elsewhere) — the retry/degradation
+  /// chain continues from it unchanged.
   ComputeOutcome try_compute_with(Backend backend, std::span<const double> p,
                                   std::span<const double> q,
+                                  int base_attempt = 0,
                                   const EncodedInputs* pre_enc = nullptr,
                                   const AnalogEval* first_eval = nullptr) const;
-  static ComputeResult unwrap(ComputeOutcome outcome);
+  /// Spec-compatibility check for requests that pin kind/threshold/band;
+  /// nullopt = compatible.
+  [[nodiscard]] std::optional<ComputeError> spec_mismatch(
+      const QueryRequest& req) const;
 
   AcceleratorConfig config_;
   DistanceSpec spec_;

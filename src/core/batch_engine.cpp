@@ -196,12 +196,14 @@ std::vector<ComputeOutcome> BatchEngine::try_compute_batch(
   // Per-task retry budget (never shared across tasks, so which queries
   // retry is independent of scheduling).  Invalid inputs never retry.
   auto apply_retries = [&](std::size_t i, ComputeOutcome outcome) {
-    for (std::size_t r = 0; r < opts_.retry_budget && !outcome.ok() &&
+    const std::size_t budget =
+        std::max<std::size_t>(opts_.retry_budget, queries[i].retry_budget);
+    for (std::size_t r = 0; r < budget && !outcome.ok() &&
                             outcome.error().code ==
                                 ComputeErrorCode::BackendFailure;
          ++r) {
       task_retries.add();
-      outcome = target.try_compute(queries[i].p, queries[i].q);
+      outcome = target.try_compute(queries[i]);
     }
     if (!outcome.ok()) query_failures.add();
     slots[i].emplace(std::move(outcome));
@@ -219,20 +221,18 @@ std::vector<ComputeOutcome> BatchEngine::try_compute_batch(
     parallel_for(ngroups, [&](std::size_t g) {
       const std::size_t begin = g * width;
       const std::size_t end = std::min(queries.size(), begin + width);
-      std::vector<QueryView> views;
-      views.reserve(end - begin);
-      for (std::size_t i = begin; i < end; ++i) {
-        views.push_back(QueryView{queries[i].p, queries[i].q});
-      }
       lockstep_groups.add();
-      std::vector<ComputeOutcome> outcomes = target.try_compute_lockstep(views);
+      // BatchQuery IS QueryRequest: the group subspan feeds the lockstep
+      // entry point directly, per-query knobs included.
+      std::vector<ComputeOutcome> outcomes =
+          target.try_compute_lockstep(queries.subspan(begin, end - begin));
       for (std::size_t i = begin; i < end; ++i) {
         apply_retries(i, std::move(outcomes[i - begin]));
       }
     });
   } else {
     parallel_for(queries.size(), [&](std::size_t i) {
-      apply_retries(i, target.try_compute(queries[i].p, queries[i].q));
+      apply_retries(i, target.try_compute(queries[i]));
     });
   }
   std::vector<ComputeOutcome> out;

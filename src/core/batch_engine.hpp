@@ -47,8 +47,9 @@ struct BatchOptions {
   /// key draws on chunk structure should set it explicitly — the engine
   /// itself keys nothing on chunks.
   std::size_t chunk_size = 0;
-  /// Backend override for compute_batch/compute_distances; nullopt uses the
-  /// accelerator's configured backend (AcceleratorConfig::backend).
+  /// Engine-wide backend override for compute_batch/compute_distances;
+  /// nullopt uses the accelerator's configured backend.  A per-query
+  /// QueryRequest::backend takes precedence over both.
   std::optional<Backend> backend;
   /// Base seed for counter-based per-task RNG derivation (task_rng).
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
@@ -56,7 +57,8 @@ struct BatchOptions {
   FailurePolicy failure_policy = FailurePolicy::FailClosed;
   /// Extra try_compute attempts per failed query (backend failures only;
   /// per-task, not shared, so results stay bit-identical for any thread
-  /// count).
+  /// count).  Each query's effective budget is
+  /// max(retry_budget, QueryRequest::retry_budget).
   std::size_t retry_budget = 0;
   /// Lockstep solver batch width for FullSpice computes (DESIGN.md §12):
   /// try_compute_batch partitions the query list into fixed groups
@@ -70,11 +72,12 @@ struct BatchOptions {
   std::size_t solver_batch_width = 8;
 };
 
-/// One distance query. Spans must outlive the batch call.
-struct BatchQuery {
-  std::span<const double> p;
-  std::span<const double> q;
-};
+/// One distance query — the unified request type (core/query.hpp).  Spans
+/// must outlive the batch call (or be storage-backed, QueryRequest::owning).
+/// `{p, q}` aggregate initialisation keeps pre-unification call sites
+/// compiling unchanged; per-query knobs (backend override, retry budget,
+/// starting fault attempt) ride along and are honoured per task.
+using BatchQuery = QueryRequest;
 
 class BatchEngine {
  public:

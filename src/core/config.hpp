@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -175,7 +176,27 @@ class ComputeOutcome {
   [[nodiscard]] ComputeResult& value() { return *result_; }
   [[nodiscard]] const ComputeError& error() const { return *error_; }
 
+  /// Return the result or throw — std::invalid_argument for InvalidInput,
+  /// std::runtime_error otherwise.  The bridge for callers that prefer
+  /// unwinding: `acc.try_compute(p, q).unwrap()`.
+  [[nodiscard]] ComputeResult unwrap() && {
+    throw_if_error();
+    return std::move(*result_);
+  }
+  [[nodiscard]] ComputeResult unwrap() const& {
+    throw_if_error();
+    return *result_;
+  }
+
  private:
+  void throw_if_error() const {
+    if (ok()) return;
+    if (error_->code == ComputeErrorCode::InvalidInput) {
+      throw std::invalid_argument(error_->message);
+    }
+    throw std::runtime_error(error_->message);
+  }
+
   std::optional<ComputeResult> result_;
   std::optional<ComputeError> error_;
 };

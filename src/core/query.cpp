@@ -1,0 +1,82 @@
+#include "core/query.hpp"
+
+#include <cstring>
+
+namespace mda::core {
+
+const char* query_status_name(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::Ok: return "ok";
+    case QueryStatus::InvalidInput: return "invalid_input";
+    case QueryStatus::BackendFailure: return "backend_failure";
+    case QueryStatus::Overloaded: return "overloaded";
+    case QueryStatus::QuotaExceeded: return "quota_exceeded";
+    case QueryStatus::DeadlineExpired: return "deadline_expired";
+    case QueryStatus::BadRequest: return "bad_request";
+    case QueryStatus::ShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+QueryResponse QueryResponse::from(std::uint64_t id, std::uint64_t tenant,
+                                  ComputeOutcome outcome) {
+  QueryResponse resp;
+  resp.id = id;
+  resp.tenant = tenant;
+  if (outcome.ok()) {
+    resp.status = QueryStatus::Ok;
+    resp.result = std::move(outcome.value());
+  } else {
+    const ComputeError& e = outcome.error();
+    resp.status = e.code == ComputeErrorCode::InvalidInput
+                      ? QueryStatus::InvalidInput
+                      : QueryStatus::BackendFailure;
+    resp.message = e.message;
+    resp.error_backend = e.backend;
+    resp.error_attempts = e.attempts;
+    resp.error_newton_iterations = e.newton_iterations;
+  }
+  return resp;
+}
+
+QueryResponse QueryResponse::reject(std::uint64_t id, std::uint64_t tenant,
+                                    QueryStatus status, std::string message) {
+  QueryResponse resp;
+  resp.id = id;
+  resp.tenant = tenant;
+  resp.status = status;
+  resp.message = std::move(message);
+  return resp;
+}
+
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+}  // namespace
+
+bool bitwise_equal(const ComputeResult& a, const ComputeResult& b) {
+  return bits_equal(a.value, b.value) && bits_equal(a.volts, b.volts) &&
+         bits_equal(a.reference, b.reference) &&
+         bits_equal(a.relative_error, b.relative_error) &&
+         bits_equal(a.convergence_time_s, b.convergence_time_s) &&
+         bits_equal(a.input_scale, b.input_scale) && a.tiles == b.tiles &&
+         a.backend_used == b.backend_used && a.attempts == b.attempts &&
+         a.fallbacks == b.fallbacks &&
+         a.newton_iterations == b.newton_iterations &&
+         a.solver_fallbacks == b.solver_fallbacks &&
+         a.quarantined_cells == b.quarantined_cells &&
+         a.fault_detected == b.fault_detected;
+}
+
+bool bitwise_equal(const QueryResponse& a, const QueryResponse& b) {
+  if (a.status != b.status || a.tenant != b.tenant) return false;
+  if (a.status == QueryStatus::Ok) return bitwise_equal(a.result, b.result);
+  return a.message == b.message && a.error_backend == b.error_backend &&
+         a.error_attempts == b.error_attempts &&
+         a.error_newton_iterations == b.error_newton_iterations;
+}
+
+}  // namespace mda::core

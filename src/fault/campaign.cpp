@@ -74,7 +74,11 @@ CampaignReport run_campaign(const CampaignConfig& config) {
 
     core::Accelerator acc(cfg);
     acc.configure(config.spec);
-    const core::ComputeOutcome outcome = acc.try_compute(p, q);
+    // Campaigns go through the same unified request type as the server and
+    // BatchEngine; the query index doubles as the tenant tag in metrics.
+    core::QueryRequest req{p, q};
+    req.tenant = i;
+    const core::ComputeOutcome outcome = acc.try_compute(req);
 
     QueryOutcome qo;
     if (outcome.ok()) {

@@ -1,0 +1,116 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mda::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close();
+    throw std::runtime_error("client: connect failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int on = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reader_ = FrameReader();
+}
+
+void Client::send(const core::QueryRequest& req, std::uint64_t id) {
+  const std::vector<std::uint8_t> frame = encode_request_frame(req, id);
+  send_raw(frame.data(), frame.size());
+}
+
+void Client::send_raw(const std::uint8_t* data, std::size_t n) {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw std::runtime_error("client: send failed");
+  }
+}
+
+std::optional<core::QueryResponse> Client::recv(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    FrameReader::Result res = reader_.next();
+    if (res.status == FrameReader::Status::Error) {
+      throw std::runtime_error("client: protocol error: " + res.error);
+    }
+    if (res.status == FrameReader::Status::Frame) {
+      if (res.type != FrameType::Response) {
+        throw std::runtime_error("client: unexpected request frame");
+      }
+      std::string err;
+      std::optional<core::QueryResponse> resp =
+          decode_response_payload(res.payload, &err);
+      if (!resp) throw std::runtime_error("client: bad response: " + err);
+      return resp;
+    }
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int p = ::poll(&pfd, 1, timeout_ms);
+      if (p <= 0) return std::nullopt;  // Timeout (or poll failure).
+    }
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      reader_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return std::nullopt;  // Server closed the connection.
+  }
+}
+
+std::optional<core::QueryResponse> Client::call(const core::QueryRequest& req,
+                                                std::uint64_t id,
+                                                int timeout_ms) {
+  send(req, id);
+  return recv(timeout_ms);
+}
+
+}  // namespace mda::serve

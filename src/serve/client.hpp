@@ -1,0 +1,52 @@
+#pragma once
+// Blocking client for the `mda serve` wire protocol: connect, send
+// QueryRequest frames (pipelining allowed), read QueryResponse frames back.
+// Used by the CLI, bench_serve's load generator and the loopback tests; the
+// raw-byte send exists so tests can exercise the server's malformed-frame
+// handling.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/query.hpp"
+#include "serve/protocol.hpp"
+
+namespace mda::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to host:port; throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Send one request frame (does not wait for the response — callers may
+  /// pipeline).  Throws std::runtime_error when the connection is gone.
+  void send(const core::QueryRequest& req, std::uint64_t id);
+  /// Send raw bytes verbatim (tests: malformed/truncated frames).
+  void send_raw(const std::uint8_t* data, std::size_t n);
+
+  /// Block until the next response frame arrives; nullopt = connection
+  /// closed by the server (or, with timeout_ms >= 0, the timeout lapsed
+  /// first).  Throws std::runtime_error on an undecodable response.
+  [[nodiscard]] std::optional<core::QueryResponse> recv(int timeout_ms = -1);
+
+  /// send + recv for the unpipelined case.
+  [[nodiscard]] std::optional<core::QueryResponse> call(
+      const core::QueryRequest& req, std::uint64_t id, int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace mda::serve

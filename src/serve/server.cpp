@@ -1,0 +1,664 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "obs/metrics.hpp"
+
+namespace mda::serve {
+namespace {
+
+using core::QueryRequest;
+using core::QueryResponse;
+using core::QueryStatus;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One client socket.  Owns the fd (closed on destruction, so a worker
+/// holding a shared_ptr can never write into a recycled descriptor); writes
+/// serialise on write_mutex because responses come from shard workers and
+/// the IO thread alike.
+struct Connection {
+  explicit Connection(int fd_in, std::size_t max_frame)
+      : fd(fd_in), reader(max_frame) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd = -1;
+  FrameReader reader;
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+};
+
+/// Write the whole buffer to a nonblocking socket, waiting on POLLOUT for a
+/// slow reader (bounded); false = peer gone or stuck.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/5000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Everything that selects a distinct shard configuration.
+struct ShardKey {
+  int kind = -1;  ///< dist::DistanceKind index; -1 = server default spec.
+  std::uint64_t threshold_bits = 0;
+  int band = -1;
+  int backend = -1;  ///< core::Backend index; -1 = configured default.
+
+  bool operator<(const ShardKey& o) const {
+    return std::tie(kind, threshold_bits, band, backend) <
+           std::tie(o.kind, o.threshold_bits, o.band, o.backend);
+  }
+};
+
+/// An admitted request waiting in a shard queue.
+struct Pending {
+  std::shared_ptr<Connection> conn;
+  std::uint64_t id = 0;
+  QueryRequest request;
+  double arrival_s = 0.0;
+  bool counted_inflight = false;
+};
+
+/// Collapse key: the exact bits that determine a solve's result within one
+/// shard — payload plus per-request solve knobs (tenant/deadline/id are
+/// envelope, not solve inputs).
+std::string collapse_key(const QueryRequest& req) {
+  std::string key;
+  key.reserve(16 + 8 * (req.p.size() + req.q.size()));
+  auto put_bytes = [&key](const void* p, std::size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  const std::uint64_t p_len = req.p.size();
+  put_bytes(&p_len, sizeof p_len);
+  if (!req.p.empty()) put_bytes(req.p.data(), 8 * req.p.size());
+  if (!req.q.empty()) put_bytes(req.q.data(), 8 * req.q.size());
+  const std::int32_t backend =
+      req.backend ? static_cast<std::int32_t>(*req.backend) : -1;
+  put_bytes(&backend, sizeof backend);
+  put_bytes(&req.fault_attempt, sizeof req.fault_attempt);
+  put_bytes(&req.retry_budget, sizeof req.retry_budget);
+  return key;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServeOptions opts) : opts_(std::move(opts)) {
+    if (opts_.coalesce_window == 0) opts_.coalesce_window = 1;
+    if (opts_.solver_batch_width == 0) opts_.solver_batch_width = 1;
+    if (opts_.shard_queue_depth == 0) opts_.shard_queue_depth = 1;
+  }
+  ~Impl() { stop(); }
+
+  struct Shard {
+    Shard(ShardKey k, core::AcceleratorConfig cfg, core::DistanceSpec spec)
+        : key(k), acc(std::move(cfg)) {
+      acc.configure(std::move(spec));
+    }
+    ShardKey key;
+    core::Accelerator acc;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    std::thread worker;
+  };
+
+  ServeOptions opts_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread io_thread_;
+
+  std::mutex conn_mutex_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::mutex shard_mutex_;
+  std::map<ShardKey, std::unique_ptr<Shard>> shards_;
+
+  std::mutex quota_mutex_;
+  std::unordered_map<std::uint64_t, std::size_t> inflight_;
+
+  std::atomic<std::uint64_t> n_connections_{0};
+  std::atomic<std::uint64_t> n_requests_{0};
+  std::atomic<std::uint64_t> n_responses_{0};
+  std::atomic<std::uint64_t> n_rejected_{0};
+  std::atomic<std::uint64_t> n_collapsed_{0};
+  std::atomic<std::uint64_t> n_solves_{0};
+
+  // ---- lifecycle ----
+
+  void start() {
+    if (running_.load()) return;
+    stopping_.store(false);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+    const int on = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts_.port);
+    if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+      teardown_fds();
+      throw std::runtime_error("serve: bad host address " + opts_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      teardown_fds();
+      throw std::runtime_error("serve: bind failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (::listen(listen_fd_, opts_.listen_backlog) != 0) {
+      teardown_fds();
+      throw std::runtime_error("serve: listen failed");
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    bound_port_ = ntohs(bound.sin_port);
+
+    epoll_fd_ = ::epoll_create1(0);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+      teardown_fds();
+      throw std::runtime_error("serve: epoll/eventfd setup failed");
+    }
+    epoll_add(listen_fd_);
+    epoll_add(wake_fd_);
+
+    running_.store(true);
+    io_thread_ = std::thread([this] { io_loop(); });
+  }
+
+  void stop() {
+    if (!running_.exchange(false)) return;
+    stopping_.store(true);
+    // Wake the IO thread, join it, then drain the shards: their workers see
+    // stopping_ and answer anything still queued with ShuttingDown.
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t w = ::write(wake_fd_, &one, sizeof one);
+    if (io_thread_.joinable()) io_thread_.join();
+    {
+      std::lock_guard<std::mutex> lk(shard_mutex_);
+      for (auto& [key, shard] : shards_) shard->cv.notify_all();
+      for (auto& [key, shard] : shards_) {
+        if (shard->worker.joinable()) shard->worker.join();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn_mutex_);
+      conns_.clear();  // Destructors close the sockets.
+    }
+    teardown_fds();
+  }
+
+  void teardown_fds() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  }
+
+  void epoll_add(int fd) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  // ---- IO thread ----
+
+  void io_loop() {
+    std::vector<epoll_event> events(64);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    while (!stopping_.load()) {
+      const int n =
+          ::epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), /*timeout_ms=*/-1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n && !stopping_.load(); ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd_) {
+          std::uint64_t drain = 0;
+          [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof drain);
+        } else if (fd == listen_fd_) {
+          accept_ready();
+        } else {
+          handle_readable(fd, buf);
+        }
+      }
+    }
+  }
+
+  void accept_ready() {
+    static const obs::Counter connections("mda.serve.connections");
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) return;  // EAGAIN or transient error; epoll re-arms.
+      std::lock_guard<std::mutex> lk(conn_mutex_);
+      if (conns_.size() >= opts_.max_connections) {
+        ::close(fd);
+        continue;
+      }
+      const int on = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
+      conns_.emplace(fd,
+                     std::make_shared<Connection>(fd, opts_.max_frame_bytes));
+      epoll_add(fd);
+      connections.add();
+      n_connections_.fetch_add(1);
+    }
+  }
+
+  void close_connection(const std::shared_ptr<Connection>& conn) {
+    conn->alive.store(false);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lk(conn_mutex_);
+    conns_.erase(conn->fd);  // fd closes once the last worker ref drops.
+  }
+
+  void handle_readable(int fd, std::vector<std::uint8_t>& buf) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lk(conn_mutex_);
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) return;  // Already closed.
+      conn = it->second;
+    }
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
+      if (r > 0) {
+        conn->reader.append(buf.data(), static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      peer_closed = true;  // Orderly shutdown or hard error.
+      break;
+    }
+    for (;;) {
+      FrameReader::Result res = conn->reader.next();
+      if (res.status == FrameReader::Status::NeedMore) break;
+      if (res.status == FrameReader::Status::Error ||
+          res.type != FrameType::Request) {
+        // The byte stream is unsynchronised (or the peer speaks the wrong
+        // role): best-effort error response, then drop the connection.
+        respond(conn,
+                QueryResponse::reject(0, 0, QueryStatus::BadRequest,
+                                      res.status == FrameReader::Status::Error
+                                          ? res.error
+                                          : "unexpected response frame"),
+                /*arrival_s=*/0.0);
+        close_connection(conn);
+        return;
+      }
+      handle_request(conn, res.payload);
+    }
+    if (peer_closed) close_connection(conn);
+  }
+
+  // ---- admission ----
+
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      const std::vector<std::uint8_t>& payload) {
+    static const obs::Counter requests("mda.serve.requests");
+    requests.add();
+    n_requests_.fetch_add(1);
+    const double arrival = now_s();
+
+    std::string err;
+    std::optional<DecodedRequest> dec = decode_request_payload(payload, &err);
+    if (!dec) {
+      // Malformed payload: the framing is intact, so the connection
+      // survives; correlate the rejection by id when the prefix is readable.
+      std::uint64_t id = 0;
+      std::uint64_t tenant = 0;
+      peek_request_ids(payload, &id, &tenant);
+      respond(conn, QueryResponse::reject(id, tenant, QueryStatus::BadRequest,
+                                          std::move(err)),
+              arrival);
+      return;
+    }
+    Pending pending{conn, dec->id, std::move(dec->request), arrival, false};
+    const std::uint64_t tenant = pending.request.tenant;
+
+    if (stopping_.load()) {
+      respond(conn, QueryResponse::reject(pending.id, tenant,
+                                          QueryStatus::ShuttingDown,
+                                          "server stopping"),
+              arrival);
+      return;
+    }
+    Shard* shard = find_or_create_shard(pending.request);
+    if (shard == nullptr) {
+      respond(conn, QueryResponse::reject(pending.id, tenant,
+                                          QueryStatus::Overloaded,
+                                          "shard table full"),
+              arrival);
+      return;
+    }
+    if (opts_.tenant_inflight_quota > 0) {
+      std::lock_guard<std::mutex> lk(quota_mutex_);
+      std::size_t& count = inflight_[tenant];
+      if (count >= opts_.tenant_inflight_quota) {
+        static const obs::Counter quota_rejects("mda.serve.quota_rejects");
+        quota_rejects.add();
+        respond(conn, QueryResponse::reject(pending.id, tenant,
+                                            QueryStatus::QuotaExceeded,
+                                            "tenant in-flight quota exceeded"),
+                arrival);
+        return;
+      }
+      ++count;
+      pending.counted_inflight = true;
+    }
+    {
+      std::lock_guard<std::mutex> lk(shard->mutex);
+      if (shard->queue.size() >= opts_.shard_queue_depth) {
+        static const obs::Counter overloads("mda.serve.overloads");
+        overloads.add();
+        release_quota(pending);
+        respond(conn, QueryResponse::reject(pending.id, tenant,
+                                            QueryStatus::Overloaded,
+                                            "shard queue full"),
+                arrival);
+        return;
+      }
+      shard->queue.push_back(std::move(pending));
+    }
+    shard->cv.notify_one();
+  }
+
+  [[nodiscard]] static ShardKey key_for(const QueryRequest& req) {
+    ShardKey key;
+    if (req.kind) {
+      key.kind = static_cast<int>(*req.kind);
+      std::memcpy(&key.threshold_bits, &req.threshold,
+                  sizeof key.threshold_bits);
+      key.band = req.band;
+    }
+    if (req.backend) key.backend = static_cast<int>(*req.backend);
+    return key;
+  }
+
+  Shard* find_or_create_shard(const QueryRequest& req) {
+    const ShardKey key = key_for(req);
+    std::lock_guard<std::mutex> lk(shard_mutex_);
+    auto it = shards_.find(key);
+    if (it != shards_.end()) return it->second.get();
+    if (shards_.size() >= opts_.max_shards) return nullptr;
+
+    core::AcceleratorConfig cfg = opts_.accelerator;
+    if (key.backend >= 0) cfg.backend = static_cast<core::Backend>(key.backend);
+    core::DistanceSpec spec = opts_.default_spec;
+    if (req.kind) {
+      spec = core::DistanceSpec{};
+      spec.kind = *req.kind;
+      spec.threshold = req.threshold;
+      spec.band = req.band;
+    }
+    auto shard = std::make_unique<Shard>(key, std::move(cfg), std::move(spec));
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+    shards_.emplace(key, std::move(shard));
+    static const obs::Gauge shard_gauge("mda.serve.shards");
+    shard_gauge.set(static_cast<double>(shards_.size()));
+    return raw;
+  }
+
+  void release_quota(const Pending& pending) {
+    if (!pending.counted_inflight) return;
+    std::lock_guard<std::mutex> lk(quota_mutex_);
+    auto it = inflight_.find(pending.request.tenant);
+    if (it != inflight_.end() && it->second > 0) --it->second;
+  }
+
+  // ---- shard workers ----
+
+  void worker_loop(Shard& shard) {
+    for (;;) {
+      std::vector<Pending> batch;
+      {
+        std::unique_lock<std::mutex> lk(shard.mutex);
+        shard.cv.wait(lk, [&] {
+          return stopping_.load() || !shard.queue.empty();
+        });
+        if (stopping_.load()) {
+          batch.assign(std::make_move_iterator(shard.queue.begin()),
+                       std::make_move_iterator(shard.queue.end()));
+          shard.queue.clear();
+          lk.unlock();
+          for (Pending& p : batch) {
+            release_quota(p);
+            respond(p.conn, QueryResponse::reject(p.id, p.request.tenant,
+                                                  QueryStatus::ShuttingDown,
+                                                  "server stopping"),
+                    p.arrival_s);
+          }
+          return;
+        }
+        const std::size_t take =
+            std::min(opts_.coalesce_window, shard.queue.size());
+        batch.assign(
+            std::make_move_iterator(shard.queue.begin()),
+            std::make_move_iterator(shard.queue.begin() +
+                                    static_cast<std::ptrdiff_t>(take)));
+        shard.queue.erase(shard.queue.begin(),
+                          shard.queue.begin() +
+                              static_cast<std::ptrdiff_t>(take));
+      }
+      process_batch(shard, batch);
+    }
+  }
+
+  void process_batch(Shard& shard, std::vector<Pending>& batch) {
+    static const obs::Counter collapsed("mda.serve.collapsed_requests");
+    static const obs::Counter solves("mda.serve.solves");
+    static const obs::Counter windows("mda.serve.windows");
+    windows.add();
+
+    // 1. Expire deadlines at dequeue: queue wait already exceeded the
+    //    request's relative deadline, so a solve would be wasted work.
+    const double now = now_s();
+    std::vector<Pending*> live;
+    live.reserve(batch.size());
+    for (Pending& p : batch) {
+      if (p.request.deadline_s > 0.0 &&
+          now - p.arrival_s > p.request.deadline_s) {
+        static const obs::Counter expired("mda.serve.deadline_expired");
+        expired.add();
+        release_quota(p);
+        respond(p.conn, QueryResponse::reject(p.id, p.request.tenant,
+                                              QueryStatus::DeadlineExpired,
+                                              "deadline expired in queue"),
+                p.arrival_s);
+        continue;
+      }
+      live.push_back(&p);
+    }
+    if (live.empty()) return;
+
+    // 2. Collapse bitwise-identical requests within the window: one solve,
+    //    fanned out.  Determinism makes this invisible in the responses.
+    std::vector<std::size_t> slot_of(live.size());
+    std::vector<const QueryRequest*> unique;
+    if (opts_.collapse_duplicates) {
+      std::unordered_map<std::string, std::size_t> seen;
+      seen.reserve(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        auto [it, inserted] =
+            seen.emplace(collapse_key(live[i]->request), unique.size());
+        if (inserted) unique.push_back(&live[i]->request);
+        slot_of[i] = it->second;
+      }
+      collapsed.add(static_cast<std::uint64_t>(live.size() - unique.size()));
+      n_collapsed_.fetch_add(live.size() - unique.size());
+    } else {
+      unique.reserve(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        slot_of[i] = i;
+        unique.push_back(&live[i]->request);
+      }
+    }
+
+    // 3. Solve the unique requests in lockstep groups of solver_batch_width
+    //    (width 1 = the one-request-per-solve baseline).  Same entry points
+    //    as BatchEngine, so served ≡ direct is structural.
+    solves.add(static_cast<std::uint64_t>(unique.size()));
+    n_solves_.fetch_add(unique.size());
+    std::vector<core::ComputeOutcome> outcomes;
+    outcomes.reserve(unique.size());
+    const std::size_t width = opts_.solver_batch_width;
+    if (width < 2) {
+      for (const QueryRequest* req : unique) {
+        outcomes.push_back(solve_with_retries(shard, *req));
+      }
+    } else {
+      std::vector<QueryRequest> group;
+      for (std::size_t begin = 0; begin < unique.size(); begin += width) {
+        const std::size_t end = std::min(unique.size(), begin + width);
+        group.clear();
+        for (std::size_t i = begin; i < end; ++i) group.push_back(*unique[i]);
+        std::vector<core::ComputeOutcome> got =
+            shard.acc.try_compute_lockstep(group);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          outcomes.push_back(
+              apply_retries(shard, *unique[begin + i], std::move(got[i])));
+        }
+      }
+    }
+
+    // 4. Fan responses out to their sockets.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Pending& p = *live[i];
+      release_quota(p);
+      respond(p.conn,
+              QueryResponse::from(p.id, p.request.tenant,
+                                  outcomes[slot_of[i]]),
+              p.arrival_s);
+    }
+  }
+
+  core::ComputeOutcome solve_with_retries(Shard& shard,
+                                          const QueryRequest& req) {
+    return apply_retries(shard, req, shard.acc.try_compute(req));
+  }
+
+  core::ComputeOutcome apply_retries(Shard& shard, const QueryRequest& req,
+                                     core::ComputeOutcome outcome) {
+    for (std::uint32_t r = 0;
+         r < req.retry_budget && !outcome.ok() &&
+         outcome.error().code == core::ComputeErrorCode::BackendFailure;
+         ++r) {
+      static const obs::Counter retries("mda.serve.retries");
+      retries.add();
+      n_solves_.fetch_add(1);
+      outcome = shard.acc.try_compute(req);
+    }
+    return outcome;
+  }
+
+  // ---- responses ----
+
+  void respond(const std::shared_ptr<Connection>& conn,
+               const QueryResponse& resp, double arrival_s) {
+    static const obs::Counter responses("mda.serve.responses");
+    static const obs::Counter rejects("mda.serve.rejects");
+    static const obs::Histogram latency("mda.serve.request_latency_s");
+    const std::vector<std::uint8_t> frame = encode_response_frame(resp);
+    if (conn && conn->alive.load()) {
+      std::lock_guard<std::mutex> lk(conn->write_mutex);
+      if (!write_all(conn->fd, frame.data(), frame.size())) {
+        conn->alive.store(false);
+      }
+    }
+    responses.add();
+    n_responses_.fetch_add(1);
+    if (!resp.ok()) {
+      rejects.add();
+      n_rejected_.fetch_add(1);
+    }
+    if (arrival_s > 0.0) latency.observe(now_s() - arrival_s);
+  }
+
+  [[nodiscard]] ServerStats stats() {
+    ServerStats s;
+    s.connections_accepted = n_connections_.load();
+    s.requests = n_requests_.load();
+    s.responses = n_responses_.load();
+    s.rejected = n_rejected_.load();
+    s.collapsed = n_collapsed_.load();
+    s.solves = n_solves_.load();
+    std::lock_guard<std::mutex> lk(shard_mutex_);
+    s.shards = shards_.size();
+    return s;
+  }
+};
+
+Server::Server(ServeOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {}
+Server::~Server() = default;
+
+void Server::start() { impl_->start(); }
+void Server::stop() { impl_->stop(); }
+bool Server::running() const { return impl_->running_.load(); }
+std::uint16_t Server::port() const { return impl_->bound_port_; }
+const ServeOptions& Server::options() const { return impl_->opts_; }
+ServerStats Server::stats() const { return impl_->stats(); }
+
+}  // namespace mda::serve

@@ -1,0 +1,109 @@
+#pragma once
+// `mda serve` (DESIGN.md §13): a sharded multi-tenant streaming query
+// service over the wire protocol in serve/protocol.hpp.
+//
+// Architecture — one epoll IO thread, one worker thread per active shard:
+//
+//   IO thread      accept / read / decode / admit / enqueue
+//   shard          (kind, threshold, band, backend-override) -> one
+//                  configured Accelerator + bounded request queue + worker
+//   worker         drain up to coalesce_window requests, drop expired
+//                  deadlines, collapse bitwise-identical duplicates, solve
+//                  the unique rest in lockstep groups of solver_batch_width,
+//                  fan responses back out to their sockets
+//
+// Admission control happens before a request ever reaches a worker: a full
+// shard queue (or a shard table at max_shards) answers Overloaded, a tenant
+// over its in-flight quota answers QuotaExceeded, and a request whose
+// relative deadline lapses while queued answers DeadlineExpired at dequeue.
+// Rejected requests cost no analog solve.
+//
+// Bit-identity contract: a served response's result is bit-identical to
+// Accelerator::try_compute(request) on a fresh accelerator with the same
+// AcceleratorConfig and the shard's DistanceSpec, at any shard/thread count
+// — the worker calls the exact same try_compute_lockstep entry point
+// BatchEngine uses (scalar path at width 1), every solve is deterministic,
+// and duplicate collapse keys on exact payload+knob bit equality, so a
+// fanned-out response equals the response of a dedicated solve.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "serve/protocol.hpp"
+
+namespace mda::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via Server::port()).
+  int listen_backlog = 64;
+  std::size_t max_connections = 256;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Bounded per-shard queue; a request arriving at a full queue is
+  /// rejected Overloaded (backpressure instead of unbounded memory).
+  std::size_t shard_queue_depth = 256;
+  /// Shard-table ceiling; a request needing a new shard beyond it is
+  /// rejected Overloaded.
+  std::size_t max_shards = 16;
+  /// Per-tenant in-flight request ceiling (admitted but unanswered);
+  /// 0 = unlimited.
+  std::size_t tenant_inflight_quota = 0;
+
+  /// Max requests one worker drain coalesces into a solve window.
+  std::size_t coalesce_window = 64;
+  /// Lockstep solver width within a window (DESIGN.md §12); 1 =
+  /// one-request-per-solve serving (the bench baseline).
+  std::size_t solver_batch_width = 8;
+  /// Collapse bitwise-identical requests within a window into one solve.
+  bool collapse_duplicates = true;
+
+  /// Base accelerator build for every shard: array geometry, default
+  /// backend, cache capacity (each shard owns its ArrayCache instance pool),
+  /// fault handling.  Shards differ only in DistanceSpec + backend override.
+  core::AcceleratorConfig accelerator{};
+  /// Spec for requests that do not pin a kind (QueryRequest::kind unset).
+  core::DistanceSpec default_spec{};
+};
+
+/// Monotonic totals since start() (see also the mda.serve.* metrics).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests = 0;   ///< Frames decoded into requests.
+  std::uint64_t responses = 0;  ///< Responses written (any status).
+  std::uint64_t rejected = 0;   ///< Non-Ok serving-layer responses.
+  std::uint64_t collapsed = 0;  ///< Requests answered by a duplicate's solve.
+  std::uint64_t solves = 0;     ///< Accelerator evaluations submitted.
+  std::uint64_t shards = 0;     ///< Shards instantiated.
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opts = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spin up the IO thread.  Throws std::runtime_error when
+  /// the socket cannot be bound.
+  void start();
+  /// Drain and join everything; queued-but-unsolved requests are answered
+  /// ShuttingDown.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  /// The bound port (after start(); resolves port = 0 to the ephemeral
+  /// choice).
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] const ServeOptions& options() const;
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mda::serve

@@ -17,7 +17,7 @@ TEST(Accelerator, ComputeEndToEnd) {
   acc.configure(spec);
   std::vector<double> p = {1.0, -2.0, 3.0};
   std::vector<double> q = {0.5, -1.0, 5.0};
-  const ComputeResult r = acc.compute(p, q);
+  const ComputeResult r = acc.try_compute(p, q).unwrap();
   EXPECT_NEAR(r.value, 3.5, 0.12);  // includes 8-bit DAC quantisation
   EXPECT_DOUBLE_EQ(r.reference, 3.5);
   EXPECT_LT(r.relative_error, 0.04);
@@ -39,7 +39,7 @@ TEST(Accelerator, AllKindsAllBackendsAgreeWithReference) {
     for (Backend backend :
          {Backend::Behavioral, Backend::Wavefront, Backend::FullSpice}) {
       acc.set_backend(backend);
-      const ComputeResult r = acc.compute(p, q);
+      const ComputeResult r = acc.try_compute(p, q).unwrap();
       EXPECT_LT(r.relative_error, 0.15)
           << dist::kind_name(kind) << " backend=" << static_cast<int>(backend);
     }
@@ -74,7 +74,7 @@ TEST(Accelerator, TryComputeReturnsValueOnSuccess) {
   ASSERT_TRUE(static_cast<bool>(outcome));
   EXPECT_DOUBLE_EQ(outcome.value().reference, 3.5);
   // Matches the throwing wrapper exactly.
-  EXPECT_EQ(outcome.value().value, acc.compute(p, q).value);
+  EXPECT_EQ(outcome.value().value, acc.try_compute(p, q).unwrap().value);
 }
 
 TEST(Accelerator, TryComputeReportsInvalidInput) {
@@ -93,23 +93,59 @@ TEST(Accelerator, TryComputeReportsInvalidInput) {
   EXPECT_EQ(empty.error().code, ComputeErrorCode::InvalidInput);
 }
 
-TEST(Accelerator, DeprecatedPerCallBackendOverloadStillWorks) {
-  // The legacy compute(p, q, backend) must keep compiling (with a warning)
-  // and behave like set_backend + compute, without mutating the config.
+TEST(Accelerator, QueryRequestBackendOverride) {
+  // The per-call backend override (once a compute(p, q, backend) overload)
+  // now travels in QueryRequest::backend: it must behave like set_backend +
+  // try_compute, without mutating the accelerator's config.
   Accelerator acc;
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
   acc.configure(spec, Backend::Wavefront);
   std::vector<double> p = {1.0, -2.0, 3.0};
   std::vector<double> q = {0.5, -1.0, 5.0};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const ComputeResult legacy = acc.compute(p, q, Backend::Behavioral);
-#pragma GCC diagnostic pop
+  QueryRequest req{p, q};
+  req.backend = Backend::Behavioral;
+  const ComputeResult overridden = acc.try_compute(req).unwrap();
   EXPECT_EQ(acc.config().backend, Backend::Wavefront);
+  EXPECT_EQ(overridden.backend_used, Backend::Behavioral);
   Accelerator behavioral(acc);
   behavioral.set_backend(Backend::Behavioral);
-  EXPECT_EQ(legacy.value, behavioral.compute(p, q).value);
+  EXPECT_EQ(overridden.value, behavioral.try_compute(p, q).unwrap().value);
+}
+
+TEST(Accelerator, QueryRequestSpecMismatchIsInvalidInput) {
+  // A request that pins a kind/threshold/band must match the configured
+  // spec — mismatches are typed errors, never silent reconfigurations.
+  Accelerator acc;
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Hamming;
+  spec.threshold = 0.25;
+  acc.configure(spec, Backend::Behavioral);
+  std::vector<double> p = {1.0, 2.0};
+  std::vector<double> q = {1.0, 2.1};
+
+  QueryRequest matching{p, q};
+  matching.kind = dist::DistanceKind::Hamming;
+  matching.threshold = 0.25;
+  EXPECT_TRUE(acc.try_compute(matching).ok());
+
+  QueryRequest wrong_kind{p, q};
+  wrong_kind.kind = dist::DistanceKind::Manhattan;
+  const ComputeOutcome kind_outcome = acc.try_compute(wrong_kind);
+  ASSERT_FALSE(kind_outcome.ok());
+  EXPECT_EQ(kind_outcome.error().code, ComputeErrorCode::InvalidInput);
+
+  QueryRequest wrong_threshold{p, q};
+  wrong_threshold.kind = dist::DistanceKind::Hamming;
+  wrong_threshold.threshold = 0.5;
+  const ComputeOutcome th_outcome = acc.try_compute(wrong_threshold);
+  ASSERT_FALSE(th_outcome.ok());
+  EXPECT_EQ(th_outcome.error().code, ComputeErrorCode::InvalidInput);
+
+  // A knobless request behaves exactly like the span overload.
+  QueryRequest plain{p, q};
+  EXPECT_EQ(acc.try_compute(plain).unwrap().value,
+            acc.try_compute(p, q).unwrap().value);
 }
 
 TEST(Accelerator, EqualLengthEnforcedForRowKinds) {
@@ -119,8 +155,8 @@ TEST(Accelerator, EqualLengthEnforcedForRowKinds) {
   acc.configure(spec);
   std::vector<double> p = {1.0, 2.0};
   std::vector<double> q = {1.0, 2.0, 3.0};
-  EXPECT_THROW(acc.compute(p, q), std::invalid_argument);
-  EXPECT_THROW(acc.compute({}, {}), std::invalid_argument);
+  EXPECT_THROW(acc.try_compute(p, q).unwrap(), std::invalid_argument);
+  EXPECT_THROW(acc.try_compute({}, {}).unwrap(), std::invalid_argument);
 }
 
 TEST(Accelerator, TilingCounts) {
@@ -216,7 +252,7 @@ TEST(Accelerator, ReplaceTimingModel) {
   spec.kind = dist::DistanceKind::Manhattan;
   acc.configure(spec, Backend::Behavioral);
   std::vector<double> p = {1.0, 2.0}, q = {0.0, 0.0};
-  const ComputeResult r = acc.compute(p, q);
+  const ComputeResult r = acc.try_compute(p, q).unwrap();
   EXPECT_NEAR(r.convergence_time_s, 1e-6, 1e-9);
 }
 

@@ -84,7 +84,7 @@ TEST_P(CacheBitIdentity, WavefrontCachedEqualsFreshAtAnyThreadCount) {
   core::Accelerator fresh(fresh_cfg);
   fresh.configure(spec);
   std::vector<core::ComputeResult> want;
-  for (const auto& q : queries) want.push_back(fresh.compute(q.p, q.q));
+  for (const auto& q : queries) want.push_back(fresh.try_compute(q.p, q.q).unwrap());
 
   core::AcceleratorConfig cached_cfg;
   cached_cfg.backend = core::Backend::Wavefront;
@@ -132,8 +132,8 @@ TEST(CacheBitIdentityFullSpice, CachedEqualsFreshDtwAndManhattan) {
     cached.configure(spec);
 
     for (const auto& q : queries) {
-      const core::ComputeResult want = fresh.compute(q.p, q.q);
-      const core::ComputeResult got = cached.compute(q.p, q.q);
+      const core::ComputeResult want = fresh.try_compute(q.p, q.q).unwrap();
+      const core::ComputeResult got = cached.try_compute(q.p, q.q).unwrap();
       expect_bitwise_equal(want, got, dist::kind_name(kind).c_str());
     }
     EXPECT_GT(cached.config().array_cache->stats().hits, 0u);
@@ -163,7 +163,7 @@ TEST(CacheBitIdentityFaults, CachedEqualsFreshUnderActivePlan) {
   core::Accelerator fresh(fresh_cfg);
   fresh.configure(spec);
   std::vector<core::ComputeResult> want;
-  for (const auto& q : queries) want.push_back(fresh.compute(q.p, q.q));
+  for (const auto& q : queries) want.push_back(fresh.try_compute(q.p, q.q).unwrap());
 
   core::AcceleratorConfig cached_cfg = fresh_cfg;
   cached_cfg.cache_capacity = 8;
@@ -260,7 +260,7 @@ TEST(ArrayCacheMechanics, BuildsAvoidedCountsOnePerHit) {
   core::Accelerator acc(cfg);
   acc.configure(spec);
   const Stream stream = make_stream(spec.kind, 6, 5);
-  for (const auto& q : stream.queries) (void)acc.compute(q.p, q.q);
+  for (const auto& q : stream.queries) (void)acc.try_compute(q.p, q.q).unwrap();
   const core::ArrayCache::Stats stats = acc.config().array_cache->stats();
   EXPECT_GT(stats.hits, 0u);
   EXPECT_EQ(stats.builds_avoided, stats.hits);

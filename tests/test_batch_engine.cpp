@@ -139,7 +139,7 @@ TEST(BatchEngine, SingleElementBatch) {
   ASSERT_EQ(results.size(), 1u);
   Accelerator behavioral(acc);
   behavioral.set_backend(Backend::Behavioral);
-  EXPECT_EQ(results[0].value, behavioral.compute(p, q).value);
+  EXPECT_EQ(results[0].value, behavioral.try_compute(p, q).unwrap().value);
 }
 
 TEST(BatchEngine, ExceptionFromFailingBackendTaskPropagates) {

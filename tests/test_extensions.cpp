@@ -138,8 +138,8 @@ TEST(AdcReadback, QuantizesOutputVoltage) {
   core::Accelerator acc_a(analogue);
   acc_q.configure(spec, core::Backend::Behavioral);
   acc_a.configure(spec, core::Backend::Behavioral);
-  const auto rq = acc_q.compute(p, q);
-  const auto ra = acc_a.compute(p, q);
+  const auto rq = acc_q.try_compute(p, q).unwrap();
+  const auto ra = acc_a.try_compute(p, q).unwrap();
   // Quantised readback sits on an ADC level: multiple of one LSB.
   const double lsb = 0.45 / 128.0;
   const double code = rq.volts / lsb;
@@ -165,7 +165,7 @@ TEST(TileBoundary, RequantisationStaysAccurate) {
   spec.kind = dist::DistanceKind::Dtw;
   acc.configure(spec, core::Backend::Wavefront);
   EXPECT_EQ(acc.tiles_required(16, 16), 9u);
-  const auto r = acc.compute(p, q);
+  const auto r = acc.try_compute(p, q).unwrap();
   EXPECT_LT(r.relative_error, 0.08);
   EXPECT_EQ(r.tiles, 9u);
 

@@ -273,8 +273,8 @@ TEST(FaultRecovery, ForcedFullSpiceNonconvergenceDegradesToWavefront) {
   healthy.backend = Backend::Wavefront;
   Accelerator reference(healthy);
   reference.configure(spec);
-  EXPECT_EQ(r.value, reference.compute(p, q).value);
-  EXPECT_EQ(r.reference, reference.compute(p, q).reference);
+  EXPECT_EQ(r.value, reference.try_compute(p, q).unwrap().value);
+  EXPECT_EQ(r.reference, reference.try_compute(p, q).unwrap().reference);
 
   EXPECT_GT(counter_value(after, "mda.fault.injected_nonconvergence"),
             counter_value(before, "mda.fault.injected_nonconvergence"));

@@ -31,7 +31,7 @@ TEST(Integration, UnequalLengthsThroughWavefront) {
     spec.kind = kind;
     spec.threshold = 0.4;
     acc.configure(spec, Backend::Wavefront);
-    const ComputeResult r = acc.compute(p, q);
+    const ComputeResult r = acc.try_compute(p, q).unwrap();
     EXPECT_LT(r.relative_error, 0.15) << dist::kind_name(kind);
   }
 }
@@ -49,7 +49,7 @@ TEST(Integration, BandedWavefrontMatchesBandedReference) {
   spec.kind = dist::DistanceKind::Dtw;
   spec.band = 2;
   acc.configure(spec, Backend::Wavefront);
-  const ComputeResult r = acc.compute(p, q);
+  const ComputeResult r = acc.try_compute(p, q).unwrap();
   // r.reference is already the banded reference (spec carries the band).
   EXPECT_LT(r.relative_error, 0.06);
   // And the band must actually bite: unconstrained DTW is smaller here.
@@ -76,7 +76,7 @@ TEST(Integration, WeightedHausdorffColumns) {
   spec.kind = dist::DistanceKind::Hausdorff;
   spec.pair_weights = w;
   acc.configure(spec, Backend::Wavefront);
-  const ComputeResult r = acc.compute(p, q);
+  const ComputeResult r = acc.try_compute(p, q).unwrap();
   EXPECT_LT(r.relative_error, 0.15);
 }
 
@@ -100,7 +100,7 @@ TEST(Integration, ThreeBackendsAgreeOnCountingFunctions) {
     for (Backend backend :
          {Backend::Behavioral, Backend::Wavefront, Backend::FullSpice}) {
       acc.set_backend(backend);
-      counts[idx++] = std::lround(acc.compute(p, q).value);
+      counts[idx++] = std::lround(acc.try_compute(p, q).unwrap().value);
     }
     EXPECT_EQ(counts[0], counts[1]) << dist::kind_name(kind);
     EXPECT_EQ(counts[1], counts[2]) << dist::kind_name(kind);
@@ -129,7 +129,7 @@ TEST(Integration, AcceleratorBackedKnnMatchesDigitalKnn) {
   acc->configure(spec, Backend::Behavioral);
   mining::KnnClassifier analog(
       [acc](std::span<const double> a, std::span<const double> b) {
-        return acc->compute(a, b).value;
+        return acc->try_compute(a, b).unwrap().value;
       });
   analog.fit(split.train);
 
@@ -153,7 +153,7 @@ TEST(Integration, StochasticMemristorsDoNotDisturbWavefront) {
   DistanceSpec spec;
   spec.kind = dist::DistanceKind::Manhattan;
   acc.configure(spec, Backend::Wavefront);
-  const ComputeResult r = acc.compute(p, q);
+  const ComputeResult r = acc.try_compute(p, q).unwrap();
   EXPECT_LT(r.relative_error, 0.1);
 }
 
@@ -170,7 +170,7 @@ TEST(Integration, HigherResolutionConvertersReduceError) {
     DistanceSpec spec;
     spec.kind = dist::DistanceKind::Manhattan;
     acc.configure(spec, Backend::Behavioral);
-    return acc.compute(p, q).relative_error;
+    return acc.try_compute(p, q).unwrap().relative_error;
   };
   // Nested-grid rounding can make adjacent widths coincide on one instance;
   // a 4-bit gap is unambiguous (6-bit LSB is 16x the 10-bit LSB).

@@ -196,7 +196,7 @@ TEST(Search, AcceleratorBackedHybrid) {
   cfg.dtw_override = [acc, &analog_calls](std::span<const double> a,
                                           std::span<const double> b) {
     ++analog_calls;
-    return acc->compute(a, b).value;
+    return acc->try_compute(a, b).unwrap().value;
   };
   const SearchResult r = dtw_subsequence_search(haystack, needle, cfg);
   EXPECT_NEAR(static_cast<double>(r.position), static_cast<double>(planted),

@@ -16,7 +16,7 @@ if(NOT DEFINED MDA_SOURCE_DIR)
   message(FATAL_ERROR "check_metrics_names: pass -DMDA_SOURCE_DIR=<repo root>")
 endif()
 
-set(_subsystems "spice|backend|accel|batch|mining|obs|fault|cache")
+set(_subsystems "spice|backend|accel|batch|mining|obs|fault|cache|serve")
 set(_name_re "mda\\.(${_subsystems})\\.[a-z][a-z0-9_]*")
 
 file(GLOB_RECURSE _sources
@@ -71,7 +71,12 @@ set(_required
     "mda.cache.builds_avoided"
     "mda.cache.evictions"
     "mda.cache.bytes"
-    "mda.cache.entries")
+    "mda.cache.entries"
+    "mda.serve.requests"
+    "mda.serve.responses"
+    "mda.serve.request_latency_s"
+    "mda.serve.collapsed_requests"
+    "mda.serve.solves")
 set(_missing "")
 foreach(_name IN LISTS _required)
   list(FIND _seen "${_name}" _found)

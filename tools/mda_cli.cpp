@@ -14,12 +14,15 @@
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failure.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -28,6 +31,7 @@
 #include "devices/netlist_export.hpp"
 #include "fault/campaign.hpp"
 #include "obs/snapshot.hpp"
+#include "serve/server.hpp"
 #include "spice/noise.hpp"
 #include "spice/primitives.hpp"
 #include "blocks/absblock.hpp"
@@ -227,7 +231,7 @@ int cmd_compute(int argc, char** argv) {
       static_cast<std::size_t>(flag_num(argc, argv, "cache", 8));
   core::Accelerator acc(acfg);
   acc.configure(spec, *backend);
-  const core::ComputeResult r = acc.compute(*p, *q);
+  const core::ComputeResult r = acc.try_compute(*p, *q).unwrap();
   std::printf("function:        %s\n", dist::kind_name(spec.kind).c_str());
   std::printf("analog value:    %.6f\n", r.value);
   std::printf("digital ref:     %.6f\n", r.reference);
@@ -396,9 +400,70 @@ int cmd_faults(int argc, char** argv) {
   return report.survived > 0 || report.outcomes.empty() ? 0 : 2;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServeOptions opts;
+  opts.host = flag_str(argc, argv, "host").value_or("127.0.0.1");
+  opts.port =
+      static_cast<std::uint16_t>(flag_num(argc, argv, "port", 0));
+  const auto backend = parse_backend(argc, argv);
+  if (!backend) return 1;
+  opts.accelerator.backend = *backend;
+  opts.accelerator.cache_capacity =
+      static_cast<std::size_t>(flag_num(argc, argv, "cache", 8));
+  opts.solver_batch_width =
+      static_cast<std::size_t>(flag_num(argc, argv, "width", 8));
+  opts.coalesce_window =
+      static_cast<std::size_t>(flag_num(argc, argv, "window", 64));
+  opts.shard_queue_depth =
+      static_cast<std::size_t>(flag_num(argc, argv, "queue-depth", 256));
+  opts.max_shards =
+      static_cast<std::size_t>(flag_num(argc, argv, "max-shards", 16));
+  opts.tenant_inflight_quota =
+      static_cast<std::size_t>(flag_num(argc, argv, "quota", 0));
+  opts.collapse_duplicates = flag_num(argc, argv, "collapse", 1) != 0;
+  if (const auto kind_name = flag_str(argc, argv, "kind")) {
+    opts.default_spec.kind = dist::kind_from_name(*kind_name);
+    opts.default_spec.threshold = flag_num(argc, argv, "threshold", 0.0);
+    opts.default_spec.band =
+        static_cast<int>(flag_num(argc, argv, "band", -1));
+  }
+
+  serve::Server server(opts);
+  server.start();
+  std::printf("mda serve listening on %s:%u (width=%zu window=%zu "
+              "queue-depth=%zu quota=%zu collapse=%d)\n",
+              opts.host.c_str(), static_cast<unsigned>(server.port()),
+              opts.solver_batch_width, opts.coalesce_window,
+              opts.shard_queue_depth, opts.tenant_inflight_quota,
+              opts.collapse_duplicates ? 1 : 0);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const serve::ServerStats stats = server.stats();
+  std::printf("\nserved %llu requests (%llu responses, %llu rejected, "
+              "%llu collapsed, %llu solves) on %llu shards\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.collapsed),
+              static_cast<unsigned long long>(stats.solves),
+              static_cast<unsigned long long>(stats.shards));
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: mda <compute|batch|faults|info|export|calibrate|noise>"
+               "usage: mda "
+               "<compute|batch|serve|faults|info|export|calibrate|noise>"
                " [flags]\n"
                "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
                "            [--backend=behavioral|wavefront|fullspice]\n"
@@ -408,6 +473,13 @@ void usage() {
                "            [--threads=N (0=auto)] [--chunk=C] [--backend=...]\n"
                "            [--cache=N]\n"
                "            all P-rows x Q-rows pairs on the parallel engine\n"
+               "  serve     [--host=127.0.0.1] [--port=0 (ephemeral)]\n"
+               "            [--backend=...] [--width=8 lockstep width, 1=off]\n"
+               "            [--window=64 coalesce window] [--queue-depth=256]\n"
+               "            [--max-shards=16] [--quota=0 per-tenant inflight]\n"
+               "            [--collapse=0|1] [--cache=N] [--kind=... default "
+               "spec]\n"
+               "            streaming query service (Ctrl-C to stop)\n"
                "  faults    [--kind=dtw] [--backend=...] [--queries=32]\n"
                "            [--length=8] [--seed=42] [--threads=1]\n"
                "            fault rates: [--stuck=R] [--drift=R] [--cell=R]\n"
@@ -438,6 +510,7 @@ int main(int argc, char** argv) {
     int rc = -1;
     if (cmd == "compute") rc = cmd_compute(argc, argv);
     else if (cmd == "batch") rc = cmd_batch(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
     else if (cmd == "faults") rc = cmd_faults(argc, argv);
     else if (cmd == "info") rc = cmd_info(argc, argv);
     else if (cmd == "export") rc = cmd_export(argc, argv);
