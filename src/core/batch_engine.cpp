@@ -196,8 +196,10 @@ std::vector<ComputeOutcome> BatchEngine::try_compute_batch(
   // Per-task retry budget (never shared across tasks, so which queries
   // retry is independent of scheduling).  Invalid inputs never retry.
   auto apply_retries = [&](std::size_t i, ComputeOutcome outcome) {
-    const std::size_t budget =
-        std::max<std::size_t>(opts_.retry_budget, queries[i].retry_budget);
+    const std::size_t budget = std::max<std::size_t>(
+        opts_.retry_budget,
+        std::min<std::size_t>(queries[i].retry_budget,
+                              opts_.max_retry_budget));
     for (std::size_t r = 0; r < budget && !outcome.ok() &&
                             outcome.error().code ==
                                 ComputeErrorCode::BackendFailure;

@@ -58,8 +58,14 @@ struct BatchOptions {
   /// Extra try_compute attempts per failed query (backend failures only;
   /// per-task, not shared, so results stay bit-identical for any thread
   /// count).  Each query's effective budget is
-  /// max(retry_budget, QueryRequest::retry_budget).
+  /// max(retry_budget, min(QueryRequest::retry_budget, max_retry_budget)).
   std::size_t retry_budget = 0;
+  /// Ceiling on the per-query QueryRequest::retry_budget contribution.
+  /// Request budgets can arrive off the wire (serve admission clamps them
+  /// too), so an unvalidated u32 must never demand ~4e9 re-solves of a
+  /// persistently failing query; the engine-level retry_budget above is
+  /// owner-configured and is not clamped.
+  std::size_t max_retry_budget = 8;
   /// Lockstep solver batch width for FullSpice computes (DESIGN.md §12):
   /// try_compute_batch partitions the query list into fixed groups
   /// [g*W, (g+1)*W) and evaluates each group through

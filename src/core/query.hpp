@@ -62,7 +62,10 @@ struct QueryRequest {
   int fault_attempt = 0;
 
   /// Extra whole-chain retries on BackendFailure, applied by BatchEngine /
-  /// the server (max of this and BatchOptions::retry_budget).
+  /// the server.  Requests can arrive off the wire, so both consumers cap
+  /// it (BatchOptions::max_retry_budget / ServeOptions::max_retry_budget);
+  /// the engine's effective budget is
+  /// max(BatchOptions::retry_budget, min(this, cap)).
   std::uint32_t retry_budget = 0;
 
   /// Serving envelope: tenant for quota accounting, and a relative deadline

@@ -62,9 +62,13 @@ struct Connection {
   std::atomic<bool> alive{true};
 };
 
-/// Write the whole buffer to a nonblocking socket, waiting on POLLOUT for a
-/// slow reader (bounded); false = peer gone or stuck.
-bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+/// Write the whole buffer to a nonblocking socket; false = peer gone or
+/// stuck.  `may_block` (shard worker threads) waits on POLLOUT for a slow
+/// reader, bounded; the IO thread must pass false so one peer with a full
+/// receive buffer can never head-of-line block reads/accepts for everyone
+/// else — its write fails immediately on EAGAIN instead.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n,
+               bool may_block) {
   std::size_t off = 0;
   while (off < n) {
     const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
@@ -74,6 +78,7 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
     }
     if (w < 0 && errno == EINTR) continue;
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!may_block) return false;
       pollfd pfd{fd, POLLOUT, 0};
       if (::poll(&pfd, 1, /*timeout_ms=*/5000) <= 0) return false;
       continue;
@@ -173,6 +178,7 @@ struct Server::Impl {
   std::atomic<std::uint64_t> n_rejected_{0};
   std::atomic<std::uint64_t> n_collapsed_{0};
   std::atomic<std::uint64_t> n_solves_{0};
+  std::atomic<std::uint64_t> n_shards_{0};  ///< Monotonic (survives stop()).
 
   // ---- lifecycle ----
 
@@ -234,6 +240,27 @@ struct Server::Impl {
       for (auto& [key, shard] : shards_) {
         if (shard->worker.joinable()) shard->worker.join();
       }
+      // Belt and braces: the workers drained their queues on the way out,
+      // but sweep anything left so no admitted request goes unanswered.
+      for (auto& [key, shard] : shards_) {
+        for (Pending& p : shard->queue) {
+          release_quota(p);
+          respond(p.conn,
+                  QueryResponse::reject(p.id, p.request.tenant,
+                                        QueryStatus::ShuttingDown,
+                                        "server stopping"),
+                  p.arrival_s);
+        }
+        shard->queue.clear();
+      }
+      // Clear the table: its workers have exited, so handing a later
+      // request to one of these shards would enqueue it forever.  start()
+      // after stop() rebuilds shards on demand.
+      shards_.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lk(quota_mutex_);
+      inflight_.clear();
     }
     {
       std::lock_guard<std::mutex> lk(conn_mutex_);
@@ -343,7 +370,7 @@ struct Server::Impl {
                                       res.status == FrameReader::Status::Error
                                           ? res.error
                                           : "unexpected response frame"),
-                /*arrival_s=*/0.0);
+                /*arrival_s=*/0.0, /*may_block=*/false);
         close_connection(conn);
         return;
       }
@@ -371,17 +398,22 @@ struct Server::Impl {
       peek_request_ids(payload, &id, &tenant);
       respond(conn, QueryResponse::reject(id, tenant, QueryStatus::BadRequest,
                                           std::move(err)),
-              arrival);
+              arrival, /*may_block=*/false);
       return;
     }
     Pending pending{conn, dec->id, std::move(dec->request), arrival, false};
+    // Saturate the wire-controlled retry budget at admission (before the
+    // collapse key is formed, so clamped duplicates still collapse): the
+    // worker retry loop is bounded by configuration, not by the peer.
+    pending.request.retry_budget =
+        std::min(pending.request.retry_budget, opts_.max_retry_budget);
     const std::uint64_t tenant = pending.request.tenant;
 
     if (stopping_.load()) {
       respond(conn, QueryResponse::reject(pending.id, tenant,
                                           QueryStatus::ShuttingDown,
                                           "server stopping"),
-              arrival);
+              arrival, /*may_block=*/false);
       return;
     }
     Shard* shard = find_or_create_shard(pending.request);
@@ -389,7 +421,7 @@ struct Server::Impl {
       respond(conn, QueryResponse::reject(pending.id, tenant,
                                           QueryStatus::Overloaded,
                                           "shard table full"),
-              arrival);
+              arrival, /*may_block=*/false);
       return;
     }
     if (opts_.tenant_inflight_quota > 0) {
@@ -401,7 +433,7 @@ struct Server::Impl {
         respond(conn, QueryResponse::reject(pending.id, tenant,
                                             QueryStatus::QuotaExceeded,
                                             "tenant in-flight quota exceeded"),
-                arrival);
+                arrival, /*may_block=*/false);
         return;
       }
       ++count;
@@ -409,6 +441,18 @@ struct Server::Impl {
     }
     {
       std::lock_guard<std::mutex> lk(shard->mutex);
+      // Re-check under the shard mutex: if the worker already took its
+      // final stopping_ drain, a push here would never be answered.  A
+      // false read under the mutex orders this push before that drain, so
+      // the worker is guaranteed to sweep it.
+      if (stopping_.load()) {
+        release_quota(pending);
+        respond(conn, QueryResponse::reject(pending.id, tenant,
+                                            QueryStatus::ShuttingDown,
+                                            "server stopping"),
+                arrival, /*may_block=*/false);
+        return;
+      }
       if (shard->queue.size() >= opts_.shard_queue_depth) {
         static const obs::Counter overloads("mda.serve.overloads");
         overloads.add();
@@ -416,7 +460,7 @@ struct Server::Impl {
         respond(conn, QueryResponse::reject(pending.id, tenant,
                                             QueryStatus::Overloaded,
                                             "shard queue full"),
-                arrival);
+                arrival, /*may_block=*/false);
         return;
       }
       shard->queue.push_back(std::move(pending));
@@ -456,6 +500,7 @@ struct Server::Impl {
     Shard* raw = shard.get();
     raw->worker = std::thread([this, raw] { worker_loop(*raw); });
     shards_.emplace(key, std::move(shard));
+    n_shards_.fetch_add(1);
     static const obs::Gauge shard_gauge("mda.serve.shards");
     shard_gauge.set(static_cast<double>(shards_.size()));
     return raw;
@@ -601,8 +646,10 @@ struct Server::Impl {
 
   core::ComputeOutcome apply_retries(Shard& shard, const QueryRequest& req,
                                      core::ComputeOutcome outcome) {
+    // retry_budget was saturated to opts_.max_retry_budget at admission; the
+    // stopping_ check keeps a failing-solve retry run from delaying stop().
     for (std::uint32_t r = 0;
-         r < req.retry_budget && !outcome.ok() &&
+         r < req.retry_budget && !stopping_.load() && !outcome.ok() &&
          outcome.error().code == core::ComputeErrorCode::BackendFailure;
          ++r) {
       static const obs::Counter retries("mda.serve.retries");
@@ -615,18 +662,24 @@ struct Server::Impl {
 
   // ---- responses ----
 
+  /// Encode + write one response.  `may_block` follows the calling thread:
+  /// shard workers may wait (bounded) on a slow reader, the IO thread must
+  /// not (see write_all).  A failed write closes the connection — a peer
+  /// that stopped reading must not occupy a max_connections slot forever.
   void respond(const std::shared_ptr<Connection>& conn,
-               const QueryResponse& resp, double arrival_s) {
+               const QueryResponse& resp, double arrival_s,
+               bool may_block = true) {
     static const obs::Counter responses("mda.serve.responses");
     static const obs::Counter rejects("mda.serve.rejects");
     static const obs::Histogram latency("mda.serve.request_latency_s");
     const std::vector<std::uint8_t> frame = encode_response_frame(resp);
+    bool write_failed = false;
     if (conn && conn->alive.load()) {
       std::lock_guard<std::mutex> lk(conn->write_mutex);
-      if (!write_all(conn->fd, frame.data(), frame.size())) {
-        conn->alive.store(false);
-      }
+      write_failed = !write_all(conn->fd, frame.data(), frame.size(),
+                                may_block);
     }
+    if (write_failed) close_connection(conn);
     responses.add();
     n_responses_.fetch_add(1);
     if (!resp.ok()) {
@@ -644,8 +697,7 @@ struct Server::Impl {
     s.rejected = n_rejected_.load();
     s.collapsed = n_collapsed_.load();
     s.solves = n_solves_.load();
-    std::lock_guard<std::mutex> lk(shard_mutex_);
-    s.shards = shards_.size();
+    s.shards = n_shards_.load();  // Monotonic: stop() clears the table.
     return s;
   }
 };

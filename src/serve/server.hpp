@@ -52,6 +52,10 @@ struct ServeOptions {
   /// Per-tenant in-flight request ceiling (admitted but unanswered);
   /// 0 = unlimited.
   std::size_t tenant_inflight_quota = 0;
+  /// Ceiling on the wire-controlled QueryRequest::retry_budget: values above
+  /// it are saturated at admission, so a hostile u32 cannot pin a shard
+  /// worker in a ~4e9-iteration retry loop on a persistently failing solve.
+  std::uint32_t max_retry_budget = 8;
 
   /// Max requests one worker drain coalesces into a solve window.
   std::size_t coalesce_window = 64;
@@ -77,7 +81,7 @@ struct ServerStats {
   std::uint64_t rejected = 0;   ///< Non-Ok serving-layer responses.
   std::uint64_t collapsed = 0;  ///< Requests answered by a duplicate's solve.
   std::uint64_t solves = 0;     ///< Accelerator evaluations submitted.
-  std::uint64_t shards = 0;     ///< Shards instantiated.
+  std::uint64_t shards = 0;     ///< Shards instantiated (monotonic).
 };
 
 class Server {
@@ -91,7 +95,8 @@ class Server {
   /// the socket cannot be bound.
   void start();
   /// Drain and join everything; queued-but-unsolved requests are answered
-  /// ShuttingDown.  Idempotent.
+  /// ShuttingDown and the shard table is cleared, so a subsequent start()
+  /// begins from a clean slate.  Idempotent.
   void stop();
 
   [[nodiscard]] bool running() const;

@@ -15,6 +15,7 @@
 #include "core/batch_engine.hpp"
 #include "core/montecarlo.hpp"
 #include "fault/plan.hpp"
+#include "obs/metrics.hpp"
 #include "mining/kmedoids.hpp"
 #include "mining/knn.hpp"
 #include "mining/motifs.hpp"
@@ -250,6 +251,61 @@ TEST(BatchEngine, RetryBudgetIsSpentOnBackendFailuresOnly) {
   }
   const std::vector<double> values = engine.compute_distances(acc, queries);
   for (const double v : values) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(BatchEngine, PerQueryRetryBudgetIsCappedByMaxRetryBudget) {
+  // QueryRequest::retry_budget can arrive off the wire; an absurd u32 must
+  // be clamped to BatchOptions::max_retry_budget (this test would hang on
+  // ~4e9 re-solves otherwise), while the owner-configured engine budget is
+  // still honoured as the floor of the effective budget.
+  fault::FaultConfig fc;
+  fc.force_nonconvergence = true;
+  AcceleratorConfig cfg;
+  cfg.backend = Backend::FullSpice;
+  cfg.faults = std::make_shared<const fault::FaultPlan>(fc);
+  cfg.fault_handling.degrade = false;
+  cfg.fault_handling.max_retries = 0;
+  Accelerator acc(cfg);
+  DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Manhattan;
+  acc.configure(spec);
+  util::Rng rng(23);
+  const std::vector<double> p = random_series(rng, 3);
+  const std::vector<double> q = random_series(rng, 3);
+  std::vector<BatchQuery> queries(2, BatchQuery{p, q});
+  for (BatchQuery& query : queries) query.retry_budget = 0xFFFFFFFFu;
+
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.max_retry_budget = 2;
+  opts.failure_policy = FailurePolicy::FailOpen;
+  const BatchEngine engine(opts);
+
+  obs::reset();
+  const auto outcomes = engine.try_compute_batch(acc, queries);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  for (const auto& o : outcomes) {
+    ASSERT_FALSE(o.ok());
+    EXPECT_EQ(o.error().code, ComputeErrorCode::BackendFailure);
+  }
+  std::uint64_t retries = 0;
+  for (const obs::MetricValue& m : obs::collect()) {
+    if (m.name == "mda.batch.task_retries") retries = m.count;
+  }
+  EXPECT_EQ(retries, 2u * opts.max_retry_budget);
+  obs::reset();
+
+  // The engine-level budget is not clamped: it raises the effective budget
+  // above the per-query cap.
+  opts.retry_budget = 3;
+  const auto more = BatchEngine(opts).try_compute_batch(acc, queries);
+  ASSERT_EQ(more.size(), queries.size());
+  retries = 0;
+  for (const obs::MetricValue& m : obs::collect()) {
+    if (m.name == "mda.batch.task_retries") retries = m.count;
+  }
+  EXPECT_EQ(retries, 2u * opts.retry_budget);
+  obs::reset();
 }
 
 TEST(BatchEngine, FailurePoliciesAgreeOnHealthyBatches) {

@@ -18,6 +18,7 @@
 #include "core/backend.hpp"
 #include "core/query.hpp"
 #include "distance/registry.hpp"
+#include "fault/plan.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -454,6 +455,55 @@ TEST(ServeLoopback, ExpiredDeadlineRejectedAtDequeue) {
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->status, QueryStatus::DeadlineExpired);
   server.stop();
+}
+
+TEST(ServeLoopback, WireRetryBudgetIsClampedAtAdmission) {
+  // A hostile peer sets retry_budget to u32 max against a shard whose every
+  // solve fails: without the ServeOptions::max_retry_budget clamp the worker
+  // would re-solve ~4e9 times (this test would hang and stop() would never
+  // join); with it the request fails fast and the server shuts down cleanly.
+  fault::FaultConfig fc;
+  fc.force_nonconvergence = true;
+  serve::ServeOptions opts;
+  opts.accelerator.backend = core::Backend::FullSpice;
+  opts.accelerator.faults = std::make_shared<const fault::FaultPlan>(fc);
+  opts.accelerator.fault_handling.degrade = false;
+  opts.accelerator.fault_handling.max_retries = 0;
+  opts.max_retry_budget = 2;
+  serve::Server server(opts);
+  server.start();
+  serve::Client client;
+  client.connect("127.0.0.1", server.port());
+
+  const std::vector<double> p{0.2, -0.7, 1.1}, q{-0.4, 0.9, 0.3};
+  QueryRequest req{p, q};
+  req.kind = dist::DistanceKind::Manhattan;
+  req.retry_budget = 0xFFFFFFFFu;
+  const auto r = client.call(req, 1, 60000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, QueryStatus::BackendFailure);
+  server.stop();
+}
+
+TEST(ServeLoopback, RestartAfterStopServesFreshShards) {
+  // stop() clears the shard table (its workers have exited); a restarted
+  // server must rebuild shards on demand instead of enqueueing onto dead
+  // ones, so this second call would hang unanswered without the clear.
+  serve::Server server(fast_options());
+  const std::vector<double> p{0.1, 0.2}, q{0.3, 0.4};
+  const QueryRequest req{p, q};
+  for (int round = 0; round < 2; ++round) {
+    server.start();
+    serve::Client client;
+    client.connect("127.0.0.1", server.port());
+    const auto r = client.call(req, static_cast<std::uint64_t>(round), 10000);
+    ASSERT_TRUE(r.has_value()) << "round " << round;
+    EXPECT_TRUE(r->ok()) << r->message;
+    client.close();
+    server.stop();
+  }
+  // ServerStats::shards counts shards instantiated, monotonically.
+  EXPECT_EQ(server.stats().shards, 2u);
 }
 
 TEST(ServeLoopback, StatsCountTraffic) {

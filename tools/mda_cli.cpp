@@ -424,6 +424,8 @@ int cmd_serve(int argc, char** argv) {
       static_cast<std::size_t>(flag_num(argc, argv, "max-shards", 16));
   opts.tenant_inflight_quota =
       static_cast<std::size_t>(flag_num(argc, argv, "quota", 0));
+  opts.max_retry_budget = static_cast<std::uint32_t>(
+      flag_num(argc, argv, "max-retries", opts.max_retry_budget));
   opts.collapse_duplicates = flag_num(argc, argv, "collapse", 1) != 0;
   if (const auto kind_name = flag_str(argc, argv, "kind")) {
     opts.default_spec.kind = dist::kind_from_name(*kind_name);
@@ -477,6 +479,7 @@ void usage() {
                "            [--backend=...] [--width=8 lockstep width, 1=off]\n"
                "            [--window=64 coalesce window] [--queue-depth=256]\n"
                "            [--max-shards=16] [--quota=0 per-tenant inflight]\n"
+               "            [--max-retries=8 per-request retry ceiling]\n"
                "            [--collapse=0|1] [--cache=N] [--kind=... default "
                "spec]\n"
                "            streaming query service (Ctrl-C to stop)\n"
