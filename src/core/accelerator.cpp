@@ -11,6 +11,7 @@
 #include "core/dac_adc.hpp"
 #include "distance/registry.hpp"
 #include "fault/detection.hpp"
+#include "fault/health.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "util/stats.hpp"
@@ -182,7 +183,10 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
         if (!ok) last_error = eval.error;
       } else {
         AcceleratorConfig cfg = config_;
-        cfg.fault_attempt = base_attempt + attempt;
+        // Attempts stack on the accelerator's own re-tune level: a scrubbed
+        // accelerator (retune() bumped config_.fault_attempt) must not see
+        // its healing undone by a request that starts at attempt 0.
+        cfg.fault_attempt += base_attempt + attempt;
         try {
           eval = evaluate(chain[c], cfg, spec_, enc);
           ok = eval.ok;
@@ -215,6 +219,7 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
           ok = false;
           detected = true;
           last_error = *trip;
+          if (config_.health) config_.health->record_envelope_trip();
         }
       }
       if (ok && fh.cross_check && chain[c] != Backend::Behavioral) {
@@ -245,6 +250,7 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
 
   if (!success) {
     failures.add();
+    if (config_.health) config_.health->record_backend_failure();
     ComputeError err{ComputeErrorCode::BackendFailure,
                      "accelerator backend failed: " + last_error};
     err.backend = chain.back();
@@ -282,7 +288,35 @@ ComputeOutcome Accelerator::try_compute_with(Backend backend,
           ? eval.convergence_time_s
           : timing_.convergence_time_s(spec_.kind, q.size()) *
                 static_cast<double>(r.tiles);
+  if (config_.health) {
+    config_.health->record_query(r.relative_error, r.fault_detected,
+                                 r.fallbacks, r.newton_iterations);
+  }
   return r;
+}
+
+void Accelerator::set_health(std::shared_ptr<fault::HealthScoreboard> board) {
+  config_.health = std::move(board);
+}
+
+void Accelerator::set_fault_plan(
+    std::shared_ptr<const fault::FaultPlan> plan) {
+  config_.faults = std::move(plan);
+  // Memristor/op-amp faults apply at array build time: no instance built
+  // under the old plan may serve another query.
+  if (config_.array_cache) config_.array_cache->invalidate_all();
+}
+
+void Accelerator::retune() {
+  // Scrub = one more pass of the Sec. 3.3 program-and-verify loop: attempts
+  // above the base re-tune every tunable (drifted) device and quarantine the
+  // untunable ones, exactly the retry semantics of DESIGN.md §9 — so the
+  // scrub reuses the tuner's quarantine machinery by construction.  The
+  // cache invalidation is the no-half-tuned-array barrier: in-flight leases
+  // are dropped on give-back instead of re-pooled, and every later checkout
+  // rebuilds (and re-verifies) against the bumped attempt.
+  ++config_.fault_attempt;
+  if (config_.array_cache) config_.array_cache->invalidate_all();
 }
 
 ComputeOutcome Accelerator::try_compute(std::span<const double> p,

@@ -46,6 +46,21 @@ class Accelerator {
   [[nodiscard]] const DistanceSpec& spec() const { return spec_; }
   [[nodiscard]] const ConfigEntry& active_entry() const;
 
+  // Self-healing interface (DESIGN.md §14).  All three require the caller
+  // to guarantee no query is in flight on this accelerator — the scrub
+  // scheduler drains/parks the owning shard replica first.
+  /// Install (or clear, with nullptr) the device-health scoreboard that
+  /// solve-time detectors report into.
+  void set_health(std::shared_ptr<fault::HealthScoreboard> board);
+  /// Swap the active fault plan (chaos injection / healed-plan swap) and
+  /// invalidate the instance cache.
+  void set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan);
+  /// Re-run program-and-verify on degraded devices: bumps the base fault
+  /// attempt (re-tunes drifted devices, quarantines untunable ones) and
+  /// invalidates the instance cache so queries never lease a half-tuned
+  /// array.
+  void retune();
+
   /// Evaluate the configured distance on P and Q using the configured
   /// backend.  Invalid inputs and backend failures come back as
   /// ComputeOutcome errors instead of exceptions.

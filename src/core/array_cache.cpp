@@ -98,7 +98,7 @@ ArrayCache::Lease& ArrayCache::Lease::operator=(Lease&& other) noexcept {
 
 void ArrayCache::Lease::release() {
   if (cache_ && inst_) {
-    cache_->give_back(key_, std::move(inst_));
+    cache_->give_back(key_, std::move(inst_), gen_);
   }
   inst_.reset();
   cache_.reset();
@@ -112,6 +112,7 @@ ArrayCache::Lease ArrayCache::checkout(const std::shared_ptr<ArrayCache>& cache,
   if (cache && cache->capacity_ > 0) {
     lease.inst_ = cache->take(key);
     lease.cache_ = cache;
+    lease.gen_ = cache->generation();
   }
   if (!lease.inst_) lease.inst_ = build();  // outside the cache lock
   return lease;
@@ -153,13 +154,29 @@ std::unique_ptr<ArrayCache::Instance> ArrayCache::take(const InstanceKey& key) {
 }
 
 void ArrayCache::give_back(const InstanceKey& key,
-                           std::unique_ptr<Instance> inst) {
+                           std::unique_ptr<Instance> inst, std::uint64_t gen) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (gen != generation_) return;  // invalidated while checked out: drop
   const auto it = entries_.find(key);
   if (it == entries_.end()) return;  // evicted while checked out: drop
   stats_.resident_bytes += inst->approx_bytes();
   it->second.idle.push_back(std::move(inst));
   publish_gauges_locked();
+}
+
+void ArrayCache::invalidate_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  stats_.evictions += entries_.size();
+  evictions_ctr().add(entries_.size());
+  entries_.clear();
+  stats_.resident_bytes = 0;
+  publish_gauges_locked();
+}
+
+std::uint64_t ArrayCache::generation() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 void ArrayCache::evict_to_capacity_locked() {

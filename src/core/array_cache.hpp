@@ -101,6 +101,7 @@ class ArrayCache {
 
     std::shared_ptr<ArrayCache> cache_;  ///< null = locally owned instance.
     InstanceKey key_{};
+    std::uint64_t gen_ = 0;  ///< Cache generation at checkout time.
     std::unique_ptr<Instance> inst_;
   };
 
@@ -124,6 +125,15 @@ class ArrayCache {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Scrub barrier (DESIGN.md §14): drop every idle instance and bump the
+  /// cache generation, so instances still checked out are *discarded* on
+  /// give_back instead of re-pooled.  After a re-tune (fault_attempt bump,
+  /// plan swap) every later checkout therefore builds — and program-and-
+  /// verifies — against the new device state; a query can never lease a
+  /// half-tuned array left over from before the scrub.
+  void invalidate_all();
+  [[nodiscard]] std::uint64_t generation() const;
+
  private:
   struct Entry {
     std::vector<std::unique_ptr<Instance>> idle;
@@ -133,7 +143,8 @@ class ArrayCache {
   /// Pop an idle instance for `key` (hit), or register a miss.  Returns
   /// null when the caller must build.
   std::unique_ptr<Instance> take(const InstanceKey& key);
-  void give_back(const InstanceKey& key, std::unique_ptr<Instance> inst);
+  void give_back(const InstanceKey& key, std::unique_ptr<Instance> inst,
+                 std::uint64_t gen);
   /// Pre: mu_ held.  Evict least-recently-used entries down to capacity.
   void evict_to_capacity_locked();
   void publish_gauges_locked() const;
@@ -141,6 +152,7 @@ class ArrayCache {
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::uint64_t tick_ = 0;
+  std::uint64_t generation_ = 0;  ///< Bumped by invalidate_all().
   std::map<InstanceKey, Entry> entries_;
   Stats stats_{};
 };

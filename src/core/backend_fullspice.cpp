@@ -10,6 +10,7 @@
 #include "core/dac_adc.hpp"
 #include "core/tuning.hpp"
 #include "fault/detection.hpp"
+#include "fault/health.hpp"
 #include "fault/injection.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
@@ -225,6 +226,7 @@ AnalogEval unpack_transient(const AcceleratorConfig& config,
   }
   if (fault::watchdog_tripped(tr.total_newton_iterations,
                               config.fault_handling.newton_budget)) {
+    if (config.health) config.health->record_watchdog_trip();
     result.error = "transient watchdog: " +
                    std::to_string(tr.total_newton_iterations) +
                    " Newton iterations exceeded budget " +

@@ -9,6 +9,7 @@
 #include "core/dac_adc.hpp"
 #include "core/dc_harness.hpp"
 #include "fault/detection.hpp"
+#include "fault/health.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "spice/transient.hpp"
@@ -151,6 +152,10 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
           (check && fault::residual_exceeds(solved, predicted, residual_tol))) {
         static const obs::Counter quarantines("mda.fault.quarantined_cells");
         quarantines.add();
+        if (config.health) {
+          config.health->record_quarantine(
+              i - 1, j - 1, solved_ok ? solved - predicted : v_inf);
+        }
         at(i, j) = std::clamp(predicted, 0.0, v_inf);
         ++result.quarantined_cells;
         result.fault_detected = true;
@@ -164,6 +169,7 @@ AnalogEval eval_matrix_wavefront(const AcceleratorConfig& config,
   result.solver_fallbacks = inst->harnesses.total_fallbacks();
   if (fault::watchdog_tripped(result.newton_iterations,
                               config.fault_handling.newton_budget)) {
+    if (config.health) config.health->record_watchdog_trip();
     result.error = "wavefront watchdog: Newton budget exceeded";
     result.fault_detected = true;
     return result;

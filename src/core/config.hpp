@@ -18,6 +18,7 @@
 
 namespace mda::fault {
 class FaultPlan;
+class HealthScoreboard;
 }  // namespace mda::fault
 
 namespace mda::core {
@@ -100,6 +101,11 @@ struct AcceleratorConfig {
   std::shared_ptr<const fault::FaultPlan> faults;
   /// Detection and recovery policy for compute()/try_compute().
   FaultHandling fault_handling{};
+  /// Optional device-health scoreboard (DESIGN.md §14): solve-time detector
+  /// signals (quarantines, watchdog/envelope trips, per-query error) are
+  /// recorded into it so a scrub scheduler can decide when to re-tune.
+  /// nullptr (the default) records nothing and costs nothing.
+  std::shared_ptr<fault::HealthScoreboard> health;
   /// Internal: recovery attempt index of the current evaluation.  Attempts
   /// > 0 re-tune tunable faults when fault_handling.retune_on_retry is set.
   int fault_attempt = 0;

@@ -126,6 +126,15 @@ struct QueryResponse {
   int error_attempts = 0;
   long error_newton_iterations = 0;
 
+  // Serving envelope (DESIGN.md §14) — NOT part of the bit-identity
+  // contract (which replica answered and when to retry are properties of
+  // the serving fleet, not of the solve).
+  /// Index of the shard replica that produced this response (0 directly).
+  std::uint32_t replica = 0;
+  /// Rejection hint: seconds the client should back off before retrying
+  /// (Overloaded / ShuttingDown; 0 = no hint).
+  double retry_after_s = 0.0;
+
   [[nodiscard]] bool ok() const { return status == QueryStatus::Ok; }
 
   /// Wrap a direct-API outcome (the one conversion point between the two

@@ -1,0 +1,115 @@
+#include "core/scrub.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace mda::core {
+
+std::size_t ScrubScheduler::add_target(ScrubTarget target) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  targets_.push_back(std::move(target));
+  return targets_.size() - 1;
+}
+
+void ScrubScheduler::clear_targets() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  targets_.clear();
+}
+
+void ScrubScheduler::start() {
+  const std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ScrubScheduler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  const std::lock_guard<std::mutex> lock(thread_mu_);
+  thread_ = std::thread();
+}
+
+bool ScrubScheduler::running() const {
+  const std::lock_guard<std::mutex> lock(thread_mu_);
+  return thread_.joinable();
+}
+
+void ScrubScheduler::loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      const auto wait = std::chrono::duration<double>(opts_.scan_interval_s);
+      cv_.wait_for(lock, wait, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    const std::lock_guard<std::mutex> scan_lock(scan_mu_);
+    scan_once();
+  }
+}
+
+std::size_t ScrubScheduler::force_scan() {
+  const std::lock_guard<std::mutex> scan_lock(scan_mu_);
+  return scan_once();
+}
+
+std::size_t ScrubScheduler::scan_once() {
+  static const obs::Counter runs_ctr("mda.fault.scrub.runs");
+  static const obs::Counter heals_ctr("mda.fault.scrub.heals");
+  static const obs::Counter busy_ctr("mda.fault.scrub.skipped_busy");
+  static const obs::Counter fail_ctr("mda.fault.scrub.failures");
+  static const obs::Histogram duration("mda.fault.scrub.duration_s");
+
+  // Copy the hooks so a scrub action may itself add_target() (no deadlock,
+  // no iterator invalidation); stats go back under the lock afterwards.
+  std::vector<ScrubTarget> targets;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.scans;
+    targets = targets_;
+  }
+
+  std::size_t scrubbed = 0;
+  for (const ScrubTarget& t : targets) {
+    if (t.probe) t.probe();
+    if (!t.score || !t.scrub) continue;
+    if (t.score() <= t.unhealthy_threshold) continue;
+    if (t.idle && !t.idle()) {
+      busy_ctr.add();
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.skipped_busy;
+      continue;
+    }
+    bool ok = false;
+    {
+      const obs::ScopedTimer timer(duration);
+      ok = t.scrub();
+    }
+    runs_ctr.add();
+    const bool healed = ok && t.score() < t.healthy_threshold;
+    if (healed) heals_ctr.add();
+    if (!ok) fail_ctr.add();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.scrubs;
+      if (healed) ++stats_.heals;
+      if (!ok) ++stats_.failures;
+    }
+    ++scrubbed;
+  }
+  return scrubbed;
+}
+
+ScrubStats ScrubScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mda::core

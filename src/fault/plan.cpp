@@ -118,7 +118,7 @@ std::optional<CellFault> FaultPlan::cell_fault(std::size_t i,
   const std::uint64_t h = mix(cfg_.seed, kDomCell, i, j);
   if (unit(h) >= cfg_.cell_rate) return std::nullopt;
   CellFault f;
-  switch (splitmix(h) % 3u) {
+  switch (cfg_.cell_drift_only ? 2u : splitmix(h) % 3u) {
     case 0: f.kind = CellFaultKind::StuckLow; break;
     case 1: f.kind = CellFaultKind::StuckHigh; break;
     default:

@@ -75,6 +75,11 @@ struct FaultConfig {
   // Wavefront DP cells (per (i, j) cell).
   double cell_rate = 0.0;
   double cell_drift_v = 0.12;
+  /// Make every cell fault a Drift (skip the default 1/3 stuck-low,
+  /// 1/3 stuck-high mix).  Drift is the tunable failure mode: it heals on a
+  /// re-tuned attempt, so a drift-only plan models hardware a scrub can
+  /// fully recover — the chaos harness's healing scenario.
+  bool cell_drift_only = false;
 
   // FullSpice transient solver.
   double nonconvergence_rate = 0.0;  ///< Per evaluation key.

@@ -7,29 +7,53 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace mda::serve {
+namespace {
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      reconnect_(other.reconnect_),
+      jitter_(other.jitter_),
+      n_reconnects_(other.n_reconnects_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    reconnect_ = other.reconnect_;
+    jitter_ = other.jitter_;
+    n_reconnects_ = other.n_reconnects_;
   }
   return *this;
 }
 
 void Client::connect(const std::string& host, std::uint16_t port) {
   close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("client: socket() failed");
   sockaddr_in addr{};
@@ -73,7 +97,7 @@ void Client::send_raw(const std::uint8_t* data, std::size_t n) {
   }
 }
 
-std::optional<core::QueryResponse> Client::recv(int timeout_ms) {
+std::optional<FrameReader::Result> Client::recv_frame(int timeout_ms) {
   if (fd_ < 0) return std::nullopt;
   std::uint8_t buf[16 * 1024];
   for (;;) {
@@ -81,16 +105,7 @@ std::optional<core::QueryResponse> Client::recv(int timeout_ms) {
     if (res.status == FrameReader::Status::Error) {
       throw std::runtime_error("client: protocol error: " + res.error);
     }
-    if (res.status == FrameReader::Status::Frame) {
-      if (res.type != FrameType::Response) {
-        throw std::runtime_error("client: unexpected request frame");
-      }
-      std::string err;
-      std::optional<core::QueryResponse> resp =
-          decode_response_payload(res.payload, &err);
-      if (!resp) throw std::runtime_error("client: bad response: " + err);
-      return resp;
-    }
+    if (res.status == FrameReader::Status::Frame) return res;
     if (timeout_ms >= 0) {
       pollfd pfd{fd_, POLLIN, 0};
       const int p = ::poll(&pfd, 1, timeout_ms);
@@ -106,11 +121,109 @@ std::optional<core::QueryResponse> Client::recv(int timeout_ms) {
   }
 }
 
+std::optional<core::QueryResponse> Client::recv(int timeout_ms) {
+  std::optional<FrameReader::Result> res = recv_frame(timeout_ms);
+  if (!res) return std::nullopt;
+  if (res->type != FrameType::Response) {
+    throw std::runtime_error("client: unexpected non-response frame");
+  }
+  std::string err;
+  std::optional<core::QueryResponse> resp =
+      decode_response_payload(res->payload, &err);
+  if (!resp) throw std::runtime_error("client: bad response: " + err);
+  return resp;
+}
+
 std::optional<core::QueryResponse> Client::call(const core::QueryRequest& req,
                                                 std::uint64_t id,
                                                 int timeout_ms) {
   send(req, id);
   return recv(timeout_ms);
+}
+
+double Client::backoff_delay(std::uint32_t attempt) {
+  double delay = reconnect_.base_delay_s;
+  for (std::uint32_t i = 0; i < attempt && delay < reconnect_.max_delay_s;
+       ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, reconnect_.max_delay_s);
+  return delay * (0.5 + 0.5 * jitter_.uniform());
+}
+
+bool Client::try_reconnect(std::uint32_t attempt) {
+  if (!reconnect_.enabled || host_.empty()) return false;
+  sleep_s(backoff_delay(attempt));
+  try {
+    connect(host_, port_);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  ++n_reconnects_;
+  return true;
+}
+
+std::optional<core::QueryResponse> Client::call_with_retry(
+    const core::QueryRequest& req, std::uint64_t id, int timeout_ms) {
+  const std::uint32_t budget =
+      reconnect_.enabled ? reconnect_.max_attempts : 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::optional<core::QueryResponse> resp;
+    if (fd_ >= 0) {
+      bool sent = true;
+      try {
+        send(req, id);
+      } catch (const std::runtime_error&) {
+        sent = false;
+      }
+      if (sent) {
+        try {
+          resp = recv(timeout_ms);
+        } catch (const std::runtime_error&) {
+          resp = std::nullopt;  // Undecodable stream: treat as lost.
+        }
+      }
+    }
+    if (resp) {
+      const bool backoffable = resp->status == core::QueryStatus::Overloaded ||
+                               resp->status ==
+                                   core::QueryStatus::ShuttingDown;
+      if (!backoffable || attempt >= budget) return resp;
+      // Honour the server's hint, clamped so a hostile hint cannot park the
+      // client; no hint falls back to the backoff schedule.
+      const double wait =
+          resp->retry_after_s > 0.0
+              ? std::min(resp->retry_after_s, reconnect_.max_delay_s)
+              : backoff_delay(attempt);
+      sleep_s(wait);
+      continue;
+    }
+    // Connection lost, timed out mid-request, or never connected.  Close to
+    // discard any half-read stream state before redialling; resubmitting is
+    // safe (rejections never reached a solver, solves are deterministic).
+    close();
+    if (attempt >= budget) return std::nullopt;
+    try_reconnect(attempt);  // Sleeps the backoff; a miss retries the loop.
+  }
+}
+
+std::optional<HealthReport> Client::health(int timeout_ms) {
+  if (fd_ < 0 && !try_reconnect(0)) return std::nullopt;
+  const std::vector<std::uint8_t> frame = encode_health_poll_frame();
+  try {
+    send_raw(frame.data(), frame.size());
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+  std::optional<FrameReader::Result> res = recv_frame(timeout_ms);
+  if (!res) return std::nullopt;
+  if (res->type != FrameType::Health) {
+    throw std::runtime_error("client: unexpected frame awaiting health");
+  }
+  std::string err;
+  std::optional<HealthReport> rep = decode_health_payload(res->payload, &err);
+  if (!rep) throw std::runtime_error("client: bad health report: " + err);
+  return rep;
 }
 
 }  // namespace mda::serve

@@ -1,9 +1,16 @@
 #pragma once
 // Blocking client for the `mda serve` wire protocol: connect, send
 // QueryRequest frames (pipelining allowed), read QueryResponse frames back.
-// Used by the CLI, bench_serve's load generator and the loopback tests; the
-// raw-byte send exists so tests can exercise the server's malformed-frame
-// handling.
+// Used by the CLI, bench_chaos/bench_serve's load generators and the
+// loopback tests; the raw-byte send exists so tests can exercise the
+// server's malformed-frame handling.
+//
+// Resilience (DESIGN.md §14): with a ReconnectPolicy installed the client
+// survives connection loss — send()/call() transparently redial with capped
+// exponential backoff plus deterministic jitter — and call_with_retry()
+// additionally honours serving-layer Overloaded/ShuttingDown rejections by
+// backing off for the server's retry_after_s hint and retrying instead of
+// surfacing the rejection immediately.
 
 #include <cstdint>
 #include <optional>
@@ -12,8 +19,21 @@
 
 #include "core/query.hpp"
 #include "serve/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace mda::serve {
+
+/// Automatic-redial policy.  Backoff for attempt k (0-based) is
+/// min(base_delay_s * 2^k, max_delay_s), scaled by a uniform jitter in
+/// [0.5, 1.0] drawn from a deterministic per-client stream (seeded, so
+/// tests and the chaos harness replay identical schedules).
+struct ReconnectPolicy {
+  bool enabled = false;
+  std::uint32_t max_attempts = 5;  ///< Redial attempts per operation.
+  double base_delay_s = 0.01;
+  double max_delay_s = 1.0;
+  std::uint64_t jitter_seed = 0x4D444151ull;  // "MDAQ"
+};
 
 class Client {
  public:
@@ -24,10 +44,23 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to host:port; throws std::runtime_error on failure.
+  /// Connect to host:port; throws std::runtime_error on failure.  The
+  /// endpoint is remembered for automatic redials.
   void connect(const std::string& host, std::uint16_t port);
   void close();
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Install the redial policy (see ReconnectPolicy).  Takes effect on the
+  /// next operation; off by default (legacy fail-fast behaviour).
+  void set_reconnect(ReconnectPolicy policy) {
+    reconnect_ = policy;
+    jitter_ = util::Rng(policy.jitter_seed);
+  }
+  [[nodiscard]] const ReconnectPolicy& reconnect_policy() const {
+    return reconnect_;
+  }
+  /// Redials performed so far (tests / diagnostics).
+  [[nodiscard]] std::uint64_t reconnects() const { return n_reconnects_; }
 
   /// Send one request frame (does not wait for the response — callers may
   /// pipeline).  Throws std::runtime_error when the connection is gone.
@@ -44,9 +77,38 @@ class Client {
   [[nodiscard]] std::optional<core::QueryResponse> call(
       const core::QueryRequest& req, std::uint64_t id, int timeout_ms = -1);
 
+  /// call() that survives both connection loss (redial + resend, when a
+  /// ReconnectPolicy is enabled) and Overloaded / ShuttingDown rejections:
+  /// those back off for the response's retry_after_s hint (or the backoff
+  /// schedule when the server sent none) and retry, up to
+  /// ReconnectPolicy::max_attempts retries total.  Safe because a rejected
+  /// request never reached a solver, and a request that was lost with the
+  /// connection is idempotent to resubmit (solves are deterministic).
+  /// Returns the final response (possibly still a rejection) or nullopt
+  /// when the connection could not be (re)established.
+  [[nodiscard]] std::optional<core::QueryResponse> call_with_retry(
+      const core::QueryRequest& req, std::uint64_t id, int timeout_ms = -1);
+
+  /// Poll the server's fleet health (wire Health frame).  Must be called on
+  /// a drained connection (no pipelined responses outstanding).  nullopt =
+  /// connection closed or timeout.
+  [[nodiscard]] std::optional<HealthReport> health(int timeout_ms = -1);
+
  private:
+  /// Sleep the jittered backoff for `attempt`, then redial the remembered
+  /// endpoint once; true on success.
+  bool try_reconnect(std::uint32_t attempt);
+  [[nodiscard]] double backoff_delay(std::uint32_t attempt);
+  /// Next frame off the wire (any type); nullopt = closed / timeout.
+  [[nodiscard]] std::optional<FrameReader::Result> recv_frame(int timeout_ms);
+
   int fd_ = -1;
   FrameReader reader_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ReconnectPolicy reconnect_{};
+  util::Rng jitter_{ReconnectPolicy{}.jitter_seed};
+  std::uint64_t n_reconnects_ = 0;
 };
 
 }  // namespace mda::serve

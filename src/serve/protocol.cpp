@@ -220,12 +220,13 @@ void peek_request_ids(std::span<const std::uint8_t> payload,
 }
 
 // Response payload:
-//   id:u64 tenant:u64 status:u8 backend:u8 fault_detected:u8 reserved:u8
+//   id:u64 tenant:u64 status:u8 backend:u8 fault_detected:u8 replica:u8
 //   Ok:  value volts reference relative_error convergence_time_s
 //        input_scale : f64 x6
 //        tiles:u64 attempts:i32 fallbacks:i32 newton_iterations:i64
 //        solver_fallbacks:i64 quarantined_cells:u64
-//   err: attempts:i32 newton_iterations:i64 msg_len:u32 msg:u8[msg_len]
+//   err: attempts:i32 newton_iterations:i64 retry_after_s:f64
+//        msg_len:u32 msg:u8[msg_len]
 std::vector<std::uint8_t> encode_response_frame(
     const core::QueryResponse& resp) {
   std::vector<std::uint8_t> payload;
@@ -236,7 +237,8 @@ std::vector<std::uint8_t> encode_response_frame(
   put_u8(payload, static_cast<std::uint8_t>(resp.ok() ? resp.result.backend_used
                                                       : resp.error_backend));
   put_u8(payload, resp.ok() && resp.result.fault_detected ? 1 : 0);
-  put_u8(payload, 0);
+  put_u8(payload, static_cast<std::uint8_t>(
+                      resp.replica < 255 ? resp.replica : 255));
   if (resp.ok()) {
     const core::ComputeResult& r = resp.result;
     put_f64(payload, r.value);
@@ -254,6 +256,7 @@ std::vector<std::uint8_t> encode_response_frame(
   } else {
     put_i32(payload, resp.error_attempts);
     put_i64(payload, resp.error_newton_iterations);
+    put_f64(payload, resp.retry_after_s);
     put_u32(payload, static_cast<std::uint32_t>(resp.message.size()));
     payload.insert(payload.end(), resp.message.begin(), resp.message.end());
   }
@@ -278,7 +281,7 @@ std::optional<core::QueryResponse> decode_response_payload(
   const std::uint8_t status = c.u8();
   const std::uint8_t backend = c.u8();
   const std::uint8_t fault_detected = c.u8();
-  (void)c.u8();  // reserved
+  resp.replica = c.u8();
   if (!c.ok) return failr("response payload truncated");
   if (status > kMaxStatus) return failr("response payload: unknown status");
   if (backend > kMaxBackend) return failr("response payload: unknown backend");
@@ -308,6 +311,7 @@ std::optional<core::QueryResponse> decode_response_payload(
   resp.error_backend = static_cast<core::Backend>(backend);
   resp.error_attempts = c.i32();
   resp.error_newton_iterations = static_cast<long>(c.i64());
+  resp.retry_after_s = c.f64();
   const std::uint32_t msg_len = c.u32();
   if (!c.ok) return failr("response payload truncated");
   if (payload.size() - c.pos != msg_len) {
@@ -318,6 +322,119 @@ std::optional<core::QueryResponse> decode_response_payload(
   resp.message.assign(payload.begin() + static_cast<std::ptrdiff_t>(c.pos),
                       payload.end());
   return resp;
+}
+
+const char* replica_state_name(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::Healthy: return "healthy";
+    case ReplicaState::Degraded: return "degraded";
+    case ReplicaState::Scrubbing: return "scrubbing";
+    case ReplicaState::Down: return "down";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_health_poll_frame() {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize);
+  put_header(frame, FrameType::Health, 0);
+  return frame;
+}
+
+// Health report payload:
+//   hedges_launched hedges_won hedges_lost failovers kills restarts : u64 x6
+//   shard_count:u32
+//   per shard: kind:u8 backend:u8 threshold:f64 band:i32 replica_count:u32
+//   per replica: index:u32 state:u8 expected_error:f64
+//                queries:u64 quarantines:u64 scrubs:u64 queue_depth:u32
+std::vector<std::uint8_t> encode_health_frame(const HealthReport& report) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(64 + 64 * report.shards.size());
+  put_u64(payload, report.hedges_launched);
+  put_u64(payload, report.hedges_won);
+  put_u64(payload, report.hedges_lost);
+  put_u64(payload, report.failovers);
+  put_u64(payload, report.kills);
+  put_u64(payload, report.restarts);
+  put_u32(payload, static_cast<std::uint32_t>(report.shards.size()));
+  for (const ShardHealth& s : report.shards) {
+    put_u8(payload, s.kind);
+    put_u8(payload, s.backend);
+    put_f64(payload, s.threshold);
+    put_i32(payload, s.band);
+    put_u32(payload, static_cast<std::uint32_t>(s.replicas.size()));
+    for (const ReplicaHealth& r : s.replicas) {
+      put_u32(payload, r.index);
+      put_u8(payload, static_cast<std::uint8_t>(r.state));
+      put_f64(payload, r.expected_error);
+      put_u64(payload, r.queries);
+      put_u64(payload, r.quarantines);
+      put_u64(payload, r.scrubs);
+      put_u32(payload, r.queue_depth);
+    }
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  put_header(frame, FrameType::Health, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<HealthReport> decode_health_payload(
+    std::span<const std::uint8_t> payload, std::string* error) {
+  auto failh = [&](const char* why) -> std::optional<HealthReport> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  Cursor c{payload};
+  HealthReport report;
+  report.hedges_launched = c.u64();
+  report.hedges_won = c.u64();
+  report.hedges_lost = c.u64();
+  report.failovers = c.u64();
+  report.kills = c.u64();
+  report.restarts = c.u64();
+  const std::uint32_t shard_count = c.u32();
+  if (!c.ok) return failh("health payload truncated");
+  // Each shard needs >= 18 bytes; cap before reserving.
+  if (shard_count > payload.size() / 18) {
+    return failh("health payload: shard count exceeds payload");
+  }
+  report.shards.resize(shard_count);
+  for (ShardHealth& s : report.shards) {
+    s.kind = c.u8();
+    s.backend = c.u8();
+    s.threshold = c.f64();
+    s.band = c.i32();
+    const std::uint32_t replica_count = c.u32();
+    if (!c.ok) return failh("health payload truncated");
+    if (s.kind > kMaxKind) return failh("health payload: unknown kind");
+    if (s.backend > kMaxBackend) {
+      return failh("health payload: unknown backend");
+    }
+    if (replica_count > payload.size() / 37) {
+      return failh("health payload: replica count exceeds payload");
+    }
+    s.replicas.resize(replica_count);
+    for (ReplicaHealth& r : s.replicas) {
+      r.index = c.u32();
+      const std::uint8_t state = c.u8();
+      r.expected_error = c.f64();
+      r.queries = c.u64();
+      r.quarantines = c.u64();
+      r.scrubs = c.u64();
+      r.queue_depth = c.u32();
+      if (!c.ok) return failh("health payload truncated");
+      if (state > static_cast<std::uint8_t>(ReplicaState::Down)) {
+        return failh("health payload: unknown replica state");
+      }
+      r.state = static_cast<ReplicaState>(state);
+    }
+  }
+  if (c.pos != payload.size()) {
+    return failh("health payload has trailing bytes");
+  }
+  return report;
 }
 
 void FrameReader::append(const std::uint8_t* data, std::size_t n) {
@@ -356,7 +473,8 @@ FrameReader::Result FrameReader::next() {
   if (magic != kMagic) return failf("bad frame magic");
   if (version != kVersion) return failf("unsupported protocol version");
   if (type != static_cast<std::uint8_t>(FrameType::Request) &&
-      type != static_cast<std::uint8_t>(FrameType::Response)) {
+      type != static_cast<std::uint8_t>(FrameType::Response) &&
+      type != static_cast<std::uint8_t>(FrameType::Health)) {
     return failf("unknown frame type");
   }
   if (flags != 0) return failf("nonzero frame flags");

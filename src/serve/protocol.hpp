@@ -40,7 +40,60 @@ inline constexpr std::size_t kHeaderSize = 12;
 /// 128x128 fabric's useful tiling range.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
 
-enum class FrameType : std::uint8_t { Request = 1, Response = 2 };
+enum class FrameType : std::uint8_t {
+  Request = 1,
+  Response = 2,
+  /// Health poll / report (DESIGN.md §14).  Client -> server: empty payload
+  /// (a poll).  Server -> client: the serialised HealthReport below.
+  Health = 3,
+};
+
+// ---- health frame (DESIGN.md §14) ---------------------------------------
+
+/// Replica lifecycle state as routed by admission (see server.cpp).
+enum class ReplicaState : std::uint8_t {
+  Healthy = 0,    ///< Serving, score below the unhealthy threshold.
+  Degraded = 1,   ///< Serving, but routed around when a sibling is healthy.
+  Scrubbing = 2,  ///< Checked out for re-tune; receives no new requests.
+  Down = 3,       ///< Killed / not running; receives no requests.
+};
+[[nodiscard]] const char* replica_state_name(ReplicaState state);
+
+struct ReplicaHealth {
+  std::uint32_t index = 0;
+  ReplicaState state = ReplicaState::Healthy;
+  double expected_error = 0.0;  ///< Scoreboard MemSE-style estimate.
+  std::uint64_t queries = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t scrubs = 0;  ///< Scoreboard generation (resets survived).
+  std::uint32_t queue_depth = 0;
+};
+
+struct ShardHealth {
+  std::uint8_t kind = 0;  ///< dist::DistanceKind of the shard config.
+  std::uint8_t backend = 0;
+  double threshold = 0.0;
+  std::int32_t band = -1;
+  std::vector<ReplicaHealth> replicas;
+};
+
+/// One consistent fleet snapshot answered to a Health poll.
+struct HealthReport {
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t hedges_lost = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  std::vector<ShardHealth> shards;
+};
+
+/// An empty-payload Health frame (the client's poll).
+[[nodiscard]] std::vector<std::uint8_t> encode_health_poll_frame();
+[[nodiscard]] std::vector<std::uint8_t> encode_health_frame(
+    const HealthReport& report);
+[[nodiscard]] std::optional<HealthReport> decode_health_payload(
+    std::span<const std::uint8_t> payload, std::string* error = nullptr);
 
 /// A request frame's payload: the wire id (echoed in the response) plus the
 /// unified request itself, materialised with owned storage

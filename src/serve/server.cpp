@@ -10,8 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/scrub.hpp"
 #include "obs/metrics.hpp"
 
 namespace mda::serve {
@@ -63,13 +66,16 @@ struct Connection {
 };
 
 /// Write the whole buffer to a nonblocking socket; false = peer gone or
-/// stuck.  `may_block` (shard worker threads) waits on POLLOUT for a slow
-/// reader, bounded; the IO thread must pass false so one peer with a full
-/// receive buffer can never head-of-line block reads/accepts for everyone
-/// else — its write fails immediately on EAGAIN instead.
+/// stuck.  `budget_s` bounds how long the caller may wait on POLLOUT for a
+/// slow reader: shard workers pass min(write bound, the request's remaining
+/// deadline) so a slow-loris peer can never pin a worker past the point the
+/// response stopped mattering; the IO thread passes 0 (never wait) so one
+/// peer with a full receive buffer cannot head-of-line block reads/accepts
+/// for everyone else.
 bool write_all(int fd, const std::uint8_t* data, std::size_t n,
-               bool may_block) {
+               double budget_s) {
   std::size_t off = 0;
+  const double give_up_s = budget_s > 0.0 ? now_s() + budget_s : 0.0;
   while (off < n) {
     const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w > 0) {
@@ -78,10 +84,15 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n,
     }
     if (w < 0 && errno == EINTR) continue;
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!may_block) return false;
+      if (budget_s <= 0.0) return false;
+      const double remaining = give_up_s - now_s();
+      if (remaining <= 0.0) return false;
+      const int timeout_ms = static_cast<int>(
+          std::min(remaining * 1000.0 + 1.0, 5000.0));
       pollfd pfd{fd, POLLOUT, 0};
-      if (::poll(&pfd, 1, /*timeout_ms=*/5000) <= 0) return false;
-      continue;
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0 && errno != EINTR) return false;
+      continue;  // pr == 0 re-checks the budget at the top of the loop.
     }
     return false;
   }
@@ -101,13 +112,18 @@ struct ShardKey {
   }
 };
 
-/// An admitted request waiting in a shard queue.
+/// An admitted request waiting in a replica queue.  `gate` appears once the
+/// request is hedged: whichever copy flips it first delivers the response,
+/// the other drops its result (first-wins cancellation).
 struct Pending {
   std::shared_ptr<Connection> conn;
   std::uint64_t id = 0;
   QueryRequest request;
   double arrival_s = 0.0;
   bool counted_inflight = false;
+  std::shared_ptr<std::atomic<bool>> gate;
+  bool is_hedge = false;  ///< This entry is the hedge copy.
+  bool hedged = false;    ///< A hedge copy exists somewhere.
 };
 
 /// Collapse key: the exact bits that determine a solve's result within one
@@ -131,27 +147,119 @@ std::string collapse_key(const QueryRequest& req) {
   return key;
 }
 
+/// The deterministic probe payload (the cheap periodic health query): small
+/// equal-length sequences with a nonzero reference distance, so the probe's
+/// relative error is meaningful for every distance kind.
+QueryRequest make_probe(std::size_t len) {
+  std::vector<double> p(len);
+  std::vector<double> q(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    p[i] = static_cast<double>(i % 4);
+    q[i] = static_cast<double>((i + 1) % 4);
+  }
+  return QueryRequest::owning(std::move(p), std::move(q));
+}
+
+constexpr std::uint8_t kHealthy =
+    static_cast<std::uint8_t>(ReplicaState::Healthy);
+constexpr std::uint8_t kDegraded =
+    static_cast<std::uint8_t>(ReplicaState::Degraded);
+constexpr std::uint8_t kScrubbing =
+    static_cast<std::uint8_t>(ReplicaState::Scrubbing);
+constexpr std::uint8_t kDown = static_cast<std::uint8_t>(ReplicaState::Down);
+
+/// Probe passes run while a scrub holds the replica, so the re-tuned array
+/// re-earns (or re-fails) its score before traffic routes back to it.
+constexpr int kScrubProbes = 3;
+/// Worker write-wait ceiling [s]; the effective budget is min(this, the
+/// request's remaining deadline).
+constexpr double kWriteBoundS = 5.0;
+/// Latency ring size per shard (hedge-delay percentile source).
+constexpr std::size_t kLatencyRing = 64;
+
+const obs::Gauge& unhealthy_gauge() {
+  static const obs::Gauge g("mda.serve.health.unhealthy");
+  return g;
+}
+
 }  // namespace
 
 struct Server::Impl {
-  explicit Impl(ServeOptions opts) : opts_(std::move(opts)) {
+  explicit Impl(ServeOptions opts)
+      : opts_(std::move(opts)), scheduler_(scrub_opts(opts_)) {
     if (opts_.coalesce_window == 0) opts_.coalesce_window = 1;
     if (opts_.solver_batch_width == 0) opts_.solver_batch_width = 1;
     if (opts_.shard_queue_depth == 0) opts_.shard_queue_depth = 1;
+    opts_.replicas = std::clamp<std::size_t>(opts_.replicas, 1, 255);
   }
   ~Impl() { stop(); }
 
-  struct Shard {
-    Shard(ShardKey k, core::AcceleratorConfig cfg, core::DistanceSpec spec)
-        : key(k), acc(std::move(cfg)) {
-      acc.configure(std::move(spec));
+  static core::ScrubOptions scrub_opts(const ServeOptions& o) {
+    core::ScrubOptions s;
+    s.scan_interval_s =
+        o.selfheal.scan_interval_s > 0.0 ? o.selfheal.scan_interval_s : 0.05;
+    return s;
+  }
+
+  /// One shard replica: its own accelerator (own instance cache — a scrub
+  /// invalidation must never touch a sibling), its own health scoreboard,
+  /// queue and worker.  `solve_mutex` serialises solves against scrub /
+  /// fault-injection / restart, so no query ever observes a half-tuned
+  /// array; `admin_mu` serialises state transitions.
+  struct Replica {
+    Replica(std::uint32_t idx, core::AcceleratorConfig cfg,
+            const core::DistanceSpec& sp, const fault::HealthConfig& hc)
+        : index(idx),
+          acc(std::move(cfg)),
+          board(std::make_shared<fault::HealthScoreboard>(hc)) {
+      acc.configure(sp);
+      acc.set_health(board);
+      plan = acc.config().faults;
     }
-    ShardKey key;
+
+    std::uint32_t index;
     core::Accelerator acc;
-    std::mutex mutex;
+    std::shared_ptr<fault::HealthScoreboard> board;
+    /// The plan the hardware currently carries; survives kill/restart (a
+    /// process restart does not heal physical devices).
+    std::shared_ptr<const fault::FaultPlan> plan;
+
+    std::mutex mutex;  ///< Guards queue.
     std::condition_variable cv;
     std::deque<Pending> queue;
     std::thread worker;
+
+    std::mutex solve_mutex;  ///< Solves vs scrub/inject/restart.
+    std::mutex admin_mu;     ///< State transitions.  Never taken while
+                             ///< holding solve_mutex (lock order: admin
+                             ///< before solve).
+    std::atomic<std::uint8_t> state{kHealthy};
+    std::atomic<bool> down{false};
+    std::atomic<bool> solving{false};
+  };
+
+  struct Shard {
+    Shard(ShardKey k, core::AcceleratorConfig cfg, core::DistanceSpec sp,
+          std::size_t n_replicas, const fault::HealthConfig& hc)
+        : key(k), base_cfg(std::move(cfg)), spec(std::move(sp)) {
+      // Each replica owns its instance pool and scoreboard.
+      base_cfg.array_cache = nullptr;
+      base_cfg.health = nullptr;
+      for (std::size_t i = 0; i < n_replicas; ++i) {
+        replicas.push_back(std::make_unique<Replica>(
+            static_cast<std::uint32_t>(i), base_cfg, spec, hc));
+      }
+    }
+
+    ShardKey key;
+    core::AcceleratorConfig base_cfg;
+    core::DistanceSpec spec;
+    std::vector<std::unique_ptr<Replica>> replicas;
+    std::atomic<std::uint32_t> rr{0};  ///< Round-robin routing cursor.
+
+    std::mutex lat_mu;  ///< Guards the served-latency ring below.
+    std::vector<double> latencies;
+    std::size_t lat_pos = 0;
   };
 
   ServeOptions opts_;
@@ -162,6 +270,12 @@ struct Server::Impl {
   int wake_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::thread io_thread_;
+
+  core::ScrubScheduler scheduler_;
+  std::thread hedge_thread_;
+  std::mutex hedge_mu_;
+  std::condition_variable hedge_cv_;
+  bool hedge_stop_ = false;
 
   std::mutex conn_mutex_;
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
@@ -179,6 +293,15 @@ struct Server::Impl {
   std::atomic<std::uint64_t> n_collapsed_{0};
   std::atomic<std::uint64_t> n_solves_{0};
   std::atomic<std::uint64_t> n_shards_{0};  ///< Monotonic (survives stop()).
+  std::atomic<std::uint64_t> n_hedges_launched_{0};
+  std::atomic<std::uint64_t> n_hedges_won_{0};
+  std::atomic<std::uint64_t> n_hedges_lost_{0};
+  std::atomic<std::uint64_t> n_failovers_{0};
+  std::atomic<std::uint64_t> n_scrubs_{0};
+  std::atomic<std::uint64_t> n_probes_{0};
+  std::atomic<std::uint64_t> n_kills_{0};
+  std::atomic<std::uint64_t> n_restarts_{0};
+  std::atomic<std::int64_t> n_unhealthy_{0};
 
   // ---- lifecycle ----
 
@@ -224,11 +347,32 @@ struct Server::Impl {
 
     running_.store(true);
     io_thread_ = std::thread([this] { io_loop(); });
+    if (opts_.selfheal.auto_scrub) scheduler_.start();
+    if (opts_.hedge.enabled && opts_.replicas > 1) {
+      {
+        std::lock_guard<std::mutex> lk(hedge_mu_);
+        hedge_stop_ = false;
+      }
+      hedge_thread_ = std::thread([this] { hedge_loop(); });
+    }
   }
 
   void stop() {
     if (!running_.exchange(false)) return;
     stopping_.store(true);
+    // Background machinery first: no scrub may check a replica out and no
+    // hedge may enqueue once the workers start their final drain.
+    scheduler_.stop();
+    scheduler_.clear_targets();
+    if (hedge_thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lk(hedge_mu_);
+        hedge_stop_ = true;
+      }
+      hedge_cv_.notify_all();
+      hedge_thread_.join();
+      hedge_thread_ = std::thread();
+    }
     // Wake the IO thread, join it, then drain the shards: their workers see
     // stopping_ and answer anything still queued with ShuttingDown.
     std::uint64_t one = 1;
@@ -236,28 +380,38 @@ struct Server::Impl {
     if (io_thread_.joinable()) io_thread_.join();
     {
       std::lock_guard<std::mutex> lk(shard_mutex_);
-      for (auto& [key, shard] : shards_) shard->cv.notify_all();
       for (auto& [key, shard] : shards_) {
-        if (shard->worker.joinable()) shard->worker.join();
+        for (auto& r : shard->replicas) r->cv.notify_all();
+      }
+      for (auto& [key, shard] : shards_) {
+        for (auto& r : shard->replicas) {
+          if (r->worker.joinable()) r->worker.join();
+        }
       }
       // Belt and braces: the workers drained their queues on the way out,
       // but sweep anything left so no admitted request goes unanswered.
       for (auto& [key, shard] : shards_) {
-        for (Pending& p : shard->queue) {
-          release_quota(p);
-          respond(p.conn,
-                  QueryResponse::reject(p.id, p.request.tenant,
-                                        QueryStatus::ShuttingDown,
-                                        "server stopping"),
-                  p.arrival_s);
+        for (auto& r : shard->replicas) {
+          for (Pending& p : r->queue) {
+            if (p.is_hedge) continue;  // Its primary answers (or answered).
+            release_quota(p);
+            if (p.gate && p.gate->exchange(true)) continue;
+            respond(p.conn,
+                    reject_hint(p.id, p.request.tenant,
+                                QueryStatus::ShuttingDown, "server stopping",
+                                0.5),
+                    p.arrival_s, /*may_block=*/true, p.request.deadline_s);
+          }
+          r->queue.clear();
         }
-        shard->queue.clear();
       }
       // Clear the table: its workers have exited, so handing a later
       // request to one of these shards would enqueue it forever.  start()
       // after stop() rebuilds shards on demand.
       shards_.clear();
     }
+    n_unhealthy_.store(0);
+    unhealthy_gauge().set(0.0);
     {
       std::lock_guard<std::mutex> lk(quota_mutex_);
       inflight_.clear();
@@ -362,7 +516,7 @@ struct Server::Impl {
       FrameReader::Result res = conn->reader.next();
       if (res.status == FrameReader::Status::NeedMore) break;
       if (res.status == FrameReader::Status::Error ||
-          res.type != FrameType::Request) {
+          res.type == FrameType::Response) {
         // The byte stream is unsynchronised (or the peer speaks the wrong
         // role): best-effort error response, then drop the connection.
         respond(conn,
@@ -373,6 +527,23 @@ struct Server::Impl {
                 /*arrival_s=*/0.0, /*may_block=*/false);
         close_connection(conn);
         return;
+      }
+      if (res.type == FrameType::Health) {
+        // A health poll: answer with a fleet snapshot.  Non-blocking, like
+        // every IO-thread write.
+        const std::vector<std::uint8_t> frame =
+            encode_health_frame(health_report());
+        bool failed = false;
+        if (conn->alive.load()) {
+          std::lock_guard<std::mutex> lk(conn->write_mutex);
+          failed = !write_all(conn->fd, frame.data(), frame.size(),
+                              /*budget_s=*/0.0);
+        }
+        if (failed) {
+          close_connection(conn);
+          return;
+        }
+        continue;
       }
       handle_request(conn, res.payload);
     }
@@ -401,7 +572,8 @@ struct Server::Impl {
               arrival, /*may_block=*/false);
       return;
     }
-    Pending pending{conn, dec->id, std::move(dec->request), arrival, false};
+    Pending pending{conn, dec->id, std::move(dec->request), arrival, false,
+                    nullptr, false, false};
     // Saturate the wire-controlled retry budget at admission (before the
     // collapse key is formed, so clamped duplicates still collapse): the
     // worker retry loop is bounded by configuration, not by the peer.
@@ -410,17 +582,17 @@ struct Server::Impl {
     const std::uint64_t tenant = pending.request.tenant;
 
     if (stopping_.load()) {
-      respond(conn, QueryResponse::reject(pending.id, tenant,
-                                          QueryStatus::ShuttingDown,
-                                          "server stopping"),
+      respond(conn,
+              reject_hint(pending.id, tenant, QueryStatus::ShuttingDown,
+                          "server stopping", 0.5),
               arrival, /*may_block=*/false);
       return;
     }
     Shard* shard = find_or_create_shard(pending.request);
     if (shard == nullptr) {
-      respond(conn, QueryResponse::reject(pending.id, tenant,
-                                          QueryStatus::Overloaded,
-                                          "shard table full"),
+      respond(conn,
+              reject_hint(pending.id, tenant, QueryStatus::Overloaded,
+                          "shard table full", 0.05),
               arrival, /*may_block=*/false);
       return;
     }
@@ -439,33 +611,34 @@ struct Server::Impl {
       ++count;
       pending.counted_inflight = true;
     }
-    {
-      std::lock_guard<std::mutex> lk(shard->mutex);
-      // Re-check under the shard mutex: if the worker already took its
-      // final stopping_ drain, a push here would never be answered.  A
-      // false read under the mutex orders this push before that drain, so
-      // the worker is guaranteed to sweep it.
-      if (stopping_.load()) {
-        release_quota(pending);
-        respond(conn, QueryResponse::reject(pending.id, tenant,
-                                            QueryStatus::ShuttingDown,
-                                            "server stopping"),
-                arrival, /*may_block=*/false);
-        return;
+    // Route: round-robin over Healthy replicas, then Degraded ones; never
+    // a Scrubbing or Down replica.  First routable replica with queue room
+    // wins.
+    const std::vector<Replica*> order = route_order(*shard);
+    for (Replica* r : order) {
+      switch (try_enqueue(*r, pending)) {
+        case Enq::Ok:
+          return;
+        case Enq::Stopping:
+          release_quota(pending);
+          respond(conn,
+                  reject_hint(pending.id, tenant, QueryStatus::ShuttingDown,
+                              "server stopping", 0.5),
+                  arrival, /*may_block=*/false);
+          return;
+        case Enq::Full:
+          continue;
       }
-      if (shard->queue.size() >= opts_.shard_queue_depth) {
-        static const obs::Counter overloads("mda.serve.overloads");
-        overloads.add();
-        release_quota(pending);
-        respond(conn, QueryResponse::reject(pending.id, tenant,
-                                            QueryStatus::Overloaded,
-                                            "shard queue full"),
-                arrival, /*may_block=*/false);
-        return;
-      }
-      shard->queue.push_back(std::move(pending));
     }
-    shard->cv.notify_one();
+    static const obs::Counter overloads("mda.serve.overloads");
+    overloads.add();
+    release_quota(pending);
+    respond(conn,
+            reject_hint(pending.id, tenant, QueryStatus::Overloaded,
+                        order.empty() ? "no routable replica"
+                                      : "shard queue full",
+                        retry_after_hint(*shard)),
+            arrival, /*may_block=*/false);
   }
 
   [[nodiscard]] static ShardKey key_for(const QueryRequest& req) {
@@ -496,14 +669,91 @@ struct Server::Impl {
       spec.threshold = req.threshold;
       spec.band = req.band;
     }
-    auto shard = std::make_unique<Shard>(key, std::move(cfg), std::move(spec));
+    auto shard = std::make_unique<Shard>(key, std::move(cfg), std::move(spec),
+                                         opts_.replicas,
+                                         opts_.selfheal.health);
     Shard* raw = shard.get();
-    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+    for (auto& r : raw->replicas) {
+      Replica* rp = r.get();
+      rp->worker = std::thread([this, raw, rp] { worker_loop(*raw, *rp); });
+      register_scrub_target(raw, rp);
+    }
     shards_.emplace(key, std::move(shard));
     n_shards_.fetch_add(1);
     static const obs::Gauge shard_gauge("mda.serve.shards");
     shard_gauge.set(static_cast<double>(shards_.size()));
     return raw;
+  }
+
+  void register_scrub_target(Shard* s, Replica* r) {
+    core::ScrubTarget t;
+    t.name = "shard" + std::to_string(n_shards_.load()) + "/r" +
+             std::to_string(r->index);
+    t.unhealthy_threshold = opts_.selfheal.health.unhealthy_threshold;
+    t.healthy_threshold = opts_.selfheal.health.healthy_threshold;
+    t.score = [r] { return r->board->expected_error(); };
+    t.idle = [r] {
+      {
+        std::lock_guard<std::mutex> lk(r->mutex);
+        if (!r->queue.empty()) return false;
+      }
+      return !r->solving.load();
+    };
+    t.scrub = [this, s, r] { return do_scrub(*s, *r); };
+    if (opts_.selfheal.probe_len > 0) {
+      t.probe = [this, r] { probe_replica(*r); };
+    }
+    scheduler_.add_target(std::move(t));
+  }
+
+  // ---- routing ----
+
+  enum class Enq : std::uint8_t { Ok, Full, Stopping };
+
+  /// Push onto a replica queue if there is room and it is accepting.
+  /// Consumes `pending` only on Ok.
+  Enq try_enqueue(Replica& r, Pending& pending) {
+    {
+      std::lock_guard<std::mutex> lk(r.mutex);
+      // Re-check under the replica mutex: if the worker already took its
+      // final stopping_ drain, a push here would never be answered.  A
+      // false read under the mutex orders this push before that drain, so
+      // the worker is guaranteed to sweep it.
+      if (stopping_.load()) return Enq::Stopping;
+      if (r.down.load()) return Enq::Full;  // Killer drained; route on.
+      if (r.queue.size() >= opts_.shard_queue_depth) return Enq::Full;
+      r.queue.push_back(std::move(pending));
+    }
+    r.cv.notify_one();
+    return Enq::Ok;
+  }
+
+  /// Routable replicas in preference order: Healthy round-robin first, then
+  /// Degraded (a degraded replica still answers correctly — detectors mask
+  /// or fall back — it is just more likely to be slow/imprecise).
+  std::vector<Replica*> route_order(Shard& shard) {
+    std::vector<Replica*> order;
+    order.reserve(shard.replicas.size());
+    const std::uint32_t start = shard.rr.fetch_add(1);
+    const std::size_t n = shard.replicas.size();
+    for (const std::uint8_t want : {kHealthy, kDegraded}) {
+      for (std::size_t k = 0; k < n; ++k) {
+        Replica* r = shard.replicas[(start + k) % n].get();
+        if (r->state.load() == want) order.push_back(r);
+      }
+    }
+    return order;
+  }
+
+  /// First routable sibling of `self` (hedge target / failover home).
+  Replica* pick_sibling(Shard& shard, const Replica* self) {
+    for (const std::uint8_t want : {kHealthy, kDegraded}) {
+      for (auto& r : shard.replicas) {
+        if (r.get() == self) continue;
+        if (r->state.load() == want) return r.get();
+      }
+    }
+    return nullptr;
   }
 
   void release_quota(const Pending& pending) {
@@ -513,45 +763,390 @@ struct Server::Impl {
     if (it != inflight_.end() && it->second > 0) --it->second;
   }
 
-  // ---- shard workers ----
-
-  void worker_loop(Shard& shard) {
-    for (;;) {
-      std::vector<Pending> batch;
-      {
-        std::unique_lock<std::mutex> lk(shard.mutex);
-        shard.cv.wait(lk, [&] {
-          return stopping_.load() || !shard.queue.empty();
-        });
-        if (stopping_.load()) {
-          batch.assign(std::make_move_iterator(shard.queue.begin()),
-                       std::make_move_iterator(shard.queue.end()));
-          shard.queue.clear();
-          lk.unlock();
-          for (Pending& p : batch) {
-            release_quota(p);
-            respond(p.conn, QueryResponse::reject(p.id, p.request.tenant,
-                                                  QueryStatus::ShuttingDown,
-                                                  "server stopping"),
-                    p.arrival_s);
-          }
-          return;
-        }
-        const std::size_t take =
-            std::min(opts_.coalesce_window, shard.queue.size());
-        batch.assign(
-            std::make_move_iterator(shard.queue.begin()),
-            std::make_move_iterator(shard.queue.begin() +
-                                    static_cast<std::ptrdiff_t>(take)));
-        shard.queue.erase(shard.queue.begin(),
-                          shard.queue.begin() +
-                              static_cast<std::ptrdiff_t>(take));
+  double retry_after_hint(Shard& shard) {
+    double mean = 0.01;
+    {
+      std::lock_guard<std::mutex> lk(shard.lat_mu);
+      if (!shard.latencies.empty()) {
+        double sum = 0.0;
+        for (double v : shard.latencies) sum += v;
+        mean = sum / static_cast<double>(shard.latencies.size());
       }
-      process_batch(shard, batch);
+    }
+    return std::clamp(mean * 8.0, 0.005, 1.0);
+  }
+
+  void record_latency(Shard& shard, double latency_s) {
+    std::lock_guard<std::mutex> lk(shard.lat_mu);
+    if (shard.latencies.size() < kLatencyRing) {
+      shard.latencies.push_back(latency_s);
+    } else {
+      shard.latencies[shard.lat_pos] = latency_s;
+      shard.lat_pos = (shard.lat_pos + 1) % kLatencyRing;
     }
   }
 
-  void process_batch(Shard& shard, std::vector<Pending>& batch) {
+  // ---- replica state ----
+
+  /// Transition + unhealthy-gauge upkeep.  Caller holds r.admin_mu.
+  void set_state_locked(Replica& r, std::uint8_t st) {
+    const std::uint8_t old = r.state.exchange(st);
+    const bool was_un = old != kHealthy;
+    const bool is_un = st != kHealthy;
+    if (was_un != is_un) {
+      const std::int64_t now_un =
+          n_unhealthy_.fetch_add(is_un ? 1 : -1) + (is_un ? 1 : -1);
+      unhealthy_gauge().set(static_cast<double>(now_un));
+    }
+  }
+
+  /// Hysteresis: Degraded above unhealthy_threshold, back to Healthy below
+  /// healthy_threshold, unchanged in between.  Scrubbing/Down untouched.
+  void refresh_state(Replica& r) {
+    std::lock_guard<std::mutex> lk(r.admin_mu);
+    const std::uint8_t st = r.state.load();
+    if (st == kScrubbing || st == kDown) return;
+    if (r.board->unhealthy()) {
+      if (st != kDegraded) set_state_locked(r, kDegraded);
+    } else if (r.board->healthy()) {
+      if (st != kHealthy) set_state_locked(r, kHealthy);
+    }
+  }
+
+  // ---- self-healing ----
+
+  void run_probe(Replica& r) {
+    static const obs::Counter probes("mda.serve.health.probes");
+    const QueryRequest req = make_probe(opts_.selfheal.probe_len);
+    const core::ComputeOutcome out = r.acc.try_compute(req);
+    r.board->record_probe(out.ok() ? out.value().relative_error : 1.0,
+                          out.ok());
+    probes.add();
+    n_probes_.fetch_add(1);
+  }
+
+  /// The scheduler's per-scan probe hook: only when the replica is serving
+  /// and idle (try_lock — a probe must never delay traffic).
+  void probe_replica(Replica& r) {
+    if (opts_.selfheal.probe_len == 0) return;
+    const std::uint8_t st = r.state.load();
+    if (st == kScrubbing || st == kDown) return;
+    {
+      std::unique_lock<std::mutex> solve_lk(r.solve_mutex, std::try_to_lock);
+      if (!solve_lk.owns_lock()) return;
+      {
+        std::lock_guard<std::mutex> lk(r.mutex);
+        if (!r.queue.empty()) return;
+      }
+      run_probe(r);
+    }
+    refresh_state(r);  // After solve_mutex is released (lock order).
+  }
+
+  /// Check the replica out, re-run program-and-verify, re-probe, return it.
+  /// Queries can never observe a half-tuned array: admission stops routing
+  /// here the moment the state flips, requests already queued wait on
+  /// solve_mutex, and retune() bumps the instance-cache generation so any
+  /// lease handed out earlier is dropped on give-back instead of reused.
+  bool do_scrub(Shard& shard, Replica& r) {
+    (void)shard;
+    {
+      std::lock_guard<std::mutex> lk(r.admin_mu);
+      const std::uint8_t st = r.state.load();
+      if (st == kScrubbing || st == kDown) return false;
+      set_state_locked(r, kScrubbing);
+    }
+    {
+      std::lock_guard<std::mutex> solve_lk(r.solve_mutex);
+      r.board->reset();
+      r.acc.retune();
+      if (opts_.selfheal.probe_len > 0) {
+        for (int i = 0; i < kScrubProbes; ++i) run_probe(r);
+      }
+    }
+    n_scrubs_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lk(r.admin_mu);
+      if (r.state.load() == kScrubbing) {
+        set_state_locked(r, r.board->unhealthy() ? kDegraded : kHealthy);
+      }
+    }
+    return true;
+  }
+
+  // ---- hedging ----
+
+  void hedge_won() {
+    static const obs::Counter wins("mda.serve.hedge.wins");
+    wins.add();
+    n_hedges_won_.fetch_add(1);
+  }
+  void hedge_lost() {
+    static const obs::Counter losses("mda.serve.hedge.losses");
+    losses.add();
+    n_hedges_lost_.fetch_add(1);
+  }
+
+  double hedge_delay(Shard& shard) {
+    std::lock_guard<std::mutex> lk(shard.lat_mu);
+    if (shard.latencies.size() < 16) return opts_.hedge.min_delay_s;
+    std::vector<double> v = shard.latencies;
+    const double pct = std::clamp(opts_.hedge.percentile, 0.0, 1.0);
+    const std::size_t idx = std::min(
+        v.size() - 1,
+        static_cast<std::size_t>(pct * static_cast<double>(v.size() - 1)));
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+    return std::max(opts_.hedge.min_delay_s, v[idx]);
+  }
+
+  void hedge_loop() {
+    std::unique_lock<std::mutex> lk(hedge_mu_);
+    for (;;) {
+      hedge_cv_.wait_for(
+          lk, std::chrono::duration<double>(opts_.hedge.poll_interval_s),
+          [this] { return hedge_stop_; });
+      if (hedge_stop_) return;
+      lk.unlock();
+      hedge_scan();
+      lk.lock();
+    }
+  }
+
+  /// Scan every replica queue for requests older than the shard's hedge
+  /// delay and enqueue a first-wins copy on a sibling.  The copy shares the
+  /// primary's cancellation gate and never carries quota (counted once).
+  void hedge_scan() {
+    static const obs::Counter launched("mda.serve.hedge.launched");
+    std::vector<Shard*> shards;
+    {
+      std::lock_guard<std::mutex> lk(shard_mutex_);
+      for (auto& [key, s] : shards_) {
+        if (s->replicas.size() > 1) shards.push_back(s.get());
+      }
+    }
+    const double now = now_s();
+    for (Shard* s : shards) {
+      const double delay = hedge_delay(*s);
+      for (auto& rp : s->replicas) {
+        Replica* r = rp.get();
+        std::vector<Pending> copies;
+        {
+          std::lock_guard<std::mutex> lk(r->mutex);
+          for (Pending& p : r->queue) {
+            if (p.is_hedge || p.hedged) continue;
+            if (p.gate && p.gate->load()) continue;
+            if (now - p.arrival_s < delay) continue;
+            p.hedged = true;
+            if (!p.gate) p.gate = std::make_shared<std::atomic<bool>>(false);
+            Pending copy;
+            copy.conn = p.conn;
+            copy.id = p.id;
+            copy.request = p.request;  // Shares owned payload buffers.
+            copy.arrival_s = p.arrival_s;
+            copy.counted_inflight = false;
+            copy.gate = p.gate;
+            copy.is_hedge = true;
+            copy.hedged = true;
+            copies.push_back(std::move(copy));
+          }
+        }
+        for (Pending& copy : copies) {
+          Replica* sibling = pick_sibling(*s, r);
+          if (sibling == nullptr) continue;  // Primary still answers.
+          if (try_enqueue(*sibling, copy) == Enq::Ok) {
+            launched.add();
+            n_hedges_launched_.fetch_add(1);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- chaos controls ----
+
+  std::pair<Shard*, Replica*> addr(std::size_t shard_index,
+                                   std::uint32_t replica) {
+    std::lock_guard<std::mutex> lk(shard_mutex_);
+    if (shard_index >= shards_.size()) return {nullptr, nullptr};
+    auto it = std::next(shards_.begin(),
+                        static_cast<std::ptrdiff_t>(shard_index));
+    Shard* s = it->second.get();
+    if (replica >= s->replicas.size()) return {s, nullptr};
+    return {s, s->replicas[replica].get()};
+  }
+
+  bool kill_replica(std::size_t shard_index, std::uint32_t replica) {
+    auto [s, r] = addr(shard_index, replica);
+    if (r == nullptr) return false;
+    {
+      std::lock_guard<std::mutex> lk(r->admin_mu);
+      if (r->state.load() == kDown) return false;
+      set_state_locked(*r, kDown);
+      r->down.store(true);
+    }
+    r->cv.notify_all();
+    if (r->worker.joinable()) r->worker.join();
+    static const obs::Counter kills("mda.serve.health.kills");
+    kills.add();
+    n_kills_.fetch_add(1);
+    // Fail the orphaned queue over to a sibling; requests no sibling can
+    // take are rejected Overloaded with a retry hint rather than dropped.
+    std::deque<Pending> orphans;
+    {
+      std::lock_guard<std::mutex> lk(r->mutex);
+      orphans.swap(r->queue);
+    }
+    static const obs::Counter failovers("mda.serve.health.failovers");
+    for (Pending& p : orphans) {
+      if (p.is_hedge) {
+        hedge_lost();
+        continue;  // Its primary still answers.
+      }
+      Replica* sibling = pick_sibling(*s, r);
+      if (sibling != nullptr && try_enqueue(*sibling, p) == Enq::Ok) {
+        failovers.add();
+        n_failovers_.fetch_add(1);
+        continue;
+      }
+      release_quota(p);
+      if (p.gate && p.gate->exchange(true)) continue;
+      respond(p.conn,
+              reject_hint(p.id, p.request.tenant, QueryStatus::Overloaded,
+                          "replica down; no failover target",
+                          retry_after_hint(*s)),
+              p.arrival_s, /*may_block=*/true, p.request.deadline_s);
+    }
+    return true;
+  }
+
+  bool restart_replica(std::size_t shard_index, std::uint32_t replica) {
+    auto [s, r] = addr(shard_index, replica);
+    if (r == nullptr) return false;
+    {
+      std::lock_guard<std::mutex> lk(r->admin_mu);
+      if (r->state.load() != kDown) return false;
+      // Fresh accelerator, same config and fault plan: a process restart
+      // does not heal the physical devices.  Scoreboard resets (generation
+      // bump) — the replica re-earns its score.
+      core::AcceleratorConfig cfg = s->base_cfg;
+      cfg.faults = r->plan;
+      r->acc = core::Accelerator(std::move(cfg));
+      r->acc.configure(s->spec);
+      r->board->reset();
+      r->acc.set_health(r->board);
+      r->down.store(false);
+      set_state_locked(*r, kHealthy);
+    }
+    Shard* sp = s;
+    Replica* rp = r;
+    r->worker = std::thread([this, sp, rp] { worker_loop(*sp, *rp); });
+    static const obs::Counter restarts("mda.serve.health.restarts");
+    restarts.add();
+    n_restarts_.fetch_add(1);
+    return true;
+  }
+
+  bool inject_fault_plan(std::size_t shard_index, std::uint32_t replica,
+                         std::shared_ptr<const fault::FaultPlan> plan) {
+    auto [s, r] = addr(shard_index, replica);
+    (void)s;
+    if (r == nullptr) return false;
+    std::lock_guard<std::mutex> lk(r->admin_mu);
+    r->plan = plan;  // A later restart rebuilds with this plan.
+    if (r->state.load() != kDown) {
+      // Wait out the in-flight batch so no solve straddles plans.
+      std::lock_guard<std::mutex> solve_lk(r->solve_mutex);
+      r->acc.set_fault_plan(std::move(plan));
+    }
+    return true;
+  }
+
+  bool scrub_replica(std::size_t shard_index, std::uint32_t replica) {
+    auto [s, r] = addr(shard_index, replica);
+    if (r == nullptr) return false;
+    return do_scrub(*s, *r);
+  }
+
+  [[nodiscard]] HealthReport health_report() {
+    HealthReport rep;
+    rep.hedges_launched = n_hedges_launched_.load();
+    rep.hedges_won = n_hedges_won_.load();
+    rep.hedges_lost = n_hedges_lost_.load();
+    rep.failovers = n_failovers_.load();
+    rep.kills = n_kills_.load();
+    rep.restarts = n_restarts_.load();
+    std::lock_guard<std::mutex> lk(shard_mutex_);
+    for (auto& [key, s] : shards_) {
+      ShardHealth sh;
+      sh.kind = static_cast<std::uint8_t>(s->spec.kind);
+      sh.backend = static_cast<std::uint8_t>(s->base_cfg.backend);
+      sh.threshold = s->spec.threshold;
+      sh.band = s->spec.band;
+      for (auto& rp : s->replicas) {
+        ReplicaHealth rh;
+        rh.index = rp->index;
+        rh.state = static_cast<ReplicaState>(rp->state.load());
+        const fault::HealthSnapshot snap = rp->board->snapshot();
+        rh.expected_error = snap.expected_error;
+        rh.queries = snap.queries;
+        rh.quarantines = snap.quarantines;
+        rh.scrubs = snap.generation;
+        {
+          std::lock_guard<std::mutex> qlk(rp->mutex);
+          rh.queue_depth = static_cast<std::uint32_t>(rp->queue.size());
+        }
+        sh.replicas.push_back(rh);
+      }
+      rep.shards.push_back(std::move(sh));
+    }
+    return rep;
+  }
+
+  // ---- shard workers ----
+
+  void worker_loop(Shard& shard, Replica& r) {
+    for (;;) {
+      std::vector<Pending> batch;
+      {
+        std::unique_lock<std::mutex> lk(r.mutex);
+        r.cv.wait(lk, [&] {
+          return stopping_.load() || r.down.load() || !r.queue.empty();
+        });
+        if (stopping_.load()) {
+          batch.assign(std::make_move_iterator(r.queue.begin()),
+                       std::make_move_iterator(r.queue.end()));
+          r.queue.clear();
+          lk.unlock();
+          for (Pending& p : batch) {
+            deliver(shard, p,
+                    reject_hint(p.id, p.request.tenant,
+                                QueryStatus::ShuttingDown, "server stopping",
+                                0.5));
+          }
+          return;
+        }
+        if (r.down.load()) return;  // Killer drains the queue.
+        const std::size_t take =
+            std::min(opts_.coalesce_window, r.queue.size());
+        batch.assign(
+            std::make_move_iterator(r.queue.begin()),
+            std::make_move_iterator(r.queue.begin() +
+                                    static_cast<std::ptrdiff_t>(take)));
+        r.queue.erase(r.queue.begin(),
+                      r.queue.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      {
+        std::lock_guard<std::mutex> solve_lk(r.solve_mutex);
+        r.solving.store(true);
+        process_batch(shard, r, batch);
+        r.solving.store(false);
+      }
+      refresh_state(r);  // After solve_mutex is released (lock order).
+    }
+  }
+
+  void process_batch(Shard& shard, Replica& r, std::vector<Pending>& batch) {
     static const obs::Counter collapsed("mda.serve.collapsed_requests");
     static const obs::Counter solves("mda.serve.solves");
     static const obs::Counter windows("mda.serve.windows");
@@ -567,11 +1162,11 @@ struct Server::Impl {
           now - p.arrival_s > p.request.deadline_s) {
         static const obs::Counter expired("mda.serve.deadline_expired");
         expired.add();
-        release_quota(p);
-        respond(p.conn, QueryResponse::reject(p.id, p.request.tenant,
-                                              QueryStatus::DeadlineExpired,
-                                              "deadline expired in queue"),
-                p.arrival_s);
+        QueryResponse resp = QueryResponse::reject(
+            p.id, p.request.tenant, QueryStatus::DeadlineExpired,
+            "deadline expired in queue");
+        resp.replica = r.index;
+        deliver(shard, p, std::move(resp));
         continue;
       }
       live.push_back(&p);
@@ -611,7 +1206,7 @@ struct Server::Impl {
     const std::size_t width = opts_.solver_batch_width;
     if (width < 2) {
       for (const QueryRequest* req : unique) {
-        outcomes.push_back(solve_with_retries(shard, *req));
+        outcomes.push_back(apply_retries(r, *req, r.acc.try_compute(*req)));
       }
     } else {
       std::vector<QueryRequest> group;
@@ -620,64 +1215,99 @@ struct Server::Impl {
         group.clear();
         for (std::size_t i = begin; i < end; ++i) group.push_back(*unique[i]);
         std::vector<core::ComputeOutcome> got =
-            shard.acc.try_compute_lockstep(group);
+            r.acc.try_compute_lockstep(group);
         for (std::size_t i = 0; i < got.size(); ++i) {
           outcomes.push_back(
-              apply_retries(shard, *unique[begin + i], std::move(got[i])));
+              apply_retries(r, *unique[begin + i], std::move(got[i])));
         }
       }
     }
 
-    // 4. Fan responses out to their sockets.
+    // 4. Fan responses out to their sockets (through the hedge gate).
     for (std::size_t i = 0; i < live.size(); ++i) {
       Pending& p = *live[i];
-      release_quota(p);
-      respond(p.conn,
-              QueryResponse::from(p.id, p.request.tenant,
-                                  outcomes[slot_of[i]]),
-              p.arrival_s);
+      QueryResponse resp =
+          QueryResponse::from(p.id, p.request.tenant, outcomes[slot_of[i]]);
+      resp.replica = r.index;
+      deliver(shard, p, std::move(resp));
     }
   }
 
-  core::ComputeOutcome solve_with_retries(Shard& shard,
-                                          const QueryRequest& req) {
-    return apply_retries(shard, req, shard.acc.try_compute(req));
-  }
-
-  core::ComputeOutcome apply_retries(Shard& shard, const QueryRequest& req,
+  core::ComputeOutcome apply_retries(Replica& r, const QueryRequest& req,
                                      core::ComputeOutcome outcome) {
     // retry_budget was saturated to opts_.max_retry_budget at admission; the
     // stopping_ check keeps a failing-solve retry run from delaying stop().
-    for (std::uint32_t r = 0;
-         r < req.retry_budget && !stopping_.load() && !outcome.ok() &&
+    for (std::uint32_t i = 0;
+         i < req.retry_budget && !stopping_.load() && !outcome.ok() &&
          outcome.error().code == core::ComputeErrorCode::BackendFailure;
-         ++r) {
+         ++i) {
       static const obs::Counter retries("mda.serve.retries");
       retries.add();
       n_solves_.fetch_add(1);
-      outcome = shard.acc.try_compute(req);
+      outcome = r.acc.try_compute(req);
     }
     return outcome;
   }
 
   // ---- responses ----
 
+  /// Single delivery point for solved/rejected queue entries: first-wins
+  /// when a hedge gate exists, quota released exactly once (the primary's
+  /// entry carries it), latency recorded for served Ok responses.  A hedge
+  /// copy never delivers a rejection — its primary still answers.
+  void deliver(Shard& shard, Pending& p, QueryResponse resp) {
+    if (p.is_hedge) {
+      if (!resp.ok() || p.gate->exchange(true)) {
+        hedge_lost();
+        return;
+      }
+      hedge_won();
+      respond(p.conn, resp, p.arrival_s, /*may_block=*/true,
+              p.request.deadline_s);
+      record_latency(shard, now_s() - p.arrival_s);
+      return;
+    }
+    release_quota(p);
+    if (p.gate && p.gate->exchange(true)) return;  // The hedge answered.
+    respond(p.conn, resp, p.arrival_s, /*may_block=*/true,
+            p.request.deadline_s);
+    if (resp.ok()) record_latency(shard, now_s() - p.arrival_s);
+  }
+
+  static QueryResponse reject_hint(std::uint64_t id, std::uint64_t tenant,
+                                   QueryStatus status, std::string message,
+                                   double retry_after_s) {
+    QueryResponse resp =
+        QueryResponse::reject(id, tenant, status, std::move(message));
+    resp.retry_after_s = retry_after_s;
+    return resp;
+  }
+
   /// Encode + write one response.  `may_block` follows the calling thread:
-  /// shard workers may wait (bounded) on a slow reader, the IO thread must
-  /// not (see write_all).  A failed write closes the connection — a peer
-  /// that stopped reading must not occupy a max_connections slot forever.
+  /// shard workers may wait on a slow reader, bounded by min(kWriteBoundS,
+  /// the request's remaining deadline); the IO thread must not (see
+  /// write_all).  A failed write closes the connection — a peer that
+  /// stopped reading must not occupy a max_connections slot forever.
   void respond(const std::shared_ptr<Connection>& conn,
                const QueryResponse& resp, double arrival_s,
-               bool may_block = true) {
+               bool may_block = true, double deadline_s = 0.0) {
     static const obs::Counter responses("mda.serve.responses");
     static const obs::Counter rejects("mda.serve.rejects");
     static const obs::Histogram latency("mda.serve.request_latency_s");
     const std::vector<std::uint8_t> frame = encode_response_frame(resp);
+    double budget_s = 0.0;
+    if (may_block) {
+      budget_s = kWriteBoundS;
+      if (deadline_s > 0.0 && arrival_s > 0.0) {
+        const double remaining = (arrival_s + deadline_s) - now_s();
+        budget_s = remaining <= 0.0 ? 0.0 : std::min(budget_s, remaining);
+      }
+    }
     bool write_failed = false;
     if (conn && conn->alive.load()) {
       std::lock_guard<std::mutex> lk(conn->write_mutex);
       write_failed = !write_all(conn->fd, frame.data(), frame.size(),
-                                may_block);
+                                budget_s);
     }
     if (write_failed) close_connection(conn);
     responses.add();
@@ -698,6 +1328,11 @@ struct Server::Impl {
     s.collapsed = n_collapsed_.load();
     s.solves = n_solves_.load();
     s.shards = n_shards_.load();  // Monotonic: stop() clears the table.
+    s.hedges_launched = n_hedges_launched_.load();
+    s.hedges_won = n_hedges_won_.load();
+    s.failovers = n_failovers_.load();
+    s.scrubs = n_scrubs_.load();
+    s.probes = n_probes_.load();
     return s;
   }
 };
@@ -712,5 +1347,22 @@ bool Server::running() const { return impl_->running_.load(); }
 std::uint16_t Server::port() const { return impl_->bound_port_; }
 const ServeOptions& Server::options() const { return impl_->opts_; }
 ServerStats Server::stats() const { return impl_->stats(); }
+HealthReport Server::health_report() const { return impl_->health_report(); }
+std::size_t Server::force_scrub_scan() {
+  return impl_->scheduler_.force_scan();
+}
+bool Server::kill_replica(std::size_t shard_index, std::uint32_t replica) {
+  return impl_->kill_replica(shard_index, replica);
+}
+bool Server::restart_replica(std::size_t shard_index, std::uint32_t replica) {
+  return impl_->restart_replica(shard_index, replica);
+}
+bool Server::inject_fault_plan(std::size_t shard_index, std::uint32_t replica,
+                               std::shared_ptr<const fault::FaultPlan> plan) {
+  return impl_->inject_fault_plan(shard_index, replica, std::move(plan));
+}
+bool Server::scrub_replica(std::size_t shard_index, std::uint32_t replica) {
+  return impl_->scrub_replica(shard_index, replica);
+}
 
 }  // namespace mda::serve

@@ -1,30 +1,43 @@
 #pragma once
-// `mda serve` (DESIGN.md §13): a sharded multi-tenant streaming query
+// `mda serve` (DESIGN.md §13, §14): a sharded multi-tenant streaming query
 // service over the wire protocol in serve/protocol.hpp.
 //
-// Architecture — one epoll IO thread, one worker thread per active shard:
+// Architecture — one epoll IO thread, one worker thread per shard replica:
 //
-//   IO thread      accept / read / decode / admit / enqueue
-//   shard          (kind, threshold, band, backend-override) -> one
-//                  configured Accelerator + bounded request queue + worker
+//   IO thread      accept / read / decode / admit / route / enqueue
+//   shard          (kind, threshold, band, backend-override) -> replicas
+//   replica        one configured Accelerator + device-health scoreboard +
+//                  bounded request queue + worker
 //   worker         drain up to coalesce_window requests, drop expired
 //                  deadlines, collapse bitwise-identical duplicates, solve
 //                  the unique rest in lockstep groups of solver_batch_width,
 //                  fan responses back out to their sockets
 //
 // Admission control happens before a request ever reaches a worker: a full
-// shard queue (or a shard table at max_shards) answers Overloaded, a tenant
-// over its in-flight quota answers QuotaExceeded, and a request whose
-// relative deadline lapses while queued answers DeadlineExpired at dequeue.
-// Rejected requests cost no analog solve.
+// replica queue (or a shard table at max_shards) answers Overloaded with a
+// retry-after hint, a tenant over its in-flight quota answers QuotaExceeded,
+// and a request whose relative deadline lapses while queued answers
+// DeadlineExpired at dequeue.  Rejected requests cost no analog solve.
+//
+// Self-healing layer (DESIGN.md §14): every replica owns a
+// fault::HealthScoreboard fed by its accelerator's solve-time detectors and
+// periodic probe queries; admission routes around replicas that are
+// Degraded (when a Healthy sibling exists), Scrubbing or Down; a scrub
+// scheduler re-tunes replicas whose expected-error estimate crosses the
+// unhealthy threshold; and with replicas > 1 requests stuck in a queue past
+// the shard's recent latency percentile are hedged to a sibling replica
+// with first-wins cancellation.  All of it is surfaced as
+// mda.serve.health.* / mda.serve.hedge.* metrics and the wire Health frame.
 //
 // Bit-identity contract: a served response's result is bit-identical to
 // Accelerator::try_compute(request) on a fresh accelerator with the same
-// AcceleratorConfig and the shard's DistanceSpec, at any shard/thread count
-// — the worker calls the exact same try_compute_lockstep entry point
-// BatchEngine uses (scalar path at width 1), every solve is deterministic,
-// and duplicate collapse keys on exact payload+knob bit equality, so a
-// fanned-out response equals the response of a dedicated solve.
+// AcceleratorConfig (including the responding replica's fault plan and
+// fault_attempt at solve time — the response carries the replica index) and
+// the shard's DistanceSpec, at any shard/replica/thread count — the worker
+// calls the exact same try_compute_lockstep entry point BatchEngine uses
+// (scalar path at width 1), every solve is deterministic, and duplicate
+// collapse keys on exact payload+knob bit equality, so a fanned-out (or
+// hedged) response equals the response of a dedicated solve.
 
 #include <atomic>
 #include <cstdint>
@@ -32,9 +45,39 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "fault/health.hpp"
 #include "serve/protocol.hpp"
 
+namespace mda::fault {
+class FaultPlan;
+}  // namespace mda::fault
+
 namespace mda::serve {
+
+/// Hedged-request policy (replicas > 1 only).
+struct HedgeOptions {
+  bool enabled = false;
+  /// Hedge a queued request once its age exceeds this percentile of the
+  /// shard's recent served latencies (adaptive; falls back to min_delay_s
+  /// until enough samples exist).
+  double percentile = 0.95;
+  double min_delay_s = 0.002;  ///< Hedge-delay floor / cold-start value.
+  double poll_interval_s = 0.001;  ///< Hedge monitor scan period.
+};
+
+/// Self-healing knobs: scoreboard weights, probe policy, scrub scheduling.
+struct SelfHealOptions {
+  /// Run the background scrub scheduler thread.  Off by default: tests and
+  /// the chaos harness drive deterministic passes via force_scrub_scan().
+  bool auto_scrub = false;
+  double scan_interval_s = 0.05;  ///< Background scan (and probe) period.
+  /// Probe sequence length (the cheap periodic health query, run only when
+  /// a replica is idle); 0 disables probing.
+  std::size_t probe_len = 4;
+  /// Scoreboard weights + the hysteresis thresholds used for routing and
+  /// scrub decisions.
+  fault::HealthConfig health{};
+};
 
 struct ServeOptions {
   std::string host = "127.0.0.1";
@@ -43,12 +86,17 @@ struct ServeOptions {
   std::size_t max_connections = 256;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
-  /// Bounded per-shard queue; a request arriving at a full queue is
-  /// rejected Overloaded (backpressure instead of unbounded memory).
+  /// Bounded per-replica queue; a request arriving when every routable
+  /// replica's queue is full is rejected Overloaded (backpressure instead
+  /// of unbounded memory).
   std::size_t shard_queue_depth = 256;
   /// Shard-table ceiling; a request needing a new shard beyond it is
   /// rejected Overloaded.
   std::size_t max_shards = 16;
+  /// Replicas per shard (DESIGN.md §14).  Each replica owns its own
+  /// accelerator, instance cache and health scoreboard; > 1 enables
+  /// failover and hedging.  Clamped to [1, 255] (the wire replica byte).
+  std::size_t replicas = 1;
   /// Per-tenant in-flight request ceiling (admitted but unanswered);
   /// 0 = unlimited.
   std::size_t tenant_inflight_quota = 0;
@@ -65,9 +113,14 @@ struct ServeOptions {
   /// Collapse bitwise-identical requests within a window into one solve.
   bool collapse_duplicates = true;
 
-  /// Base accelerator build for every shard: array geometry, default
-  /// backend, cache capacity (each shard owns its ArrayCache instance pool),
-  /// fault handling.  Shards differ only in DistanceSpec + backend override.
+  HedgeOptions hedge{};
+  SelfHealOptions selfheal{};
+
+  /// Base accelerator build for every shard replica: array geometry,
+  /// default backend, cache capacity, fault handling.  Replicas differ only
+  /// in their (per-replica) instance cache, scoreboard and injected fault
+  /// plan; a pre-installed array_cache is ignored — every replica must own
+  /// its pool so a scrub invalidation never touches a sibling.
   core::AcceleratorConfig accelerator{};
   /// Spec for requests that do not pin a kind (QueryRequest::kind unset).
   core::DistanceSpec default_spec{};
@@ -82,6 +135,11 @@ struct ServerStats {
   std::uint64_t collapsed = 0;  ///< Requests answered by a duplicate's solve.
   std::uint64_t solves = 0;     ///< Accelerator evaluations submitted.
   std::uint64_t shards = 0;     ///< Shards instantiated (monotonic).
+  std::uint64_t hedges_launched = 0;  ///< Hedge copies enqueued.
+  std::uint64_t hedges_won = 0;       ///< Responses delivered by the hedge.
+  std::uint64_t failovers = 0;  ///< Requests re-homed off a dead replica.
+  std::uint64_t scrubs = 0;     ///< Replica scrub/re-tune actions.
+  std::uint64_t probes = 0;     ///< Health probe queries run.
 };
 
 class Server {
@@ -91,8 +149,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen + spin up the IO thread.  Throws std::runtime_error when
-  /// the socket cannot be bound.
+  /// Bind + listen + spin up the IO thread (plus the scrub scheduler and
+  /// hedge monitor when configured).  Throws std::runtime_error when the
+  /// socket cannot be bound.
   void start();
   /// Drain and join everything; queued-but-unsolved requests are answered
   /// ShuttingDown and the shard table is cleared, so a subsequent start()
@@ -105,6 +164,37 @@ class Server {
   [[nodiscard]] std::uint16_t port() const;
   [[nodiscard]] const ServeOptions& options() const;
   [[nodiscard]] ServerStats stats() const;
+
+  // ---- self-healing surface (DESIGN.md §14) ----
+
+  /// Fleet health snapshot — the same data the wire Health frame carries.
+  /// Shards are indexed in shard-key order; the indices are stable for the
+  /// life of a start()/stop() cycle and are what the chaos controls below
+  /// address.
+  [[nodiscard]] HealthReport health_report() const;
+  /// One synchronous scrub-scheduler pass over every replica (probe +
+  /// threshold check + scrub).  Deterministic alternative to auto_scrub for
+  /// tests and the chaos harness; returns the number of scrubs performed.
+  std::size_t force_scrub_scan();
+
+  // ---- chaos controls (tests + `mda chaos`) ----
+  // All return false when the (shard, replica) address does not exist or
+  // the replica is in the wrong state for the action.
+
+  /// Kill a replica: its worker exits, queued requests fail over to a
+  /// sibling (or are rejected Overloaded when none can take them).
+  bool kill_replica(std::size_t shard_index, std::uint32_t replica);
+  /// Restart a Down replica with a fresh accelerator (same config + fault
+  /// plan — the hardware keeps its faults across a process restart) and a
+  /// reset scoreboard.
+  bool restart_replica(std::size_t shard_index, std::uint32_t replica);
+  /// Swap the replica's fault plan (nullptr = healthy hardware).  Waits for
+  /// the replica's in-flight batch to finish, so no solve straddles plans.
+  bool inject_fault_plan(std::size_t shard_index, std::uint32_t replica,
+                         std::shared_ptr<const fault::FaultPlan> plan);
+  /// Scrub one replica now (drain window, re-tune, re-probe), regardless of
+  /// its score.
+  bool scrub_replica(std::size_t shard_index, std::uint32_t replica);
 
  private:
   struct Impl;

@@ -129,6 +129,7 @@ TEST(ServeProtocol, ResponseRoundTripOk) {
   resp.tenant = 11;
   resp.status = QueryStatus::Ok;
   resp.result = result;
+  resp.replica = 3;  // Serving envelope rides along without affecting bits.
 
   const std::vector<std::uint8_t> frame = serve::encode_response_frame(resp);
   serve::FrameReader reader;
@@ -142,6 +143,8 @@ TEST(ServeProtocol, ResponseRoundTripOk) {
   EXPECT_EQ(decoded->id, 42u);
   EXPECT_EQ(decoded->tenant, 11u);
   EXPECT_TRUE(decoded->ok());
+  EXPECT_EQ(decoded->replica, 3u);
+  EXPECT_EQ(decoded->retry_after_s, 0.0);
   EXPECT_TRUE(core::bitwise_equal(decoded->result, result));
   EXPECT_TRUE(core::bitwise_equal(*decoded, resp));
 }
@@ -152,6 +155,8 @@ TEST(ServeProtocol, ResponseRoundTripError) {
   resp.error_backend = core::Backend::FullSpice;
   resp.error_attempts = 4;
   resp.error_newton_iterations = 77;
+  resp.replica = 1;
+  resp.retry_after_s = 0.25;  // Back-off hint survives the wire.
   const std::vector<std::uint8_t> frame = serve::encode_response_frame(resp);
   serve::FrameReader reader;
   reader.append(frame.data(), frame.size());
@@ -164,6 +169,8 @@ TEST(ServeProtocol, ResponseRoundTripError) {
   EXPECT_EQ(decoded->error_backend, core::Backend::FullSpice);
   EXPECT_EQ(decoded->error_attempts, 4);
   EXPECT_EQ(decoded->error_newton_iterations, 77);
+  EXPECT_EQ(decoded->replica, 1u);
+  EXPECT_EQ(decoded->retry_after_s, 0.25);
   EXPECT_TRUE(core::bitwise_equal(*decoded, resp));
 }
 

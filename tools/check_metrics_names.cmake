@@ -16,8 +16,10 @@ if(NOT DEFINED MDA_SOURCE_DIR)
   message(FATAL_ERROR "check_metrics_names: pass -DMDA_SOURCE_DIR=<repo root>")
 endif()
 
+# <name> may carry one optional sub-namespace segment (health / hedge /
+# scrub groups: mda.serve.health.unhealthy, mda.fault.scrub.runs, ...).
 set(_subsystems "spice|backend|accel|batch|mining|obs|fault|cache|serve")
-set(_name_re "mda\\.(${_subsystems})\\.[a-z][a-z0-9_]*")
+set(_name_re "mda\\.(${_subsystems})\\.[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)?")
 
 file(GLOB_RECURSE _sources
      "${MDA_SOURCE_DIR}/src/*.cpp" "${MDA_SOURCE_DIR}/src/*.hpp"
@@ -76,7 +78,13 @@ set(_required
     "mda.serve.responses"
     "mda.serve.request_latency_s"
     "mda.serve.collapsed_requests"
-    "mda.serve.solves")
+    "mda.serve.solves"
+    "mda.serve.health.unhealthy"
+    "mda.serve.health.failovers"
+    "mda.serve.hedge.launched"
+    "mda.serve.hedge.wins"
+    "mda.fault.scrub.runs"
+    "mda.fault.scrub.duration_s")
 set(_missing "")
 foreach(_name IN LISTS _required)
   list(FIND _seen "${_name}" _found)

@@ -31,6 +31,7 @@
 #include "devices/netlist_export.hpp"
 #include "fault/campaign.hpp"
 #include "obs/snapshot.hpp"
+#include "serve/chaos.hpp"
 #include "serve/server.hpp"
 #include "spice/noise.hpp"
 #include "spice/primitives.hpp"
@@ -427,6 +428,24 @@ int cmd_serve(int argc, char** argv) {
   opts.max_retry_budget = static_cast<std::uint32_t>(
       flag_num(argc, argv, "max-retries", opts.max_retry_budget));
   opts.collapse_duplicates = flag_num(argc, argv, "collapse", 1) != 0;
+  opts.replicas = static_cast<std::size_t>(flag_num(argc, argv, "replicas", 1));
+  opts.hedge.enabled =
+      flag_num(argc, argv, "hedge", opts.replicas > 1 ? 1 : 0) != 0;
+  opts.hedge.percentile =
+      flag_num(argc, argv, "hedge-percentile", opts.hedge.percentile);
+  opts.hedge.min_delay_s =
+      flag_num(argc, argv, "hedge-delay", opts.hedge.min_delay_s);
+  opts.selfheal.auto_scrub = flag_num(argc, argv, "auto-scrub", 1) != 0;
+  opts.selfheal.scan_interval_s =
+      flag_num(argc, argv, "scrub-interval", opts.selfheal.scan_interval_s);
+  opts.selfheal.probe_len = static_cast<std::size_t>(
+      flag_num(argc, argv, "probe-len",
+               static_cast<double>(opts.selfheal.probe_len)));
+  opts.selfheal.health.unhealthy_threshold =
+      flag_num(argc, argv, "unhealthy",
+               opts.selfheal.health.unhealthy_threshold);
+  opts.selfheal.health.healthy_threshold = flag_num(
+      argc, argv, "healthy", opts.selfheal.health.healthy_threshold);
   if (const auto kind_name = flag_str(argc, argv, "kind")) {
     opts.default_spec.kind = dist::kind_from_name(*kind_name);
     opts.default_spec.threshold = flag_num(argc, argv, "threshold", 0.0);
@@ -437,11 +456,13 @@ int cmd_serve(int argc, char** argv) {
   serve::Server server(opts);
   server.start();
   std::printf("mda serve listening on %s:%u (width=%zu window=%zu "
-              "queue-depth=%zu quota=%zu collapse=%d)\n",
+              "queue-depth=%zu quota=%zu collapse=%d replicas=%zu hedge=%d "
+              "auto-scrub=%d)\n",
               opts.host.c_str(), static_cast<unsigned>(server.port()),
               opts.solver_batch_width, opts.coalesce_window,
               opts.shard_queue_depth, opts.tenant_inflight_quota,
-              opts.collapse_duplicates ? 1 : 0);
+              opts.collapse_duplicates ? 1 : 0, opts.replicas,
+              opts.hedge.enabled ? 1 : 0, opts.selfheal.auto_scrub ? 1 : 0);
   std::fflush(stdout);
 
   std::signal(SIGINT, serve_signal_handler);
@@ -452,20 +473,87 @@ int cmd_serve(int argc, char** argv) {
   server.stop();
   const serve::ServerStats stats = server.stats();
   std::printf("\nserved %llu requests (%llu responses, %llu rejected, "
-              "%llu collapsed, %llu solves) on %llu shards\n",
+              "%llu collapsed, %llu solves) on %llu shards; self-heal: "
+              "%llu scrubs, %llu probes, %llu hedges (%llu won), "
+              "%llu failovers\n",
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.responses),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.collapsed),
               static_cast<unsigned long long>(stats.solves),
-              static_cast<unsigned long long>(stats.shards));
+              static_cast<unsigned long long>(stats.shards),
+              static_cast<unsigned long long>(stats.scrubs),
+              static_cast<unsigned long long>(stats.probes),
+              static_cast<unsigned long long>(stats.hedges_launched),
+              static_cast<unsigned long long>(stats.hedges_won),
+              static_cast<unsigned long long>(stats.failovers));
   return 0;
+}
+
+int cmd_chaos(int argc, char** argv) {
+  serve::ChaosOptions opts;
+  opts.seed = static_cast<std::uint64_t>(
+      flag_num(argc, argv, "seed", static_cast<double>(opts.seed)));
+  opts.phases = static_cast<std::size_t>(
+      flag_num(argc, argv, "phases", static_cast<double>(opts.phases)));
+  opts.queries_per_phase = static_cast<std::size_t>(flag_num(
+      argc, argv, "queries", static_cast<double>(opts.queries_per_phase)));
+  opts.clients = static_cast<std::size_t>(
+      flag_num(argc, argv, "clients", static_cast<double>(opts.clients)));
+  opts.replicas = static_cast<std::size_t>(
+      flag_num(argc, argv, "replicas", static_cast<double>(opts.replicas)));
+  opts.pairs = static_cast<std::size_t>(
+      flag_num(argc, argv, "pairs", static_cast<double>(opts.pairs)));
+  opts.length = static_cast<std::size_t>(
+      flag_num(argc, argv, "length", static_cast<double>(opts.length)));
+  const auto backend = parse_backend(argc, argv);
+  if (!backend) return 1;
+  opts.backend = *backend;
+  opts.drift_cell_rate =
+      flag_num(argc, argv, "drift-cells", opts.drift_cell_rate);
+  opts.stuck_cell_rate =
+      flag_num(argc, argv, "stuck-cells", opts.stuck_cell_rate);
+  opts.slow_loris = flag_num(argc, argv, "loris", 1) != 0;
+  opts.recovery_deadline_s =
+      flag_num(argc, argv, "recovery-deadline", opts.recovery_deadline_s);
+  opts.verbose = flag_num(argc, argv, "verbose", 1) != 0;
+
+  const serve::ChaosReport rep = serve::run_chaos(opts);
+  std::printf(
+      "chaos soak: %llu queries over %zu phases (replicas=%zu)\n"
+      "  ok=%llu rejected=%llu lost=%llu wrong=%llu\n"
+      "  availability=%.4f (worst phase %.4f)\n"
+      "  events: %llu injections, %llu kills, %llu restarts, %llu scrubs\n"
+      "  hedges: %llu launched, %llu won; failovers=%llu; "
+      "client reconnects=%llu\n"
+      "  expected-error: worst=%.4f post-scrub=%.4f (healed=%s)\n"
+      "  recovery: %s (worst %.3fs)\n",
+      static_cast<unsigned long long>(rep.queries), opts.phases,
+      opts.replicas, static_cast<unsigned long long>(rep.ok),
+      static_cast<unsigned long long>(rep.rejected),
+      static_cast<unsigned long long>(rep.lost),
+      static_cast<unsigned long long>(rep.wrong), rep.availability,
+      rep.min_phase_availability,
+      static_cast<unsigned long long>(rep.injections),
+      static_cast<unsigned long long>(rep.kills),
+      static_cast<unsigned long long>(rep.restarts),
+      static_cast<unsigned long long>(rep.scrubs),
+      static_cast<unsigned long long>(rep.hedges_launched),
+      static_cast<unsigned long long>(rep.hedges_won),
+      static_cast<unsigned long long>(rep.failovers),
+      static_cast<unsigned long long>(rep.client_reconnects),
+      rep.worst_expected_error, rep.post_scrub_expected_error,
+      rep.scrub_healed ? "yes" : "NO", rep.recovered ? "ok" : "MISSED",
+      rep.worst_recovery_s);
+  // The hard invariant: a wrong answer (served != direct bit-identity) is a
+  // correctness failure, not degraded service.
+  return rep.zero_wrong() ? 0 : 2;
 }
 
 void usage() {
   std::fprintf(stderr,
                "usage: mda "
-               "<compute|batch|serve|faults|info|export|calibrate|noise>"
+               "<compute|batch|serve|chaos|faults|info|export|calibrate|noise>"
                " [flags]\n"
                "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
                "            [--backend=behavioral|wavefront|fullspice]\n"
@@ -482,7 +570,19 @@ void usage() {
                "            [--max-retries=8 per-request retry ceiling]\n"
                "            [--collapse=0|1] [--cache=N] [--kind=... default "
                "spec]\n"
+               "            self-heal: [--replicas=1] [--hedge=0|1]\n"
+               "            [--hedge-percentile=0.95] [--hedge-delay=0.002]\n"
+               "            [--auto-scrub=0|1] [--scrub-interval=0.05]\n"
+               "            [--probe-len=4] [--unhealthy=0.08] "
+               "[--healthy=0.02]\n"
                "            streaming query service (Ctrl-C to stop)\n"
+               "  chaos     [--seed=S] [--phases=8] [--queries=36]\n"
+               "            [--clients=2] [--replicas=2] [--pairs=10]\n"
+               "            [--length=4] [--backend=...] [--drift-cells=0.35]\n"
+               "            [--stuck-cells=0.15] [--loris=0|1]\n"
+               "            [--recovery-deadline=5] [--verbose=0|1]\n"
+               "            seeded self-healing soak; exit 2 on any wrong "
+               "answer\n"
                "  faults    [--kind=dtw] [--backend=...] [--queries=32]\n"
                "            [--length=8] [--seed=42] [--threads=1]\n"
                "            fault rates: [--stuck=R] [--drift=R] [--cell=R]\n"
@@ -514,6 +614,7 @@ int main(int argc, char** argv) {
     if (cmd == "compute") rc = cmd_compute(argc, argv);
     else if (cmd == "batch") rc = cmd_batch(argc, argv);
     else if (cmd == "serve") rc = cmd_serve(argc, argv);
+    else if (cmd == "chaos") rc = cmd_chaos(argc, argv);
     else if (cmd == "faults") rc = cmd_faults(argc, argv);
     else if (cmd == "info") rc = cmd_info(argc, argv);
     else if (cmd == "export") rc = cmd_export(argc, argv);
