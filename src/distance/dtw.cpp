@@ -43,6 +43,13 @@ double dtw(std::span<const double> p, std::span<const double> q,
           params.w(i - 1, j - 1, n) * std::abs(p[i - 1] - q[j - 1]);
       cur[j] = cost + best;
     }
+    if (params.abandon_above < kInf) {
+      // Early abandon (admissible; see DistanceParams::abandon_above): the
+      // row minimum lower-bounds every path through this row.
+      double row_min = kInf;
+      for (std::size_t j = 1; j <= n; ++j) row_min = std::min(row_min, cur[j]);
+      if (row_min > params.abandon_above) return kInf;
+    }
     std::swap(prev, cur);
   }
   return prev[n];

@@ -6,6 +6,7 @@
 // All weights default to 1, matching the paper's evaluation setup.
 
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,14 @@ struct DistanceParams {
 
   /// Optional per-element weights w_i (length = series length).  Owned.
   std::optional<std::vector<double>> elem_weights;
+
+  /// Early-abandon cutoff for DTW (matrix-profile front end, DESIGN.md §15):
+  /// when finite, dtw() returns +inf as soon as the minimum of a completed
+  /// DP row exceeds this value.  Admissible — every warping path passes
+  /// through every row, so a row minimum above the cutoff proves the final
+  /// distance exceeds it.  The default (+inf) never triggers and leaves
+  /// results bit-identical to the unconditional computation.
+  double abandon_above = std::numeric_limits<double>::infinity();
 
   [[nodiscard]] double w(std::size_t i, std::size_t j, std::size_t cols) const {
     return pair_weights ? (*pair_weights)[i * cols + j] : 1.0;

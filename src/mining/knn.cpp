@@ -39,6 +39,7 @@ int KnnClassifier::vote(std::span<const double> query,
   struct Scored {
     double score;
     int label;
+    std::size_t index;  ///< Training index — the deterministic tie-break.
   };
   std::vector<std::size_t> idx;
   idx.reserve(train_.size());
@@ -51,14 +52,24 @@ int KnnClassifier::vote(std::span<const double> query,
   evals.add(static_cast<std::uint64_t>(idx.size()));
   core::run_indexed(cfg_.engine, idx.size(), [&](std::size_t k) {
     const auto& item = train_.items[idx[k]];
-    scored[k] = {fn_(query, item.values), item.label};
+    scored[k] = {fn_(query, item.values), item.label, idx[k]};
   });
   const std::size_t k = std::min(cfg_.k, scored.size());
+  // Equal-distance neighbours are the norm for quantized/integer-valued
+  // distances (LCS/EdD/HamD counts); without a secondary key the k-boundary
+  // would be cut by unstable-sort internals and the prediction could differ
+  // across stdlib implementations.  Ties go to the lowest training index.
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
                     scored.end(), [&](const Scored& a, const Scored& b) {
-                      return cfg_.similarity ? a.score > b.score
-                                             : a.score < b.score;
+                      if (a.score != b.score) {
+                        return cfg_.similarity ? a.score > b.score
+                                               : a.score < b.score;
+                      }
+                      return a.index < b.index;
                     });
+  // std::map iterates labels in ascending order, so with a strict `>` the
+  // winner of a vote tie is the LOWEST tied label — deterministic and
+  // independent of neighbour order.
   std::map<int, std::size_t> votes;
   for (std::size_t i = 0; i < k; ++i) ++votes[scored[i].label];
   int best_label = scored[0].label;

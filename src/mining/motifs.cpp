@@ -87,8 +87,13 @@ std::vector<Discord> find_discords(const data::Series& series,
     }
     all[i] = {starts[i], nn};
   });
+  // Equal-NN-distance discords are the norm on degenerate inputs (constant
+  // windows z-normalise to all-zeros, so every pair is at distance 0); a
+  // position tie-break keeps the ranking — and therefore the top-k set
+  // itself — independent of std::sort internals and input order.
   std::sort(all.begin(), all.end(), [](const Discord& a, const Discord& b) {
-    return a.nn_distance > b.nn_distance;
+    if (a.nn_distance != b.nn_distance) return a.nn_distance > b.nn_distance;
+    return a.position < b.position;
   });
   // Keep the top k, enforcing mutual non-overlap.
   std::vector<Discord> top;

@@ -16,7 +16,10 @@ SearchResult dtw_subsequence_search(std::span<const double> haystack,
                                     std::span<const double> needle,
                                     SearchConfig cfg) {
   const std::size_t m = needle.size();
-  if (m == 0 || haystack.size() < m) {
+  if (m == 0) {
+    throw std::invalid_argument("search: needle must be non-empty");
+  }
+  if (haystack.size() < m) {
     throw std::invalid_argument("search: needle longer than haystack");
   }
   const data::Series query =

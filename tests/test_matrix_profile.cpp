@@ -1,0 +1,267 @@
+// Matrix-profile engine contracts (DESIGN.md §15): planted-structure
+// recovery, cascade neutrality, thread-count bit-identity, streaming ≡
+// batch, accelerator-backed joins through the unified QueryRequest path,
+// and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/accelerator.hpp"
+#include "core/batch_engine.hpp"
+#include "data/synthetic.hpp"
+#include "distance/registry.hpp"
+#include "mining/matrix_profile.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::mining;
+
+data::Series noisy_series(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Series s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = std::sin(0.2 * static_cast<double>(i)) + rng.normal(0.0, 0.3);
+  }
+  return s;
+}
+
+/// Noisy series with a near-duplicate window planted at `a` and `b`.
+data::Series with_planted_motif(std::size_t n, std::size_t window,
+                                std::size_t a, std::size_t b,
+                                std::uint64_t seed) {
+  data::Series s = noisy_series(n, seed);
+  util::Rng rng(seed + 1);
+  for (std::size_t i = 0; i < window; ++i) {
+    s[b + i] = s[a + i] + rng.normal(0.0, 0.005);
+  }
+  return s;
+}
+
+void expect_same(const ProfileResult& x, const ProfileResult& y) {
+  ASSERT_EQ(x.profile.size(), y.profile.size());
+  EXPECT_EQ(x.starts, y.starts);
+  EXPECT_EQ(x.neighbor, y.neighbor);
+  EXPECT_EQ(0, std::memcmp(x.profile.data(), y.profile.data(),
+                           x.profile.size() * sizeof(double)));
+}
+
+TEST(MatrixProfile, FindsPlantedMotif) {
+  const data::Series s = with_planted_motif(200, 16, 30, 150, 3);
+  ProfileConfig cfg;
+  cfg.window = 16;
+  const ProfileResult r = matrix_profile(s, cfg);
+  EXPECT_EQ(r.profile.size(), s.size() - cfg.window + 1);
+  EXPECT_EQ(r.exclusion, cfg.window);
+  const MotifResult m = profile_motif(r);
+  EXPECT_EQ(m.first, 30u);
+  EXPECT_EQ(m.second, 150u);
+  // The planted rows must point at each other.
+  EXPECT_EQ(r.neighbor[30], 150u);
+  EXPECT_EQ(r.neighbor[150], 30u);
+}
+
+TEST(MatrixProfile, CascadeAndAbandonDoNotChangeTheAnswer) {
+  const data::Series s = with_planted_motif(160, 12, 20, 120, 5);
+  ProfileConfig cfg;
+  cfg.window = 12;
+  cfg.use_lower_bounds = false;
+  cfg.early_abandon = false;
+  const ProfileResult plain = matrix_profile(s, cfg);
+  cfg.use_lower_bounds = true;
+  cfg.early_abandon = true;
+  const ProfileResult cascaded = matrix_profile(s, cfg);
+  expect_same(plain, cascaded);
+  // The cascade must actually fire on this input, not match vacuously.
+  EXPECT_GT(cascaded.stats.pruned_lb_kim + cascaded.stats.pruned_lb_keogh +
+                cascaded.stats.abandoned,
+            0u);
+  EXPECT_LT(cascaded.stats.evaluated, plain.stats.evaluated);
+}
+
+TEST(MatrixProfile, BitIdenticalAcrossThreadCounts) {
+  const data::Series s = with_planted_motif(180, 12, 25, 130, 7);
+  for (const dist::DistanceKind kind :
+       {dist::DistanceKind::Dtw, dist::DistanceKind::Hausdorff,
+        dist::DistanceKind::Lcs}) {
+    ProfileConfig cfg;
+    cfg.window = 12;
+    cfg.kind = kind;
+    cfg.params.threshold = 0.25;
+    const ProfileResult serial = matrix_profile(s, cfg);
+    ProfileResult first_engine;
+    bool have_first = false;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      core::BatchOptions opts;
+      opts.num_threads = threads;
+      const core::BatchEngine engine(opts);
+      cfg.engine = &engine;
+      const ProfileResult r = matrix_profile(s, cfg);
+      expect_same(serial, r);
+      if (!have_first) {
+        first_engine = r;
+        have_first = true;
+      } else {
+        // Engine runs share the block structure, so even the cascade
+        // statistics are thread-count invariant.
+        EXPECT_EQ(first_engine.stats.pruned_lb_kim, r.stats.pruned_lb_kim);
+        EXPECT_EQ(first_engine.stats.pruned_lb_keogh,
+                  r.stats.pruned_lb_keogh);
+        EXPECT_EQ(first_engine.stats.abandoned, r.stats.abandoned);
+        EXPECT_EQ(first_engine.stats.evaluated, r.stats.evaluated);
+      }
+    }
+    cfg.engine = nullptr;
+  }
+}
+
+TEST(MatrixProfile, StreamingEqualsBatchBitwise) {
+  const data::Series s = with_planted_motif(150, 10, 20, 110, 11);
+  for (const dist::DistanceKind kind :
+       {dist::DistanceKind::Dtw, dist::DistanceKind::Hausdorff}) {
+    ProfileConfig cfg;
+    cfg.window = 10;
+    cfg.kind = kind;
+    const ProfileResult batch = matrix_profile(s, cfg);
+    StreamingProfile stream(cfg);
+    for (const double v : s) stream.append(v);
+    expect_same(batch, stream.profile());
+    EXPECT_EQ(stream.offset(), 0u);
+  }
+}
+
+TEST(MatrixProfile, StreamingEvictionEqualsBatchOnRetainedSeries) {
+  const data::Series s = noisy_series(220, 13);
+  ProfileConfig cfg;
+  cfg.window = 10;
+  cfg.stream_capacity = 128;
+  StreamingProfile stream(cfg);
+  stream.append(s);
+  EXPECT_EQ(stream.series().size(), 128u);
+  EXPECT_EQ(stream.offset(), s.size() - 128);
+  // After evictions (and nearest-neighbour rebuilds) the retained profile
+  // still equals a from-scratch batch run on the retained points.
+  expect_same(matrix_profile(stream.series(), cfg), stream.profile());
+}
+
+TEST(MatrixProfile, AcceleratorBackedViaQueryRequestPath) {
+  const data::Series s = with_planted_motif(96, 8, 12, 70, 17);
+  core::DistanceSpec spec;
+  spec.kind = dist::DistanceKind::Dtw;
+  spec.band = 3;
+  core::Accelerator acc;
+  acc.configure(spec, core::Backend::Behavioral);
+  ProfileConfig cfg;
+  cfg.window = 8;
+  cfg.kind = spec.kind;
+  cfg.params.band = spec.band;
+  cfg.accelerator = &acc;
+  cfg.lb_margin = 1.5;
+  const ProfileResult serial = matrix_profile(s, cfg);
+  EXPECT_EQ(profile_motif(serial).first, 12u);
+  for (const std::size_t threads : {2u, 8u}) {
+    core::BatchOptions opts;
+    opts.num_threads = threads;
+    const core::BatchEngine engine(opts);
+    cfg.engine = &engine;
+    expect_same(serial, matrix_profile(s, cfg));
+  }
+}
+
+TEST(MatrixProfile, AbJoinMatchesPlantedCopy) {
+  const data::Series a = noisy_series(80, 19);
+  data::Series b = noisy_series(60, 23);
+  // Plant a's window 10 into b at 40.
+  for (std::size_t i = 0; i < 12; ++i) b[40 + i] = a[10 + i];
+  ProfileConfig cfg;
+  cfg.window = 12;
+  const ProfileResult r = matrix_profile_join(a, b, cfg);
+  EXPECT_EQ(r.exclusion, 0u);
+  EXPECT_EQ(r.profile.size(), a.size() - cfg.window + 1);
+  EXPECT_EQ(r.neighbor[10], 40u);
+  EXPECT_EQ(r.profile[10], 0.0);
+}
+
+TEST(MatrixProfile, ConstantSeriesTiesBreakToLowestIndex) {
+  // Every window z-normalises to all zeros: every admissible pair is an
+  // exact tie, so each row's neighbour must be its lowest admissible index.
+  const data::Series s(40, 3.5);
+  ProfileConfig cfg;
+  cfg.window = 8;
+  const ProfileResult r = matrix_profile(s, cfg);
+  for (std::size_t i = 0; i < r.profile.size(); ++i) {
+    const std::size_t expect = i >= cfg.window ? 0 : i + cfg.window;
+    EXPECT_EQ(r.neighbor[i], expect) << "row " << i;
+    EXPECT_EQ(r.profile[i], 0.0);
+  }
+  // Discord ties also resolve by position: ascending, exclusion apart.
+  const std::vector<Discord> d = profile_discords(r, 3);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].position, 0u);
+  EXPECT_EQ(d[1].position, 8u);
+  EXPECT_EQ(d[2].position, 16u);
+}
+
+TEST(MatrixProfile, DegenerateInputsThrow) {
+  ProfileConfig cfg;
+  cfg.window = 0;
+  EXPECT_THROW(matrix_profile({1.0, 2.0, 3.0}, cfg), std::invalid_argument);
+  cfg.window = 8;
+  EXPECT_THROW(matrix_profile({1.0, 2.0, 3.0}, cfg), std::invalid_argument);
+  cfg.lb_margin = 0.5;
+  EXPECT_THROW(matrix_profile(data::Series(32, 1.0), cfg),
+               std::invalid_argument);
+  cfg.lb_margin = 1.0;
+  cfg.stream_capacity = 4;  // < window
+  EXPECT_THROW(StreamingProfile{cfg}, std::invalid_argument);
+  // A window with no admissible neighbour (series shorter than window +
+  // exclusion) yields an empty profile for motif purposes.
+  cfg.stream_capacity = 0;
+  const ProfileResult r = matrix_profile(data::Series(10, 1.0), cfg);
+  EXPECT_EQ(r.neighbor[0], kNoNeighbor);
+  EXPECT_THROW(profile_motif(r), std::invalid_argument);
+  EXPECT_TRUE(profile_discords(r, 2).empty());
+}
+
+TEST(MatrixProfile, SimilarityKernelInvertsPolarity) {
+  const data::Series s = with_planted_motif(120, 10, 15, 90, 29);
+  ProfileConfig cfg;
+  cfg.window = 10;
+  cfg.kind = dist::DistanceKind::Lcs;
+  // Tight threshold: only the planted near-copy aligns its full length.
+  cfg.params.threshold = 0.05;
+  const ProfileResult r = matrix_profile(s, cfg);
+  ASSERT_TRUE(r.similarity);
+  // The planted near-copy has the LARGEST match count of all pairs.
+  const MotifResult m = profile_motif(r);
+  EXPECT_EQ(m.first, 15u);
+  EXPECT_EQ(m.second, 90u);
+  // Discords rank by SMALLEST similarity first.
+  const std::vector<Discord> d = profile_discords(r, 2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_LE(d[0].nn_distance, d[1].nn_distance);
+}
+
+TEST(MatrixProfile, CustomCallableKernel) {
+  const data::Series s = noisy_series(60, 31);
+  ProfileConfig cfg;
+  cfg.window = 6;
+  cfg.znormalize = false;
+  std::size_t calls = 0;
+  cfg.fn = [&calls](std::span<const double> p, std::span<const double> q) {
+    ++calls;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      acc += (p[i] - q[i]) * (p[i] - q[i]);
+    }
+    return acc;
+  };
+  const ProfileResult r = matrix_profile(s, cfg);
+  EXPECT_EQ(calls, r.stats.evaluated);
+  EXPECT_EQ(r.stats.pruned_lb_kim + r.stats.pruned_lb_keogh, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Deterministic tie-breaking across src/mining: the quantized counting
+// distances (LCS/EdD/HamD) and degenerate inputs (constant windows
+// z-normalise to all-zeros) make exact distance ties the NORM, not a corner
+// case.  These tests pin the documented rules — kNN neighbour ties go to
+// the lowest training index, vote ties to the lowest label, discord ties to
+// the lowest position — bitwise, across thread counts and input
+// permutations, so results can never drift with stdlib sort internals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/batch_engine.hpp"
+#include "mining/knn.hpp"
+#include "mining/matrix_profile.hpp"
+#include "mining/motifs.hpp"
+#include "mining/subsequence_search.hpp"
+
+namespace {
+
+using namespace mda;
+using namespace mda::mining;
+
+DistanceFn euclidean() {
+  return [](std::span<const double> a, std::span<const double> b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return acc;
+  };
+}
+
+TEST(MiningDeterminism, KnnVoteTieGoesToLowestLabel) {
+  // Two training series exactly equidistant from the query, labels {2, 1}:
+  // a 1-1 vote that must resolve to label 1 regardless of training order.
+  const data::Series query = {0.0, 0.0, 0.0, 0.0};
+  data::Dataset forward;
+  forward.items.push_back({2, {1.0, 0.0, 0.0, 0.0}});
+  forward.items.push_back({1, {0.0, 0.0, 0.0, 1.0}});
+  data::Dataset reversed;
+  reversed.items.push_back({1, {0.0, 0.0, 0.0, 1.0}});
+  reversed.items.push_back({2, {1.0, 0.0, 0.0, 0.0}});
+
+  KnnConfig cfg;
+  cfg.k = 2;
+  for (const data::Dataset& train : {forward, reversed}) {
+    KnnClassifier knn(euclidean(), cfg);
+    knn.fit(train);
+    EXPECT_EQ(knn.predict(query), 1);
+  }
+}
+
+TEST(MiningDeterminism, KnnBoundaryTieGoesToLowestTrainingIndex) {
+  // Three identical training series: every distance ties, so the k=2 cut
+  // must keep training indices {0, 1} — pinned via the vote outcome (labels
+  // 3 and 3 vs 9: index rule keeps {3, 3}, any other cut elects 9 or ties).
+  data::Dataset train;
+  train.items.push_back({3, {1.0, 2.0, 3.0}});
+  train.items.push_back({3, {1.0, 2.0, 3.0}});
+  train.items.push_back({9, {1.0, 2.0, 3.0}});
+  KnnConfig cfg;
+  cfg.k = 2;
+  KnnClassifier knn(euclidean(), cfg);
+  knn.fit(train);
+  const data::Series probe = {1.0, 2.0, 3.0};
+  EXPECT_EQ(knn.predict(probe), 3);
+}
+
+TEST(MiningDeterminism, KnnConstantInputAcrossThreadCounts) {
+  // Constant series: every distance is exactly 0 through any kernel.  The
+  // prediction must be bit-stable across thread counts {1, 2, 8}.
+  data::Dataset train;
+  for (int i = 0; i < 8; ++i) {
+    train.items.push_back({7 - i % 3, data::Series(16, 2.0)});
+  }
+  const data::Series query(16, 2.0);
+  int serial_prediction = 0;
+  for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+    KnnConfig cfg;
+    cfg.k = 5;
+    core::BatchOptions opts;
+    opts.num_threads = threads == 0 ? 1 : threads;
+    const core::BatchEngine engine(opts);
+    if (threads > 0) cfg.engine = &engine;
+    KnnClassifier knn(euclidean(), cfg);
+    knn.fit(train);
+    const int p = knn.predict(query);
+    if (threads == 0) {
+      serial_prediction = p;
+      // Ties everywhere -> k keeps indices 0..4 (labels 7,6,5,7,6); the
+      // 2-2 vote between 7 and 6 resolves to the lowest label, 6.
+      EXPECT_EQ(p, 6);
+    } else {
+      EXPECT_EQ(p, serial_prediction);
+    }
+  }
+}
+
+TEST(MiningDeterminism, DiscordTiesRankByPosition) {
+  // Constant series: all windows z-normalise to zeros, every
+  // nearest-neighbour distance is exactly 0.  The top-k set and order must
+  // be position-ascending, exclusion apart — independent of sort internals.
+  const data::Series s(48, 5.0);
+  MotifConfig cfg;
+  cfg.window = 8;
+  const std::vector<Discord> d = find_discords(s, euclidean(), 3, cfg);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].position, 0u);
+  EXPECT_EQ(d[1].position, 8u);
+  EXPECT_EQ(d[2].position, 16u);
+  for (const Discord& x : d) EXPECT_EQ(x.nn_distance, 0.0);
+
+  // Identical result through the batch engine at several thread counts.
+  for (const std::size_t threads : {2u, 8u}) {
+    core::BatchOptions opts;
+    opts.num_threads = threads;
+    const core::BatchEngine engine(opts);
+    MotifConfig ecfg = cfg;
+    ecfg.engine = &engine;
+    const std::vector<Discord> e = find_discords(s, euclidean(), 3, ecfg);
+    ASSERT_EQ(e.size(), d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(e[i].position, d[i].position);
+      EXPECT_EQ(e[i].nn_distance, d[i].nn_distance);
+    }
+  }
+}
+
+TEST(MiningDeterminism, MotifOnConstantSeriesIsFirstAdmissiblePair) {
+  // All pairs tie at 0; the fixed enumeration order + strict `<` keep the
+  // first admissible pair (0, exclusion).
+  const data::Series s(40, -1.5);
+  MotifConfig cfg;
+  cfg.window = 8;
+  const MotifResult m = find_motif(s, euclidean(), cfg);
+  EXPECT_EQ(m.first, 0u);
+  EXPECT_EQ(m.second, 8u);
+  EXPECT_EQ(m.distance, 0.0);
+}
+
+TEST(MiningDeterminism, SearchOnConstantSeriesPicksFirstWindow) {
+  // Constant haystack and needle: every window is at distance 0; strict
+  // improvement keeps the first.
+  const data::Series haystack(32, 4.0);
+  const data::Series needle(8, 4.0);
+  const SearchResult r = dtw_subsequence_search(haystack, needle);
+  EXPECT_EQ(r.position, 0u);
+  EXPECT_EQ(r.distance, 0.0);
+}
+
+TEST(MiningDeterminism, SearchEmptyNeedleErrorIsDistinct) {
+  const data::Series haystack(16, 1.0);
+  try {
+    dtw_subsequence_search(haystack, {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "search: needle must be non-empty");
+  }
+  try {
+    dtw_subsequence_search(data::Series(4, 1.0), data::Series(8, 1.0));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "search: needle longer than haystack");
+  }
+}
+
+TEST(MiningDeterminism, ProfileOnConstantSeriesAcrossThreadCounts) {
+  // Constant series through the matrix profile: all-zero z-normalised
+  // windows tie everywhere; every row's neighbour must be its lowest
+  // admissible index at every thread count, bitwise.
+  const data::Series s(56, 9.0);
+  ProfileConfig cfg;
+  cfg.window = 8;
+  const ProfileResult serial = matrix_profile(s, cfg);
+  for (std::size_t i = 0; i < serial.profile.size(); ++i) {
+    EXPECT_EQ(serial.neighbor[i], i >= 8 ? 0 : i + 8) << "row " << i;
+    EXPECT_EQ(serial.profile[i], 0.0);
+  }
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    core::BatchOptions opts;
+    opts.num_threads = threads;
+    const core::BatchEngine engine(opts);
+    ProfileConfig ecfg = cfg;
+    ecfg.engine = &engine;
+    const ProfileResult r = matrix_profile(s, ecfg);
+    EXPECT_EQ(r.neighbor, serial.neighbor);
+    EXPECT_EQ(r.profile, serial.profile);
+  }
+  // And through the streaming engine, bit for bit.
+  StreamingProfile stream(cfg);
+  stream.append(s);
+  EXPECT_EQ(stream.profile().neighbor, serial.neighbor);
+  EXPECT_EQ(stream.profile().profile, serial.profile);
+}
+
+}  // namespace

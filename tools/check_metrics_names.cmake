@@ -84,7 +84,14 @@ set(_required
     "mda.serve.hedge.launched"
     "mda.serve.hedge.wins"
     "mda.fault.scrub.runs"
-    "mda.fault.scrub.duration_s")
+    "mda.fault.scrub.duration_s"
+    "mda.mining.profile.pairs"
+    "mda.mining.profile.pruned_lb_kim"
+    "mda.mining.profile.pruned_lb_keogh"
+    "mda.mining.profile.abandoned"
+    "mda.mining.profile.evaluated"
+    "mda.mining.profile.runs"
+    "mda.mining.profile.appends")
 set(_missing "")
 foreach(_name IN LISTS _required)
   list(FIND _seen "${_name}" _found)

@@ -8,6 +8,8 @@
 //   mda export --kind=md --n=4                  netlist deck to stdout
 //   mda calibrate                               timing model via full SPICE
 //   mda noise [--gbw=50e9]                      abs-block noise summary
+//   mda profile [--file=series.csv] [--window=32] [--k=3] [--accel=1]
+//               matrix profile -> motif + top-k discords (DESIGN.md §15)
 //
 // Every command accepts --metrics (append the metrics table to stdout) or
 // --metrics=out.json (write the snapshot as JSON).
@@ -29,7 +31,9 @@
 #include "core/array_builder.hpp"
 #include "core/batch_engine.hpp"
 #include "devices/netlist_export.hpp"
+#include "data/synthetic.hpp"
 #include "fault/campaign.hpp"
+#include "mining/matrix_profile.hpp"
 #include "obs/snapshot.hpp"
 #include "serve/chaos.hpp"
 #include "serve/server.hpp"
@@ -336,6 +340,123 @@ int cmd_noise(int argc, char** argv) {
   return 0;
 }
 
+int cmd_profile(int argc, char** argv) {
+  // Input: an explicit series, or the synthetic ECG demo (normal rhythm
+  // with an anomalous spliced segment, so the top discord is interesting).
+  std::vector<double> series;
+  if (const auto s = load_series(argc, argv, "series", "file")) {
+    series = *s;
+  } else {
+    const auto n = static_cast<std::size_t>(flag_num(argc, argv, "n", 512));
+    const auto seed =
+        static_cast<std::uint64_t>(flag_num(argc, argv, "seed", 42));
+    series = data::make_ecg(n, 1.2, false, seed);
+    const data::Series bad = data::make_ecg(n, 1.2, true, seed + 1);
+    const std::size_t len = std::min(series.size() / 8, bad.size());
+    const std::size_t at = series.size() / 2;
+    for (std::size_t i = 0; i < len && at + i < series.size(); ++i) {
+      series[at + i] = bad[i];
+    }
+  }
+
+  mining::ProfileConfig cfg;
+  cfg.window = static_cast<std::size_t>(flag_num(argc, argv, "window", 32));
+  cfg.exclusion =
+      static_cast<std::size_t>(flag_num(argc, argv, "exclusion", 0));
+  cfg.kind = dist::kind_from_name(flag_str(argc, argv, "kind").value_or("dtw"));
+  cfg.params.threshold = flag_num(argc, argv, "threshold", 0.0);
+  cfg.params.band = static_cast<int>(flag_num(argc, argv, "band", -1));
+  cfg.znormalize = flag_num(argc, argv, "znorm", 1) != 0;
+  cfg.use_lower_bounds = flag_num(argc, argv, "lb", 1) != 0;
+  cfg.lb_margin = flag_num(argc, argv, "margin", 1.0);
+  cfg.early_abandon = flag_num(argc, argv, "abandon", 1) != 0;
+  cfg.engine_block =
+      static_cast<std::size_t>(flag_num(argc, argv, "block", 256));
+
+  std::optional<core::Accelerator> acc;
+  if (flag_num(argc, argv, "accel", 0) != 0) {
+    const auto backend = parse_backend(argc, argv);
+    if (!backend) return 1;
+    core::DistanceSpec spec;
+    spec.kind = cfg.kind;
+    spec.threshold = cfg.params.threshold;
+    spec.band = cfg.params.band;
+    acc.emplace();
+    acc->configure(spec, *backend);
+    cfg.accelerator = &*acc;
+  }
+  std::optional<core::BatchEngine> engine;
+  const auto threads =
+      static_cast<std::size_t>(flag_num(argc, argv, "threads", 0));
+  if (threads > 0) {
+    core::BatchOptions opts;
+    opts.num_threads = threads;
+    engine.emplace(opts);
+    cfg.engine = &*engine;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const mining::ProfileResult r = mining::matrix_profile(series, cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto k = static_cast<std::size_t>(flag_num(argc, argv, "k", 3));
+  const mining::MotifResult motif = mining::profile_motif(r);
+  const std::vector<mining::Discord> discords = mining::profile_discords(r, k);
+
+  std::printf("series: %zu points, %zu windows of %zu (%s%s, exclusion %zu)\n",
+              series.size(), r.profile.size(), r.window,
+              dist::kind_name(cfg.kind).c_str(),
+              cfg.accelerator ? ", accelerator" : "", r.exclusion);
+  std::printf("motif:  [%zu, %zu] distance %.6f\n", motif.first, motif.second,
+              motif.distance);
+  util::Table table({"rank", "discord @", "nn distance"});
+  for (std::size_t i = 0; i < discords.size(); ++i) {
+    table.add_row({std::to_string(i + 1), std::to_string(discords[i].position),
+                   util::Table::fmt(discords[i].nn_distance, 6)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  const auto pct = [&](std::size_t c) {
+    return r.stats.pairs > 0 ? 100.0 * static_cast<double>(c) /
+                                   static_cast<double>(r.stats.pairs)
+                             : 0.0;
+  };
+  std::printf("cascade: %zu pairs | lb_kim %.1f%% | lb_keogh %.1f%% | "
+              "abandoned %.1f%% | evaluated %.1f%% | %.3f s wall\n",
+              r.stats.pairs, pct(r.stats.pruned_lb_kim),
+              pct(r.stats.pruned_lb_keogh), pct(r.stats.abandoned),
+              pct(r.stats.evaluated), wall_s);
+
+  if (flag_num(argc, argv, "stream", 0) != 0) {
+    // Replay the series through the incremental engine and hold it to the
+    // streaming ≡ batch contract (exit 2 on any bit difference).
+    mining::ProfileConfig scfg = cfg;
+    scfg.engine = nullptr;
+    scfg.stream_capacity =
+        static_cast<std::size_t>(flag_num(argc, argv, "capacity", 0));
+    mining::StreamingProfile stream(scfg);
+    stream.append(series);
+    const mining::ProfileResult sr = stream.profile();
+    const mining::ProfileResult br =
+        scfg.stream_capacity == 0 ? r
+                                  : mining::matrix_profile(stream.series(),
+                                                           scfg);
+    const bool same =
+        sr.profile.size() == br.profile.size() &&
+        sr.neighbor == br.neighbor && sr.starts == br.starts &&
+        std::memcmp(sr.profile.data(), br.profile.data(),
+                    sr.profile.size() * sizeof(double)) == 0;
+    if (!same) {
+      std::fprintf(stderr, "profile: streaming/batch mismatch\n");
+      return 2;
+    }
+    std::printf("streaming replay: %zu windows, bit-identical to batch\n",
+                sr.profile.size());
+  }
+  return 0;
+}
+
 int cmd_faults(int argc, char** argv) {
   fault::CampaignConfig cfg;
   if (const auto kind_name = flag_str(argc, argv, "kind")) {
@@ -553,8 +674,8 @@ int cmd_chaos(int argc, char** argv) {
 void usage() {
   std::fprintf(stderr,
                "usage: mda "
-               "<compute|batch|serve|chaos|faults|info|export|calibrate|noise>"
-               " [flags]\n"
+               "<compute|batch|profile|serve|chaos|faults|info|export|"
+               "calibrate|noise> [flags]\n"
                "  compute   --kind=dtw --p=1,2,0.5 --q=0.8,1.7,0.6\n"
                "            [--backend=behavioral|wavefront|fullspice]\n"
                "            [--threshold=T] [--band=R] [--pfile/--qfile=CSV]\n"
@@ -563,6 +684,16 @@ void usage() {
                "            [--threads=N (0=auto)] [--chunk=C] [--backend=...]\n"
                "            [--cache=N]\n"
                "            all P-rows x Q-rows pairs on the parallel engine\n"
+               "  profile   [--series=1,2,... | --file=CSV] or synthetic\n"
+               "            ECG demo: [--n=512] [--seed=42]\n"
+               "            [--window=32] [--exclusion=0 (0=window)] [--k=3]\n"
+               "            [--kind=dtw] [--band=R] [--threshold=T]\n"
+               "            [--znorm=0|1] [--lb=0|1] [--margin=1.0]\n"
+               "            [--abandon=0|1] [--threads=0] [--block=256]\n"
+               "            [--accel=0|1] [--backend=...]\n"
+               "            [--stream=0|1 replay + verify streaming==batch]\n"
+               "            [--capacity=0 streaming sliding window]\n"
+               "            matrix profile -> motif + top-k discords\n"
                "  serve     [--host=127.0.0.1] [--port=0 (ephemeral)]\n"
                "            [--backend=...] [--width=8 lockstep width, 1=off]\n"
                "            [--window=64 coalesce window] [--queue-depth=256]\n"
@@ -620,6 +751,7 @@ int main(int argc, char** argv) {
     else if (cmd == "export") rc = cmd_export(argc, argv);
     else if (cmd == "calibrate") rc = cmd_calibrate(argc, argv);
     else if (cmd == "noise") rc = cmd_noise(argc, argv);
+    else if (cmd == "profile") rc = cmd_profile(argc, argv);
     if (rc >= 0) {
       if (rc == 0 && metrics) {
         const int mrc = emit_metrics(*metrics);
